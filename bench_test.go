@@ -1,0 +1,139 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one per experiment. Each iteration runs the full experiment
+// at bench scale (a small corpus, so the suite finishes on one core);
+// cmd/experiments runs the same code at larger scales.
+//
+// Key figures also report their headline metric via b.ReportMetric, so
+// `go test -bench=.` output doubles as a quick shape check.
+package repro_test
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchScale keeps each experiment around a second on one core.
+var benchScale = experiments.Scale{Count: 0.02, Size: 0.15}
+
+// runExperiment is the common bench body.
+func runExperiment(b *testing.B, id string) experiments.Table {
+	b.Helper()
+	e, err := experiments.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tb experiments.Table
+	for i := 0; i < b.N; i++ {
+		tb, err = e.Run(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(tb.Rows) == 0 {
+		b.Fatalf("%s produced no rows", id)
+	}
+	return tb
+}
+
+// lastFloat extracts a numeric cell for ReportMetric (best effort).
+func lastFloat(tb experiments.Table, row, col int) float64 {
+	if row < 0 {
+		row += len(tb.Rows)
+	}
+	if row < 0 || row >= len(tb.Rows) || col >= len(tb.Rows[row]) {
+		return 0
+	}
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func BenchmarkFig2CompressionRatio(b *testing.B) {
+	tb := runExperiment(b, "fig2")
+	b.ReportMetric(lastFloat(tb, 0, 1), "cache-dedup@1K")
+}
+
+func BenchmarkFig3Codecs(b *testing.B) {
+	runExperiment(b, "fig3")
+}
+
+func BenchmarkFig4CCR(b *testing.B) {
+	tb := runExperiment(b, "fig4")
+	b.ReportMetric(lastFloat(tb, -1, 1), "cache-CCR@1M")
+}
+
+func BenchmarkTable1Storage(b *testing.B) {
+	runExperiment(b, "tab1")
+}
+
+func BenchmarkTable2Dataset(b *testing.B) {
+	runExperiment(b, "tab2")
+}
+
+func BenchmarkFig8Disk(b *testing.B) {
+	runExperiment(b, "fig8")
+}
+
+func BenchmarkFig9DDTDisk(b *testing.B) {
+	runExperiment(b, "fig9")
+}
+
+func BenchmarkFig10DDTMemory(b *testing.B) {
+	runExperiment(b, "fig10")
+}
+
+func BenchmarkFig11BootTime(b *testing.B) {
+	tb := runExperiment(b, "fig11")
+	// Column 1 is warm-zfs; report the 64 KB row (second from last).
+	b.ReportMetric(lastFloat(tb, -2, 1), "warm-zfs-64K-sec")
+}
+
+func BenchmarkFig11CodecAblation(b *testing.B) {
+	runExperiment(b, "fig11codec")
+}
+
+func BenchmarkFig12CrossSimilarity(b *testing.B) {
+	tb := runExperiment(b, "fig12")
+	b.ReportMetric(lastFloat(tb, 2, 2), "cache-sim@4K")
+}
+
+func BenchmarkFig13Iterative(b *testing.B) {
+	runExperiment(b, "fig13")
+}
+
+func BenchmarkFig14DiskFit(b *testing.B) {
+	runExperiment(b, "fig14")
+}
+
+func BenchmarkFig15DiskExtrapolation(b *testing.B) {
+	runExperiment(b, "fig15")
+}
+
+func BenchmarkFig16MemoryFit(b *testing.B) {
+	runExperiment(b, "fig16")
+}
+
+func BenchmarkFig17MemoryExtrapolation(b *testing.B) {
+	runExperiment(b, "fig17")
+}
+
+func BenchmarkFig18NetworkTransfer(b *testing.B) {
+	tb := runExperiment(b, "fig18")
+	b.ReportMetric(lastFloat(tb, -1, 1), "with-caches-MB")
+}
+
+func BenchmarkFig18PropagationAblation(b *testing.B) {
+	runExperiment(b, "fig18prop")
+}
+
+func BenchmarkTable3DiskRMSE(b *testing.B) {
+	runExperiment(b, "tab3")
+}
+
+func BenchmarkTable4MemoryRMSE(b *testing.B) {
+	runExperiment(b, "tab4")
+}

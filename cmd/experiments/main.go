@@ -1,0 +1,65 @@
+// Command experiments regenerates the paper's tables and figures from the
+// synthetic corpus.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig11
+//	experiments -run all -count 0.1 -size 0.25
+//
+// Output is one aligned text table per experiment, with the paper's
+// qualitative expectation in the trailing comment line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment id (fig2..fig18, tab1..tab4) or 'all'")
+		list  = flag.Bool("list", false, "list available experiments")
+		count = flag.Float64("count", 0.1, "image-count scale factor (1.0 = documented default)")
+		size  = flag.Float64("size", 0.25, "image-size scale factor (1.0 = documented default)")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+		}
+		if *run == "" {
+			fmt.Println("\nrun with: experiments -run <id>|all [-count f] [-size f]")
+		}
+		return
+	}
+
+	scale := experiments.Scale{Count: *count, Size: *size}
+	var todo []experiments.Experiment
+	if *run == "all" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.Find(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+	for _, e := range todo {
+		start := time.Now()
+		tb, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(tb.Render())
+		fmt.Printf("   [%s took %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

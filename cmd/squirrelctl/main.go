@@ -1,0 +1,127 @@
+// Command squirrelctl drives a simulated Squirrel deployment end to end:
+// it builds a cluster, registers images (with propagation), boots VMs on
+// compute nodes, exercises deregistration, garbage collection and offline
+// catch-up, and prints the resulting cVolume and network statistics.
+//
+// Usage:
+//
+//	squirrelctl                          # demo run with defaults
+//	squirrelctl -images 32 -nodes 8 -vms 4
+//	squirrelctl -offline node03          # take one node offline mid-run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func main() {
+	var (
+		nImages = flag.Int("images", 16, "images to register")
+		nNodes  = flag.Int("nodes", 8, "compute nodes")
+		vms     = flag.Int("vms", 2, "VMs booted per node")
+		offline = flag.String("offline", "", "node to take offline during registrations")
+		verify  = flag.Bool("verify", true, "verify boot data against image content")
+	)
+	flag.Parse()
+	if err := run(*nImages, *nNodes, *vms, *offline, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(nImages, nNodes, vms int, offline string, verify bool) error {
+	spec := corpus.DefaultSpec().Scale(float64(nImages)/607, 0.25)
+	repo, err := corpus.New(spec)
+	if err != nil {
+		return err
+	}
+	if len(repo.Images) > nImages {
+		repo.Images = repo.Images[:nImages]
+	}
+	cl, err := cluster.New(cluster.GigE, 4, nNodes)
+	if err != nil {
+		return err
+	}
+	pfs, err := cluster.NewPFS(cl, 2, 2, 0)
+	if err != nil {
+		return err
+	}
+	sq, err := core.New(core.DefaultConfig(), cl, pfs)
+	if err != nil {
+		return err
+	}
+
+	t0 := time.Date(2014, 6, 23, 9, 0, 0, 0, time.UTC)
+	fmt.Printf("registering %d images on a %d-node cluster...\n", len(repo.Images), nNodes)
+	var diffTotal int64
+	for i, im := range repo.Images {
+		if offline != "" && i == len(repo.Images)/2 {
+			if err := sq.SetOnline(offline, false); err != nil {
+				return err
+			}
+			fmt.Printf("  %s goes OFFLINE\n", offline)
+		}
+		rep, err := sq.Register(im, t0.Add(time.Duration(i)*time.Minute))
+		if err != nil {
+			return err
+		}
+		diffTotal += rep.DiffBytes
+		fmt.Printf("  %-24s cache %7d B  diff %7d B  → %d nodes in %.3fs\n",
+			rep.ImageID, rep.CacheBytes, rep.DiffBytes, rep.Nodes, rep.XferSec)
+	}
+	fmt.Printf("total diff traffic: %.2f MB for %.2f MB of caches (dedup across caches)\n\n",
+		float64(diffTotal)/(1<<20), float64(repo.CacheBytes())/(1<<20))
+
+	if offline != "" {
+		if err := sq.SetOnline(offline, true); err != nil {
+			return err
+		}
+		rep, err := sq.SyncNode(offline)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s back online: %s sync, %d bytes\n\n", offline, rep.Mode, rep.Bytes)
+	}
+
+	fmt.Printf("booting %d VMs per node, all from warm replicas...\n", vms)
+	cl.ResetCounters()
+	img := 0
+	for _, n := range cl.Compute {
+		for v := 0; v < vms; v++ {
+			im := repo.Images[img%len(repo.Images)]
+			img++
+			rep, err := sq.Boot(im.ID, n.ID, verify)
+			if err != nil {
+				return err
+			}
+			if !rep.Warm {
+				fmt.Printf("  %s on %s: COLD (%d network bytes)\n", im.ID, n.ID, rep.NetworkBytes)
+			}
+		}
+	}
+	fmt.Printf("  %d boots done; compute-node network traffic: %d bytes\n\n",
+		img, cl.ComputeRxTotal())
+
+	ds := sq.Stats()
+	st := ds.SCVolume
+	fmt.Println("deployment stats:")
+	fmt.Printf("  %d images registered on %d/%d online nodes (%d stale replicas)\n",
+		ds.RegisteredImages, ds.OnlineNodes, ds.ComputeNodes, ds.StaleReplicas)
+	fmt.Printf("  scVolume: objects %d, logical %.2f MB, disk %.2f MB (data %.2f + DDT %.2f + meta %.2f)\n",
+		st.Objects, mb(st.LogicalBytes), mb(st.DiskBytes), mb(st.DataBytes), mb(st.DDTDiskBytes), mb(st.MetaBytes))
+	fmt.Printf("  per-node replica cost: %.2f MB disk, %.2f MB DDT memory, dedup ratio %.2f\n",
+		mb(ds.ReplicaDiskBytes), mb(ds.ReplicaMemBytes), st.DedupRatio)
+
+	n := sq.GarbageCollect(t0.Add(30 * 24 * time.Hour))
+	fmt.Printf("\ngarbage collection destroyed %d old snapshots\n", n)
+	return nil
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }

@@ -1,0 +1,95 @@
+// Multitenant: the large public-cloud scenario — many users concurrently
+// starting VMs from *different* images (the paper's §2.1 second case,
+// where storage nodes become the bottleneck, and the workload behind
+// Fig 18).
+//
+// Every compute node boots several VMs, each from a distinct VMI. The
+// example compares compute-node network traffic with Squirrel's fully
+// replicated caches against the no-caching baseline, and prints the
+// scVolume's dedup efficiency over the whole registered repository.
+//
+// Run with: go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func main() {
+	repo, err := corpus.New(corpus.TestSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cl, err := cluster.New(cluster.QDR, 4, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pfs, err := cluster.NewPFS(cl, 2, 2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.ClusterSize = 4096
+	cfg.Volume.BlockSize = 4096
+	sq, err := core.New(cfg, cl, pfs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Register the whole community repository (24 images, 3 distros).
+	t0 := time.Now()
+	var diffTotal int64
+	for i, im := range repo.Images {
+		rep, err := sq.Register(im, t0.Add(time.Duration(i)*time.Minute))
+		if err != nil {
+			log.Fatal(err)
+		}
+		diffTotal += rep.DiffBytes
+	}
+	fmt.Printf("registered %d images; propagation shipped %.1f KB for %.1f KB of caches\n",
+		len(repo.Images), float64(diffTotal)/1024, float64(repo.CacheBytes())/1024)
+
+	st := sq.SCVolume().Stats()
+	fmt.Printf("each cVolume replica: %.1f KB disk + %.1f KB DDT memory for all %d caches (dedup %.2f)\n\n",
+		float64(st.DiskBytes)/1024, float64(st.DDTMemBytes)/1024, st.Objects, st.DedupRatio)
+
+	// Concurrent multi-user startup wave: 4 VMs per node, all distinct
+	// images.
+	const vmsPerNode = 3
+	boot := func(uncached bool) int64 {
+		cl.ResetCounters()
+		img := 0
+		for _, n := range cl.Compute {
+			for v := 0; v < vmsPerNode; v++ {
+				im := repo.Images[img%len(repo.Images)]
+				img++
+				var err error
+				if uncached {
+					_, err = sq.BootWithoutCache(im.ID, n.ID)
+				} else {
+					_, err = sq.Boot(im.ID, n.ID, false)
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		return cl.ComputeRxTotal()
+	}
+	with := boot(false)
+	without := boot(true)
+	vms := len(cl.Compute) * vmsPerNode
+	fmt.Printf("startup wave of %d VMs (%d nodes × %d VMs, all different images):\n",
+		vms, len(cl.Compute), vmsPerNode)
+	fmt.Printf("  with Squirrel:   %8d bytes over the network\n", with)
+	fmt.Printf("  without caches:  %8d bytes over the network\n", without)
+	fmt.Println("\nSquirrel keeps VM startup entirely local, for every image at once —")
+	fmt.Println("scatter hoarding in action (paper §4.4, Fig 18).")
+}

@@ -1,0 +1,109 @@
+// Noderecovery: offline propagation (§3.5 of the paper).
+//
+// Compute nodes miss registration diffs while down. On reboot they ask
+// the scVolume for the diff since their latest local snapshot:
+//
+//   - a briefly-offline node gets a small incremental stream;
+//   - a node that was down longer than the retention window (its anchor
+//     snapshot was garbage-collected) re-replicates the whole scVolume —
+//     which is still only tens of KB here (tens of GB at paper scale,
+//     the same order as a single VMI).
+//
+// Run with: go run ./examples/noderecovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func main() {
+	repo, err := corpus.New(corpus.TestSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.GigE, 4, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pfs, err := cluster.NewPFS(cl, 2, 2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.ClusterSize = 4096
+	cfg.Volume.BlockSize = 4096
+	cfg.RetentionDays = 7 // the paper's n
+	sq, err := core.New(cfg, cl, pfs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t0 := time.Date(2014, 6, 23, 0, 0, 0, 0, time.UTC)
+	day := func(n int) time.Time { return t0.Add(time.Duration(n) * 24 * time.Hour) }
+
+	// Day 0: first registrations reach all three nodes.
+	for _, im := range repo.Images[:3] {
+		if _, err := sq.Register(im, day(0)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("day 0: registered 3 images on all nodes")
+
+	// node01 goes down briefly; node02 goes down for a month.
+	sq.SetOnline("node01", false)
+	sq.SetOnline("node02", false)
+	if _, err := sq.Register(repo.Images[3], day(2)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("day 2: registered 1 image while node01 and node02 were down")
+
+	// node01 returns within the window: incremental catch-up.
+	sq.SetOnline("node01", true)
+	rep, err := sq.SyncNode("node01")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 3: node01 back → %-11s sync, %6d bytes\n", rep.Mode, rep.Bytes)
+
+	// More registrations and a month of daily GC pass.
+	for i, im := range repo.Images[4:8] {
+		if _, err := sq.Register(im, day(4+i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for d := 5; d <= 35; d++ {
+		sq.GarbageCollect(day(d)) // the daily cron job
+	}
+	fmt.Println("day 4–35: 4 more registrations; daily GC destroyed the old snapshots")
+
+	// node02 returns after the window: its anchor snapshot is gone, so
+	// the incremental send fails and Squirrel re-replicates everything.
+	sq.SetOnline("node02", true)
+	rep, err = sq.SyncNode("node02")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 35: node02 back → %-11s sync, %6d bytes\n", rep.Mode, rep.Bytes)
+
+	// Both nodes now boot every registered image warm.
+	for _, nodeID := range []string{"node01", "node02"} {
+		warm := 0
+		for _, id := range sq.Registered() {
+			br, err := sq.Boot(id, nodeID, true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if br.Warm {
+				warm++
+			}
+		}
+		fmt.Printf("%s boots %d/%d images warm (verified byte-exact)\n",
+			nodeID, warm, len(sq.Registered()))
+	}
+}

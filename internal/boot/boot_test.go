@@ -1,0 +1,189 @@
+package boot
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/corpus"
+	"repro/internal/zvol"
+)
+
+// bootCorpus is a small corpus with caches big enough to make I/O costs
+// visible against the fixed CPU boot time.
+func bootCorpus(t testing.TB) *corpus.Repository {
+	t.Helper()
+	spec := corpus.TestSpec()
+	spec.Distros = []corpus.DistroSpec{{Name: "ubuntu", Count: 6, Releases: 2}}
+	spec.ImageNonzero = 2 << 20
+	spec.CacheFrac = 0.12
+	repo, err := corpus.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+// ccVolume builds a volume holding every cache of the repo at the given
+// block size, like a warmed ccVolume.
+func ccVolume(t testing.TB, repo *corpus.Repository, bs block.Size) *zvol.Volume {
+	t.Helper()
+	cfg := zvol.DefaultConfig()
+	cfg.BlockSize = bs
+	v, err := zvol.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, im := range repo.Images {
+		if _, err := v.WriteObject(im.ID, im.CacheReader()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v
+}
+
+func simFor(repo *corpus.Repository) *Sim {
+	var cache int64
+	for _, im := range repo.Images {
+		cache += im.CacheSize()
+	}
+	mean := float64(cache) / float64(len(repo.Images))
+	return New(DefaultConfig(134e6 / mean))
+}
+
+func TestBootTimesOrdering(t *testing.T) {
+	repo := bootCorpus(t)
+	s := simFor(repo)
+	vol := ccVolume(t, repo, block.Size64K)
+
+	im := repo.Images[0]
+	base := s.BootBaselineLocal(im)
+	cold := s.BootColdCacheLocal(im)
+	warmX := s.BootWarmCacheXFS(im)
+	warmZ, err := s.BootWarmCacheZVol(im, vol, im.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 11 ordering at 64 KB: warm-xfs fastest, cold slowest, warm-zfs
+	// between warm-xfs and baseline.
+	if !(warmX.Seconds < base.Seconds) {
+		t.Errorf("warm-xfs (%.1fs) should beat baseline (%.1fs)", warmX.Seconds, base.Seconds)
+	}
+	if !(cold.Seconds > base.Seconds) {
+		t.Errorf("cold (%.1fs) should exceed baseline (%.1fs)", cold.Seconds, base.Seconds)
+	}
+	if !(warmZ.Seconds < base.Seconds) {
+		t.Errorf("warm-zfs 64K (%.1fs) should beat baseline (%.1fs)", warmZ.Seconds, base.Seconds)
+	}
+	if !(warmZ.Seconds >= warmX.Seconds) {
+		t.Errorf("warm-zfs (%.1fs) should not beat warm-xfs (%.1fs)", warmZ.Seconds, warmX.Seconds)
+	}
+	// All in the paper's plausible band.
+	for n, r := range map[string]Result{"base": base, "cold": cold, "warmX": warmX, "warmZ": warmZ} {
+		if r.Seconds < 10 || r.Seconds > 60 {
+			t.Errorf("%s boot %.1fs outside the plausible band", n, r.Seconds)
+		}
+	}
+}
+
+func TestZVolBlockSizeUShape(t *testing.T) {
+	// Fig 11: boot time explodes at small block sizes and ticks up again
+	// at 128 KB (cluster 64 KB < record 128 KB ⇒ records read twice).
+	repo := bootCorpus(t)
+	s := simFor(repo)
+	times := map[block.Size]float64{}
+	for _, bs := range []block.Size{block.Size4K, block.Size64K, block.Size128K} {
+		vol := ccVolume(t, repo, bs)
+		avg, err := Average(repo.Images, func(im *corpus.Image) (Result, error) {
+			return s.BootWarmCacheZVol(im, vol, im.ID)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[bs] = avg
+	}
+	if !(times[block.Size4K] > times[block.Size64K]) {
+		t.Errorf("4K (%.1fs) should be slower than 64K (%.1fs)", times[block.Size4K], times[block.Size64K])
+	}
+	if !(times[block.Size128K] > times[block.Size64K]) {
+		t.Errorf("128K (%.1fs) should be slower than 64K (%.1fs) — QCOW2 cluster effect",
+			times[block.Size128K], times[block.Size64K])
+	}
+}
+
+func TestWarmBootReadsOnlyCacheBytes(t *testing.T) {
+	repo := bootCorpus(t)
+	s := simFor(repo)
+	im := repo.Images[0]
+	warm := s.BootWarmCacheXFS(im)
+	// The compact cache file is cluster-rounded, so reads may exceed the
+	// cache size slightly, but never by more than one cluster per extent.
+	slack := int64(len(im.BootTrace())+1) * s.cfg.ClusterSize
+	if warm.BytesRead > im.CacheSize()+slack {
+		t.Fatalf("warm boot read %d bytes for a %d-byte cache", warm.BytesRead, im.CacheSize())
+	}
+	if warm.BytesRead == 0 {
+		t.Fatal("warm boot read nothing")
+	}
+}
+
+func TestColdBootWritesCache(t *testing.T) {
+	repo := bootCorpus(t)
+	s := simFor(repo)
+	im := repo.Images[0]
+	cold := s.BootColdCacheLocal(im)
+	if cold.BytesWrite == 0 {
+		t.Fatal("cold boot must write the cache")
+	}
+	base := s.BootBaselineLocal(im)
+	if base.BytesWrite != 0 {
+		t.Fatal("baseline boot must not write")
+	}
+}
+
+func TestPageCachePrefetchEffect(t *testing.T) {
+	// With sub-cluster trace reads, cluster rounding must produce page
+	// cache hits ("free prefetching").
+	repo := bootCorpus(t)
+	s := simFor(repo)
+	warm := s.BootWarmCacheXFS(repo.Images[0])
+	if warm.CacheHits == 0 {
+		t.Fatal("no page-cache hits: prefetch effect absent")
+	}
+}
+
+func TestBootMissingObject(t *testing.T) {
+	repo := bootCorpus(t)
+	s := simFor(repo)
+	vol := ccVolume(t, repo, block.Size64K)
+	if _, err := s.BootWarmCacheZVol(repo.Images[0], vol, "nope"); err == nil {
+		t.Fatal("missing cache object must error")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	repo := bootCorpus(t)
+	s := simFor(repo)
+	avg, err := Average(repo.Images, func(im *corpus.Image) (Result, error) {
+		return s.BootBaselineLocal(im), nil
+	})
+	if err != nil || avg <= 0 {
+		t.Fatalf("avg=%v err=%v", avg, err)
+	}
+	if _, err := Average(nil, nil); err == nil {
+		t.Fatal("empty image set must error")
+	}
+}
+
+func TestClusterRequests(t *testing.T) {
+	rs := clusterRequests(100, 200, 64, 1000)
+	// [100,300) covers clusters 1..4 → requests at 64,128,192,256.
+	if len(rs) != 4 || rs[0].off != 64 || rs[3].off != 256 {
+		t.Fatalf("requests %v", rs)
+	}
+	// Clipped at size.
+	rs = clusterRequests(960, 100, 64, 1000)
+	last := rs[len(rs)-1]
+	if last.off+last.n != 1000 {
+		t.Fatalf("clip failed: %v", rs)
+	}
+}

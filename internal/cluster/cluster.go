@@ -1,0 +1,167 @@
+// Package cluster models the data-center substrate of the paper's
+// evaluation: DAS-4/VU compute and storage nodes, NIC byte accounting,
+// the two network fabrics (1 GbE and 32 Gb/s QDR InfiniBand), a
+// gluster-like striped + replicated parallel file system on the storage
+// nodes, and the one-to-many transfer schemes Squirrel can use to
+// propagate snapshot diffs (IP multicast, unicast fan-out, and a
+// LANTorrent-style pipeline).
+//
+// Fig 18 is pure byte accounting on compute-node NICs; the fabric
+// bandwidths additionally give transfer durations for the propagation
+// ablation.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fabric describes one interconnect.
+type Fabric struct {
+	Name string
+	Bps  float64 // usable bytes/second per link
+}
+
+// The paper's two DAS-4 fabrics (theoretical peak for IB, wire rate for
+// GbE, both derated to realistic goodput).
+var (
+	GigE = Fabric{Name: "1GbE", Bps: 110e6}
+	QDR  = Fabric{Name: "32GbIB", Bps: 3.2e9}
+)
+
+// TransferSec is the time to move n bytes over the fabric.
+func (f Fabric) TransferSec(n int64) float64 {
+	if f.Bps <= 0 {
+		return 0
+	}
+	return float64(n) / f.Bps
+}
+
+// Role of a node.
+type Role int
+
+// Node roles.
+const (
+	Compute Role = iota
+	Storage
+)
+
+// Node is one machine with NIC counters.
+type Node struct {
+	ID   string
+	Role Role
+
+	mu sync.Mutex
+	rx int64
+	tx int64
+}
+
+// Recv accounts n received bytes.
+func (n *Node) Recv(b int64) {
+	n.mu.Lock()
+	n.rx += b
+	n.mu.Unlock()
+}
+
+// Send accounts n transmitted bytes.
+func (n *Node) Send(b int64) {
+	n.mu.Lock()
+	n.tx += b
+	n.mu.Unlock()
+}
+
+// RxBytes returns received bytes so far.
+func (n *Node) RxBytes() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rx
+}
+
+// TxBytes returns transmitted bytes so far.
+func (n *Node) TxBytes() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tx
+}
+
+// Cluster is a set of storage and compute nodes on one fabric.
+type Cluster struct {
+	Fabric  Fabric
+	Storage []*Node
+	Compute []*Node
+}
+
+// New builds a cluster with the given node counts, like the paper's 4
+// storage + 64 compute DAS-4 slice.
+func New(fabric Fabric, storage, compute int) (*Cluster, error) {
+	if storage < 1 || compute < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node of each role")
+	}
+	c := &Cluster{Fabric: fabric}
+	for i := 0; i < storage; i++ {
+		c.Storage = append(c.Storage, &Node{ID: fmt.Sprintf("stor%02d", i), Role: Storage})
+	}
+	for i := 0; i < compute; i++ {
+		c.Compute = append(c.Compute, &Node{ID: fmt.Sprintf("node%02d", i), Role: Compute})
+	}
+	return c, nil
+}
+
+// ComputeRxTotal sums received bytes over all compute nodes — Fig 18's
+// "cumulative transfer size at compute nodes".
+func (c *Cluster) ComputeRxTotal() int64 {
+	var n int64
+	for _, node := range c.Compute {
+		n += node.RxBytes()
+	}
+	return n
+}
+
+// ResetCounters zeroes every NIC counter.
+func (c *Cluster) ResetCounters() {
+	for _, n := range append(append([]*Node{}, c.Storage...), c.Compute...) {
+		n.mu.Lock()
+		n.rx, n.tx = 0, 0
+		n.mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// One-to-many transfer schemes (§3.2, §5.2).
+
+// Multicast models IP multicast of n bytes from src to dsts: the source
+// transmits the stream once; every destination receives it. Returns the
+// transfer duration.
+func (c *Cluster) Multicast(src *Node, dsts []*Node, n int64) float64 {
+	src.Send(n)
+	for _, d := range dsts {
+		d.Recv(n)
+	}
+	return c.Fabric.TransferSec(n)
+}
+
+// UnicastFanout sends n bytes to each destination separately (the rsync
+// strategy §3.5 argues against): the source transmits N copies and
+// serializes on its uplink.
+func (c *Cluster) UnicastFanout(src *Node, dsts []*Node, n int64) float64 {
+	src.Send(n * int64(len(dsts)))
+	for _, d := range dsts {
+		d.Recv(n)
+	}
+	return c.Fabric.TransferSec(n * int64(len(dsts)))
+}
+
+// Pipeline models a LANTorrent-style chain: src → d1 → d2 → …; every
+// destination receives and (except the last) retransmits. Total time is
+// one stream plus a per-hop latency epsilon, approximated here as the
+// single-stream time (the chain streams concurrently).
+func (c *Cluster) Pipeline(src *Node, dsts []*Node, n int64) float64 {
+	src.Send(n)
+	for i, d := range dsts {
+		d.Recv(n)
+		if i < len(dsts)-1 {
+			d.Send(n)
+		}
+	}
+	return c.Fabric.TransferSec(n)
+}

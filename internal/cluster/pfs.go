@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+)
+
+// PFS is the gluster-like parallel file system the paper runs on its
+// four storage nodes, configured with "two levels of striping and two
+// levels of replication" (§4.4): files are striped across replica groups
+// for random-access performance, and each stripe is replicated within
+// its group for fault tolerance.
+type PFS struct {
+	cluster    *Cluster
+	stripes    int   // replica groups data is striped over
+	replicas   int   // copies per stripe
+	stripeUnit int64 // bytes per stripe chunk
+
+	files map[string]*pfsFile
+}
+
+type pfsFile struct {
+	name string
+	size int64
+	read func(p []byte, off int64) (int, error)
+}
+
+// DefaultStripeUnit is gluster's default stripe block size.
+const DefaultStripeUnit = 128 * 1024
+
+// NewPFS configures the parallel file system over the cluster's storage
+// nodes. stripes×replicas must equal the storage node count (the paper's
+// 2×2 over 4 nodes).
+func NewPFS(c *Cluster, stripes, replicas int, stripeUnit int64) (*PFS, error) {
+	if stripes < 1 || replicas < 1 {
+		return nil, fmt.Errorf("cluster: stripes and replicas must be positive")
+	}
+	if stripes*replicas != len(c.Storage) {
+		return nil, fmt.Errorf("cluster: %d stripes × %d replicas != %d storage nodes",
+			stripes, replicas, len(c.Storage))
+	}
+	if stripeUnit <= 0 {
+		stripeUnit = DefaultStripeUnit
+	}
+	return &PFS{
+		cluster:    c,
+		stripes:    stripes,
+		replicas:   replicas,
+		stripeUnit: stripeUnit,
+		files:      make(map[string]*pfsFile),
+	}, nil
+}
+
+// AddFile registers a file with the given size and a content function
+// (for VMIs, a corpus generator; tests use synthetic fills).
+func (p *PFS) AddFile(name string, size int64, read func(b []byte, off int64) (int, error)) error {
+	if _, dup := p.files[name]; dup {
+		return fmt.Errorf("cluster: pfs file %s exists", name)
+	}
+	p.files[name] = &pfsFile{name: name, size: size, read: read}
+	return nil
+}
+
+// Size returns a file's size.
+func (p *PFS) Size(name string) (int64, error) {
+	f, ok := p.files[name]
+	if !ok {
+		return 0, fmt.Errorf("cluster: pfs file %s not found", name)
+	}
+	return f.size, nil
+}
+
+// serverFor picks the storage node serving a chunk of a file: chunks are
+// striped over replica groups, and reads rotate over the replicas within
+// the group.
+func (p *PFS) serverFor(name string, chunk int64) *Node {
+	h := int64(0)
+	for i := 0; i < len(name); i++ {
+		h = h*131 + int64(name[i])
+	}
+	group := int((h + chunk) % int64(p.stripes))
+	if group < 0 {
+		group += p.stripes
+	}
+	// Rotate replicas on a stride decorrelated from the group choice so
+	// all nodes of a group take read load.
+	replica := int(((chunk / int64(p.stripes)) + h) % int64(p.replicas))
+	if replica < 0 {
+		replica += p.replicas
+	}
+	return p.cluster.Storage[group*p.replicas+replica]
+}
+
+// ReadAt serves a read issued by compute node client, accounting NIC
+// traffic on both ends. Returns bytes read.
+func (p *PFS) ReadAt(client *Node, name string, buf []byte, off int64) (int, error) {
+	f, ok := p.files[name]
+	if !ok {
+		return 0, fmt.Errorf("cluster: pfs file %s not found", name)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("cluster: negative offset")
+	}
+	total := 0
+	for len(buf) > 0 && off < f.size {
+		chunk := off / p.stripeUnit
+		n := int64(len(buf))
+		if rem := (chunk+1)*p.stripeUnit - off; n > rem {
+			n = rem
+		}
+		if rem := f.size - off; n > rem {
+			n = rem
+		}
+		read, err := f.read(buf[:n], off)
+		if err != nil && err != io.EOF {
+			return total, err
+		}
+		if read == 0 {
+			break
+		}
+		server := p.serverFor(name, chunk)
+		server.Send(int64(read))
+		client.Recv(int64(read))
+		buf = buf[read:]
+		off += int64(read)
+		total += read
+	}
+	if len(buf) > 0 {
+		return total, io.EOF
+	}
+	return total, nil
+}

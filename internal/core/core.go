@@ -1,0 +1,261 @@
+// Package core implements Squirrel itself (§3 of the paper): a fully
+// replicated VMI-cache storage system that scatter-hoards the boot
+// working sets of all registered VM images on all compute nodes of an
+// IaaS data center.
+//
+// Squirrel maintains one scVolume on the storage side and one ccVolume
+// per compute node (all cVolumes are deduplicated + compressed zvol
+// volumes). The main operations are:
+//
+//	Register    first-boot the new VMI on a storage node to capture its
+//	            boot working set, store the cache in the scVolume, take a
+//	            snapshot, and multicast the incremental snapshot diff to
+//	            every online compute node (§3.2, Fig 6).
+//	Boot        chain CoW → ccVolume cache → base VMI for a VM start on a
+//	            compute node (§3.3, Fig 7); with a warm replica the boot
+//	            performs zero network I/O.
+//	Deregister  drop the VMI and its cache from the scVolume; the removal
+//	            reaches ccVolumes with the next snapshot (§3.4).
+//	GarbageCollect  daily cron job destroying snapshots outside the
+//	            retention window n, always keeping the latest (§3.4).
+//	SyncNode    offline propagation for nodes that missed registrations:
+//	            incremental catch-up when their latest snapshot is still
+//	            retained, full re-replication otherwise (§3.5).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/corpus"
+	"repro/internal/qcow"
+	"repro/internal/zvol"
+)
+
+// Config parameterizes a Squirrel deployment.
+type Config struct {
+	// Volume is the cVolume policy (block size, codec, dedup); the paper
+	// settles on 64 KB + gzip6 + dedup.
+	Volume zvol.Config
+	// RetentionDays is the paper's n: how long snapshots are kept for
+	// offline propagation.
+	RetentionDays int
+	// ClusterSize is the QCOW2 cluster granularity of CoW/cache images.
+	ClusterSize int64
+	// Propagation selects the one-to-many diff transfer scheme.
+	Propagation Propagation
+}
+
+// Propagation is the transfer scheme for registration diffs.
+type Propagation int
+
+// Propagation schemes (§3.2 uses multicast; the others are the ablation).
+const (
+	Multicast Propagation = iota
+	UnicastFanout
+	Pipeline
+)
+
+// DefaultConfig is the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		Volume:        zvol.DefaultConfig(),
+		RetentionDays: 7,
+		ClusterSize:   qcow.DefaultClusterSize,
+		Propagation:   Multicast,
+	}
+}
+
+// Squirrel is one deployment over a cluster.
+type Squirrel struct {
+	cfg Config
+	cl  *cluster.Cluster
+	pfs *cluster.PFS
+
+	sc     *zvol.Volume            // scVolume (storage nodes)
+	cc     map[string]*zvol.Volume // ccVolume per compute node ID
+	online map[string]bool
+
+	images  map[string]*corpus.Image // registered VMIs by ID
+	snapSeq int
+}
+
+// Errors.
+var (
+	ErrNotRegistered = errors.New("core: image not registered")
+	ErrRegistered    = errors.New("core: image already registered")
+	ErrUnknownNode   = errors.New("core: unknown compute node")
+	ErrNodeOffline   = errors.New("core: compute node offline")
+)
+
+// New creates a Squirrel deployment over cl. The PFS must be configured
+// over cl's storage nodes; base VMIs are published there.
+func New(cfg Config, cl *cluster.Cluster, pfs *cluster.PFS) (*Squirrel, error) {
+	sc, err := zvol.New(cfg.Volume)
+	if err != nil {
+		return nil, err
+	}
+	s := &Squirrel{
+		cfg:    cfg,
+		cl:     cl,
+		pfs:    pfs,
+		sc:     sc,
+		cc:     make(map[string]*zvol.Volume),
+		online: make(map[string]bool),
+		images: make(map[string]*corpus.Image),
+	}
+	for _, n := range cl.Compute {
+		v, err := zvol.New(cfg.Volume)
+		if err != nil {
+			return nil, err
+		}
+		s.cc[n.ID] = v
+		s.online[n.ID] = true
+	}
+	return s, nil
+}
+
+// SCVolume exposes the storage-side cVolume (for stats and tests).
+func (s *Squirrel) SCVolume() *zvol.Volume { return s.sc }
+
+// CCVolume returns a compute node's cVolume.
+func (s *Squirrel) CCVolume(nodeID string) (*zvol.Volume, error) {
+	v, ok := s.cc[nodeID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
+	}
+	return v, nil
+}
+
+// SetOnline marks a compute node up or down. Offline nodes miss
+// registration diffs and must SyncNode on their next boot (§3.5).
+func (s *Squirrel) SetOnline(nodeID string, up bool) error {
+	if _, ok := s.cc[nodeID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
+	}
+	s.online[nodeID] = up
+	return nil
+}
+
+// Registered lists registered image IDs, sorted.
+func (s *Squirrel) Registered() []string {
+	ids := make([]string, 0, len(s.images))
+	for id := range s.images {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RegisterReport describes one registration.
+type RegisterReport struct {
+	ImageID    string
+	Snapshot   string
+	CacheBytes int64   // boot working set captured on the storage node
+	DiffBytes  int64   // incremental stream size actually propagated
+	Nodes      int     // online nodes that received the diff
+	XferSec    float64 // propagation duration on the fabric
+}
+
+// Register runs the paper's registration workflow (Fig 6) for a VMI that
+// has been uploaded to the PFS: capture its boot working set by a
+// first boot on a storage node, store it in the scVolume, snapshot, and
+// propagate the snapshot diff to all online compute nodes. at is the
+// registration time (drives snapshot retention).
+func (s *Squirrel) Register(im *corpus.Image, at time.Time) (RegisterReport, error) {
+	if _, dup := s.images[im.ID]; dup {
+		return RegisterReport{}, fmt.Errorf("%w: %s", ErrRegistered, im.ID)
+	}
+	// Publish the base VMI on the parallel file system if not present
+	// (uploads are the provider's existing mechanism, §3.2).
+	if _, err := s.pfs.Size(im.ID); err != nil {
+		gen := corpus.NewGenerator(im)
+		if err := s.pfs.AddFile(im.ID, im.RawSize(), gen.ReadAt); err != nil {
+			return RegisterReport{}, err
+		}
+	}
+	// First boot happens on a storage node: the cache is created from
+	// local reads, with no compute-node traffic.
+	obj, err := s.sc.WriteObject(im.ID, im.CacheReader())
+	if err != nil {
+		return RegisterReport{}, err
+	}
+	prev := ""
+	if snap := s.sc.LatestSnapshot(); snap != nil {
+		prev = snap.Name
+	}
+	s.snapSeq++
+	snapName := fmt.Sprintf("cVol@%06d-%s", s.snapSeq, im.ID)
+	if _, err := s.sc.Snapshot(snapName, at); err != nil {
+		return RegisterReport{}, err
+	}
+	stream, err := s.sc.Send(prev, snapName)
+	if err != nil {
+		return RegisterReport{}, err
+	}
+	// Account the exact multicast payload: the encoded wire stream.
+	wireSize, err := stream.Encode(io.Discard)
+	if err != nil {
+		return RegisterReport{}, err
+	}
+	rep := RegisterReport{
+		ImageID:    im.ID,
+		Snapshot:   snapName,
+		CacheBytes: obj.Size,
+		DiffBytes:  wireSize,
+	}
+	// Propagate to every online node; each replica applies the stream.
+	var dsts []*cluster.Node
+	for _, n := range s.cl.Compute {
+		if s.online[n.ID] {
+			dsts = append(dsts, n)
+		}
+	}
+	src := s.cl.Storage[0]
+	switch s.cfg.Propagation {
+	case UnicastFanout:
+		rep.XferSec = s.cl.UnicastFanout(src, dsts, wireSize)
+	case Pipeline:
+		rep.XferSec = s.cl.Pipeline(src, dsts, wireSize)
+	default:
+		rep.XferSec = s.cl.Multicast(src, dsts, wireSize)
+	}
+	for _, n := range dsts {
+		if err := s.cc[n.ID].Receive(stream); err != nil {
+			return RegisterReport{}, fmt.Errorf("core: replica %s: %w", n.ID, err)
+		}
+	}
+	rep.Nodes = len(dsts)
+	s.images[im.ID] = im
+	return rep, nil
+}
+
+// Deregister removes a VMI: the original image and its scVolume cache are
+// deleted. ccVolumes learn about the removal with the next snapshot
+// (§3.4) — Squirrel deliberately takes no snapshot here.
+func (s *Squirrel) Deregister(id string) error {
+	if _, ok := s.images[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotRegistered, id)
+	}
+	if err := s.sc.DeleteObject(id); err != nil {
+		return err
+	}
+	delete(s.images, id)
+	return nil
+}
+
+// GarbageCollect runs the daily retention job on the scVolume and all
+// ccVolumes, keeping snapshots younger than the retention window plus the
+// latest snapshot. Returns the number of snapshots destroyed.
+func (s *Squirrel) GarbageCollect(now time.Time) int {
+	window := time.Duration(s.cfg.RetentionDays) * 24 * time.Hour
+	n := len(s.sc.GarbageCollect(now, window))
+	for _, v := range s.cc {
+		n += len(v.GarbageCollect(now, window))
+	}
+	return n
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"repro/internal/zvol"
+)
+
+// DeploymentStats aggregates Squirrel-wide state: what an operator's
+// dashboard would show for a data center running Squirrel.
+type DeploymentStats struct {
+	RegisteredImages int
+	ComputeNodes     int
+	OnlineNodes      int
+
+	// SCVolume is the storage-side cVolume.
+	SCVolume zvol.Stats
+	// ReplicaDiskBytes / ReplicaMemBytes are the per-node costs of full
+	// replication — the paper's "10 GB of disk and 60 MB of main memory
+	// on each compute node" numbers, at corpus scale.
+	ReplicaDiskBytes int64
+	ReplicaMemBytes  int64
+	// StaleReplicas counts online nodes whose latest snapshot lags the
+	// scVolume (they will SyncNode on next boot).
+	StaleReplicas int
+}
+
+// Stats computes current deployment-wide statistics.
+func (s *Squirrel) Stats() DeploymentStats {
+	ds := DeploymentStats{
+		RegisteredImages: len(s.images),
+		ComputeNodes:     len(s.cc),
+		SCVolume:         s.sc.Stats(),
+	}
+	latest := ""
+	if snap := s.sc.LatestSnapshot(); snap != nil {
+		latest = snap.Name
+	}
+	var maxDisk, maxMem int64
+	for id, v := range s.cc {
+		if s.online[id] {
+			ds.OnlineNodes++
+		}
+		st := v.Stats()
+		if st.DiskBytes > maxDisk {
+			maxDisk = st.DiskBytes
+		}
+		if st.DDTMemBytes > maxMem {
+			maxMem = st.DDTMemBytes
+		}
+		local := ""
+		if snap := v.LatestSnapshot(); snap != nil {
+			local = snap.Name
+		}
+		if s.online[id] && local != latest {
+			ds.StaleReplicas++
+		}
+	}
+	ds.ReplicaDiskBytes = maxDisk
+	ds.ReplicaMemBytes = maxMem
+	return ds
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/zvol"
+)
+
+// SyncMode says how a lagging node was brought back in sync.
+type SyncMode int
+
+// Sync modes (§3.5's two scenarios).
+const (
+	SyncNone        SyncMode = iota // already up to date
+	SyncIncremental                 // diff since the node's latest snapshot
+	SyncFull                        // full scVolume re-replication
+)
+
+// String renders the mode for reports.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncIncremental:
+		return "incremental"
+	case SyncFull:
+		return "full"
+	default:
+		return "none"
+	}
+}
+
+// SyncReport describes one offline-propagation catch-up.
+type SyncReport struct {
+	NodeID   string
+	Mode     SyncMode
+	Bytes    int64   // stream size transferred
+	XferSec  float64 // unicast transfer duration
+	Snapshot string  // snapshot the node ended at
+}
+
+// SyncNode implements offline propagation (§3.5): upon boot, a compute
+// node asks for the diff between its latest local snapshot and the
+// scVolume's latest. If the node's snapshot is still retained on the
+// storage side the incremental stream succeeds; if the node has been
+// offline for longer than the retention window (or is brand new), the
+// incremental send fails and the whole scVolume is re-replicated.
+func (s *Squirrel) SyncNode(nodeID string) (SyncReport, error) {
+	ccv, ok := s.cc[nodeID]
+	if !ok {
+		return SyncReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
+	}
+	latest := s.sc.LatestSnapshot()
+	if latest == nil {
+		return SyncReport{NodeID: nodeID, Mode: SyncNone}, nil
+	}
+	local := ""
+	if snap := ccv.LatestSnapshot(); snap != nil {
+		local = snap.Name
+		if local == latest.Name {
+			return SyncReport{NodeID: nodeID, Mode: SyncNone, Snapshot: local}, nil
+		}
+	}
+	node, err := s.computeNode(nodeID)
+	if err != nil {
+		return SyncReport{}, err
+	}
+	rep := SyncReport{NodeID: nodeID, Snapshot: latest.Name}
+
+	if local != "" {
+		stream, err := s.sc.Send(local, latest.Name)
+		switch {
+		case err == nil:
+			if err := ccv.Receive(stream); err != nil {
+				return SyncReport{}, fmt.Errorf("core: sync receive on %s: %w", nodeID, err)
+			}
+			rep.Mode = SyncIncremental
+			rep.Bytes = stream.SizeBytes()
+			node.Recv(stream.SizeBytes())
+			s.cl.Storage[0].Send(stream.SizeBytes())
+			rep.XferSec = s.cl.Fabric.TransferSec(stream.SizeBytes())
+			return rep, nil
+		case errors.Is(err, zvol.ErrNotAncestor):
+			// The node's snapshot fell out of the retention window: fall
+			// through to full re-replication.
+		default:
+			return SyncReport{}, err
+		}
+	}
+	// Full re-replication: the node starts from an empty replica.
+	fresh, err := zvol.New(s.cfg.Volume)
+	if err != nil {
+		return SyncReport{}, err
+	}
+	stream, err := s.sc.Send("", latest.Name)
+	if err != nil {
+		return SyncReport{}, err
+	}
+	if err := fresh.Receive(stream); err != nil {
+		return SyncReport{}, fmt.Errorf("core: full sync on %s: %w", nodeID, err)
+	}
+	s.cc[nodeID] = fresh
+	rep.Mode = SyncFull
+	rep.Bytes = stream.SizeBytes()
+	node.Recv(stream.SizeBytes())
+	s.cl.Storage[0].Send(stream.SizeBytes())
+	rep.XferSec = s.cl.Fabric.TransferSec(stream.SizeBytes())
+	return rep, nil
+}

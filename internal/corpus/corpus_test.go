@@ -1,0 +1,301 @@
+package corpus
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/block"
+)
+
+func testRepo(t *testing.T) *Repository {
+	t.Helper()
+	r, err := New(TestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{ImageNonzero: 0, SparseFactor: 2, CacheFrac: 0.1, BaseFrac: 0.3, PkgFrac: 0.2},
+		{ImageNonzero: 1 << 20, SparseFactor: 0.5, CacheFrac: 0.1, BaseFrac: 0.3, PkgFrac: 0.2},
+		{ImageNonzero: 1 << 20, SparseFactor: 2, CacheFrac: 0, BaseFrac: 0.3, PkgFrac: 0.2},
+		{ImageNonzero: 1 << 20, SparseFactor: 2, CacheFrac: 0.1, BaseFrac: 0.6, PkgFrac: 0.5},
+	}
+	for i, s := range bad {
+		if _, err := New(s); err == nil {
+			t.Errorf("spec %d should fail validation", i)
+		}
+	}
+}
+
+func TestTable2Counts(t *testing.T) {
+	r := testRepo(t)
+	by := r.ByDistro()
+	if by["ubuntu"] != 18 || by["rhel-centos"] != 4 || by["debian"] != 2 {
+		t.Fatalf("distro mix wrong: %v", by)
+	}
+	if len(r.Images) != 24 {
+		t.Fatalf("%d images, want 24", len(r.Images))
+	}
+}
+
+func TestAzureSpecCounts(t *testing.T) {
+	total := 0
+	for _, d := range AzureDistros() {
+		total += d.Count
+	}
+	if total != 607 {
+		t.Fatalf("Azure mix totals %d, want 607 (Table 2)", total)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r1 := testRepo(t)
+	r2 := testRepo(t)
+	for i := range r1.Images {
+		a, b := r1.Images[i], r2.Images[i]
+		if a.ID != b.ID || a.rawSize != b.rawSize {
+			t.Fatalf("image %d metadata differs", i)
+		}
+		ba, _ := io.ReadAll(io.LimitReader(a.Reader(), 128<<10))
+		bb, _ := io.ReadAll(io.LimitReader(b.Reader(), 128<<10))
+		if !bytes.Equal(ba, bb) {
+			t.Fatalf("image %s content differs across constructions", a.ID)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	s1 := TestSpec()
+	s2 := TestSpec()
+	s2.Seed++
+	r1, _ := New(s1)
+	r2, _ := New(s2)
+	a, _ := io.ReadAll(io.LimitReader(r1.Images[0].Reader(), 64<<10))
+	b, _ := io.ReadAll(io.LimitReader(r2.Images[0].Reader(), 64<<10))
+	if bytes.Equal(a, b) {
+		t.Fatal("different seeds should produce different content")
+	}
+}
+
+func TestSizesConsistent(t *testing.T) {
+	r := testRepo(t)
+	for _, im := range r.Images {
+		if im.RawSize() <= im.NonzeroSize() {
+			t.Fatalf("%s: raw %d <= nonzero %d", im.ID, im.RawSize(), im.NonzeroSize())
+		}
+		ratio := float64(im.RawSize()) / float64(im.NonzeroSize())
+		if ratio < 5 || ratio > 20 {
+			t.Errorf("%s: sparse factor %.1f far from spec's 11.7", im.ID, ratio)
+		}
+		cf := float64(im.CacheSize()) / float64(im.NonzeroSize())
+		if cf < 0.02 || cf > 0.15 {
+			t.Errorf("%s: cache fraction %.3f far from spec's 0.056", im.ID, cf)
+		}
+	}
+	if r.RawBytes() <= r.NonzeroBytes() || r.NonzeroBytes() <= r.CacheBytes() {
+		t.Fatal("aggregate size ordering violated")
+	}
+}
+
+func TestReadAtMatchesReader(t *testing.T) {
+	r := testRepo(t)
+	im := r.Images[0]
+	full, err := io.ReadAll(im.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != im.RawSize() {
+		t.Fatalf("reader produced %d bytes, raw size %d", len(full), im.RawSize())
+	}
+	g := NewGenerator(im)
+	for _, probe := range []struct{ off, n int64 }{
+		{0, 100}, {4095, 2}, {10000, 8192}, {im.RawSize() - 10, 10},
+		{im.nonzero - 100, 200}, // straddles the sparse boundary
+	} {
+		buf := make([]byte, probe.n)
+		if _, err := g.ReadAt(buf, probe.off); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, full[probe.off:probe.off+probe.n]) {
+			t.Fatalf("ReadAt(%d,%d) mismatch", probe.off, probe.n)
+		}
+	}
+	// Read past EOF.
+	buf := make([]byte, 10)
+	n, err := g.ReadAt(buf, im.RawSize()+5)
+	if n != 0 || err != io.EOF {
+		t.Fatalf("read past end: n=%d err=%v", n, err)
+	}
+}
+
+func TestSparseTailIsZero(t *testing.T) {
+	r := testRepo(t)
+	im := r.Images[0]
+	g := NewGenerator(im)
+	buf := make([]byte, 64<<10)
+	if _, err := g.ReadAt(buf, im.nonzero); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !block.IsZero(buf) {
+		t.Fatal("sparse tail must read as zeros")
+	}
+}
+
+func TestCacheIsSubsetOfImage(t *testing.T) {
+	r := testRepo(t)
+	for _, im := range r.Images[:4] {
+		full, _ := io.ReadAll(im.Reader())
+		cache, err := io.ReadAll(im.CacheReader())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(cache)) != im.CacheSize() {
+			t.Fatalf("%s: cache read %d bytes, size %d", im.ID, len(cache), im.CacheSize())
+		}
+		var want []byte
+		for _, e := range im.CacheExtentsSorted() {
+			want = append(want, full[e.Off:e.Off+e.Len]...)
+		}
+		if !bytes.Equal(cache, want) {
+			t.Fatalf("%s: cache stream != image extents", im.ID)
+		}
+	}
+}
+
+func TestBootTraceCoversCache(t *testing.T) {
+	r := testRepo(t)
+	for _, im := range r.Images {
+		var n int64
+		for _, e := range im.BootTrace() {
+			if e.Off < 0 || e.Off+e.Len > im.NonzeroSize() {
+				t.Fatalf("%s: trace extent [%d,%d) outside nonzero content",
+					im.ID, e.Off, e.Off+e.Len)
+			}
+			n += e.Len
+		}
+		if n != im.CacheSize() {
+			t.Fatalf("%s: trace covers %d bytes, cache is %d", im.ID, n, im.CacheSize())
+		}
+	}
+}
+
+func TestBlocksIteration(t *testing.T) {
+	r := testRepo(t)
+	im := r.Images[0]
+	full, _ := io.ReadAll(im.Reader())
+	for _, bs := range []block.Size{block.Size4K, block.Size64K} {
+		var reassembled []byte
+		err := im.Blocks(bs, func(idx int64, data []byte, zero bool) error {
+			off := idx * int64(bs)
+			l := int64(bs)
+			if off+l > im.RawSize() {
+				l = im.RawSize() - off
+			}
+			if zero && data == nil {
+				reassembled = append(reassembled, make([]byte, l)...)
+			} else {
+				reassembled = append(reassembled, data...)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reassembled, full) {
+			t.Fatalf("bs=%v: block iteration != reader content", bs)
+		}
+	}
+}
+
+func TestCacheBlocksMatchCacheReader(t *testing.T) {
+	r := testRepo(t)
+	im := r.Images[1]
+	want, _ := io.ReadAll(im.CacheReader())
+	var got []byte
+	if err := im.CacheBlocks(block.Size4K, func(idx int64, data []byte, zero bool) error {
+		got = append(got, data...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("CacheBlocks != CacheReader")
+	}
+}
+
+func TestSameReleaseSharesBootRegion(t *testing.T) {
+	// Two aligned images of the same distro release must share most boot
+	// region content (this is what makes caches cross-similar).
+	r := testRepo(t)
+	var a, b *Image
+	for i, im1 := range r.Images {
+		if len(im1.recipe) == 0 || im1.recipe[0].pool != poolFor(r.Spec.Seed, poolBoot, im1.Distro, im1.Release) {
+			continue // misaligned image, skip
+		}
+		for _, im2 := range r.Images[i+1:] {
+			if im2.Distro == im1.Distro && im2.Release == im1.Release &&
+				len(im2.recipe) > 0 && im2.recipe[0].pool == im1.recipe[0].pool {
+				a, b = im1, im2
+				break
+			}
+		}
+		if a != nil {
+			break
+		}
+	}
+	if a == nil {
+		t.Skip("no aligned same-release pair in test corpus")
+	}
+	n := a.recipe[0].length
+	if b.recipe[0].length < n {
+		n = b.recipe[0].length
+	}
+	ba := make([]byte, n)
+	bb := make([]byte, n)
+	NewGenerator(a).ReadAt(ba, 0)
+	NewGenerator(b).ReadAt(bb, 0)
+	same := 0
+	for i := range ba {
+		if ba[i] == bb[i] {
+			same++
+		}
+	}
+	if frac := float64(same) / float64(n); frac < 0.95 {
+		t.Fatalf("same-release boot regions only %.2f identical", frac)
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := DefaultSpec().Scale(0.1, 0.5)
+	total := 0
+	for _, d := range s.Distros {
+		total += d.Count
+		if d.Count < 1 {
+			t.Fatal("scaled distro lost all images")
+		}
+		if d.Releases > d.Count {
+			t.Fatal("more releases than images")
+		}
+	}
+	if total >= 607 || total < 55 {
+		t.Fatalf("scaled count %d unreasonable", total)
+	}
+	if s.ImageNonzero != 3<<20 {
+		t.Fatalf("scaled size %d", s.ImageNonzero)
+	}
+}
+
+func BenchmarkGenerate1MB(b *testing.B) {
+	r, _ := New(TestSpec())
+	im := r.Images[0]
+	g := NewGenerator(im)
+	buf := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		g.ReadAt(buf, 0)
+	}
+}

@@ -1,0 +1,121 @@
+package corpus
+
+import (
+	"testing"
+)
+
+// TestCacheExtentInvariants checks structural invariants of the boot
+// working set for every image of several specs: extents are disjoint,
+// sorted, CoR-aligned, within nonzero content, and exactly tiled by the
+// boot trace.
+func TestCacheExtentInvariants(t *testing.T) {
+	specs := map[string]Spec{"test": TestSpec()}
+	d := DefaultSpec().Scale(0.02, 0.2)
+	specs["scaled-default"] = d
+
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			repo, err := New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, im := range repo.Images {
+				exts := im.CacheExtentsSorted()
+				if len(exts) == 0 {
+					t.Fatalf("%s: no cache extents", im.ID)
+				}
+				var prevEnd int64 = -1
+				for i, e := range exts {
+					if e.Len <= 0 {
+						t.Fatalf("%s: extent %d empty", im.ID, i)
+					}
+					if e.Off <= prevEnd {
+						t.Fatalf("%s: extent %d overlaps or unsorted", im.ID, i)
+					}
+					if !im.Misaligned() && e.Off%spec.CacheAlign != 0 {
+						t.Fatalf("%s: extent %d at %d not CoR-aligned", im.ID, i, e.Off)
+					}
+					if e.Off+e.Len > im.NonzeroSize() {
+						t.Fatalf("%s: extent %d exceeds nonzero content", im.ID, i)
+					}
+					prevEnd = e.Off + e.Len - 1
+				}
+				// Trace tiles the extents exactly: same total bytes, every
+				// read inside some extent.
+				var traceBytes int64
+				for _, r := range im.BootTrace() {
+					traceBytes += r.Len
+					inside := false
+					for _, e := range exts {
+						if r.Off >= e.Off && r.Off+r.Len <= e.Off+e.Len {
+							inside = true
+							break
+						}
+					}
+					if !inside {
+						t.Fatalf("%s: trace read [%d,%d) outside cache extents", im.ID, r.Off, r.Off+r.Len)
+					}
+				}
+				if traceBytes != im.CacheSize() {
+					t.Fatalf("%s: trace %d bytes, cache %d", im.ID, traceBytes, im.CacheSize())
+				}
+			}
+		})
+	}
+}
+
+// TestBootPoolPrefixShared verifies the mechanism behind cache
+// cross-similarity: the cache streams of two aligned same-release images
+// share a long common prefix (the boot pool in fetch order).
+func TestBootPoolPrefixShared(t *testing.T) {
+	spec := DefaultSpec().Scale(0.03, 0.3)
+	repo, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRelease := map[string][]*Image{}
+	for _, im := range repo.Images {
+		if !im.Misaligned() {
+			key := im.Distro + string(rune('0'+im.Release))
+			byRelease[key] = append(byRelease[key], im)
+		}
+	}
+	checked := 0
+	for _, ims := range byRelease {
+		if len(ims) < 2 {
+			continue
+		}
+		a, b := ims[0], ims[1]
+		n := min64(a.CacheSize(), b.CacheSize()) / 2 // well inside the boot prefix
+		ba := readN(t, a, n)
+		bb := readN(t, b, n)
+		same := 0
+		for i := range ba {
+			if ba[i] == bb[i] {
+				same++
+			}
+		}
+		if frac := float64(same) / float64(n); frac < 0.9 {
+			t.Fatalf("%s vs %s: cache prefix only %.2f shared", a.ID, b.ID, frac)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no same-release aligned pair at this scale")
+	}
+}
+
+func readN(t *testing.T, im *Image, n int64) []byte {
+	t.Helper()
+	buf := make([]byte, n)
+	r := im.CacheReader()
+	got := 0
+	for int64(got) < n {
+		k, err := r.Read(buf[got:])
+		got += k
+		if err != nil {
+			t.Fatalf("%s: cache read: %v", im.ID, err)
+		}
+	}
+	return buf
+}

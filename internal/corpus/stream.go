@@ -1,0 +1,246 @@
+package corpus
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/block"
+)
+
+// Generator reads image content. It is cheap to create and carries a
+// one-cell cache plus scratch buffers, so it is not safe for concurrent
+// use; create one per goroutine.
+type Generator struct {
+	img     *Image
+	cell    []byte // cached generated cell
+	cellKey struct {
+		pool poolID
+		idx  int64
+	}
+	scratch []byte
+}
+
+// NewGenerator returns a content generator for img.
+func NewGenerator(img *Image) *Generator {
+	g := &Generator{img: img, cell: make([]byte, cellSize), scratch: make([]byte, 0, 2048)}
+	g.cellKey.idx = -1
+	return g
+}
+
+// findSegment locates the segment containing file offset off.
+func (g *Generator) findSegment(off int64) int {
+	segs := g.img.recipe
+	return sort.Search(len(segs), func(i int) bool {
+		return segs[i].off+segs[i].length > off
+	})
+}
+
+// ReadAt fills p with image content starting at off. Reads past the end
+// of the image return io.EOF after the available bytes.
+func (g *Generator) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("corpus: negative offset %d", off)
+	}
+	total := 0
+	for len(p) > 0 && off < g.img.rawSize {
+		i := g.findSegment(off)
+		seg := &g.img.recipe[i]
+		segRel := off - seg.off
+		n := int64(len(p))
+		if rem := seg.length - segRel; n > rem {
+			n = rem
+		}
+		if seg.kind == segZero {
+			for j := int64(0); j < n; j++ {
+				p[j] = 0
+			}
+		} else {
+			g.fillPoolRange(seg, p[:n], segRel)
+		}
+		p = p[n:]
+		off += n
+		total += int(n)
+	}
+	if len(p) > 0 {
+		return total, io.EOF
+	}
+	return total, nil
+}
+
+// fillPoolRange fills buf with seg's pool bytes for segment-relative
+// range [segRel, segRel+len(buf)), then applies the image's edit overlay.
+func (g *Generator) fillPoolRange(seg *segment, buf []byte, segRel int64) {
+	poolOff := seg.poolOff + segRel
+	filled := 0
+	for filled < len(buf) {
+		cellIdx := (poolOff + int64(filled)) / cellSize
+		cellRel := (poolOff + int64(filled)) % cellSize
+		if g.cellKey.pool != seg.pool || g.cellKey.idx != cellIdx {
+			fillCell(seg.pool, cellIdx, g.cell, &g.scratch)
+			g.cellKey.pool = seg.pool
+			g.cellKey.idx = cellIdx
+		}
+		filled += copy(buf[filled:], g.cell[cellRel:])
+	}
+	seg.applyEdits(buf, segRel)
+}
+
+// Reader returns an io.Reader over the image's full raw content
+// (including the sparse tail), suitable for zvol.WriteObject.
+func (im *Image) Reader() io.Reader {
+	return &imageReader{g: NewGenerator(im), limit: im.rawSize}
+}
+
+// NonzeroReader returns a reader over only the nonzero prefix of the
+// image (everything before the sparse tail).
+func (im *Image) NonzeroReader() io.Reader {
+	return &imageReader{g: NewGenerator(im), limit: im.nonzero}
+}
+
+type imageReader struct {
+	g     *Generator
+	off   int64
+	limit int64
+}
+
+func (r *imageReader) Read(p []byte) (int, error) {
+	if r.off >= r.limit {
+		return 0, io.EOF
+	}
+	if max := r.limit - r.off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err := r.g.ReadAt(p, r.off)
+	r.off += int64(n)
+	if err == io.EOF && r.off < r.limit {
+		err = fmt.Errorf("corpus: short image %s at %d", r.g.img.ID, r.off)
+	}
+	if err == io.EOF {
+		err = nil
+	}
+	return n, err
+}
+
+// CacheReader returns a reader over the image's boot working set: the
+// concatenation of its boot-trace extents sorted by offset (the layout a
+// copy-on-read cache ends up with).
+func (im *Image) CacheReader() io.Reader {
+	exts := im.CacheExtentsSorted()
+	return &cacheReader{g: NewGenerator(im), exts: exts}
+}
+
+type cacheReader struct {
+	g    *Generator
+	exts []extentRef
+	i    int
+	rel  int64
+}
+
+func (r *cacheReader) Read(p []byte) (int, error) {
+	for r.i < len(r.exts) {
+		e := r.exts[r.i]
+		if r.rel >= e.Len {
+			r.i++
+			r.rel = 0
+			continue
+		}
+		n := int64(len(p))
+		if rem := e.Len - r.rel; n > rem {
+			n = rem
+		}
+		read, err := r.g.ReadAt(p[:n], e.Off+r.rel)
+		r.rel += int64(read)
+		if err != nil && err != io.EOF {
+			return read, err
+		}
+		return read, nil
+	}
+	return 0, io.EOF
+}
+
+// BootTrace returns the image's boot-time reads in issue order: offsets
+// and lengths within the image. The boot simulator replays this trace.
+func (im *Image) BootTrace() []Extent {
+	out := make([]Extent, len(im.cacheExt))
+	for i, e := range im.cacheExt {
+		out[i] = Extent{Off: e.Off, Len: e.Len}
+	}
+	return out
+}
+
+// CacheExtentsSorted returns the boot working set extents sorted by
+// offset (cache layout order rather than read order).
+func (im *Image) CacheExtentsSorted() []extentRef {
+	exts := make([]extentRef, len(im.cacheExt))
+	copy(exts, im.cacheExt)
+	sort.Slice(exts, func(i, j int) bool { return exts[i].Off < exts[j].Off })
+	return exts
+}
+
+// Extent is a public (offset, length) pair within an image.
+type Extent struct {
+	Off, Len int64
+}
+
+// Blocks iterates the image's full content in blocks of size bs, calling
+// fn(index, data, zero). Blocks entirely inside zero segments are
+// reported with nil data and zero=true without generating bytes, which
+// makes sweeping the 11.7× sparse tail nearly free. fn's data slice is
+// reused across calls.
+func (im *Image) Blocks(bs block.Size, fn func(idx int64, data []byte, zero bool) error) error {
+	g := NewGenerator(im)
+	buf := make([]byte, bs)
+	n := block.CountBlocks(im.rawSize, bs)
+	for idx := int64(0); idx < n; idx++ {
+		off := idx * int64(bs)
+		l := int64(bs)
+		if off+l > im.rawSize {
+			l = im.rawSize - off
+		}
+		if im.rangeIsZero(off, l) {
+			if err := fn(idx, nil, true); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := g.ReadAt(buf[:l], off); err != nil && err != io.EOF {
+			return err
+		}
+		if err := fn(idx, buf[:l], block.IsZero(buf[:l])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CacheBlocks iterates the image's boot working set (cache layout order)
+// in blocks of size bs.
+func (im *Image) CacheBlocks(bs block.Size, fn func(idx int64, data []byte, zero bool) error) error {
+	r := im.CacheReader()
+	ch, err := block.NewChunker(r, bs)
+	if err != nil {
+		return err
+	}
+	return ch.ForEach(func(c block.Chunk) error {
+		return fn(c.Index, c.Data, c.Zero)
+	})
+}
+
+// rangeIsZero reports whether [off, off+l) lies entirely within zero
+// segments.
+func (im *Image) rangeIsZero(off, l int64) bool {
+	segs := im.recipe
+	i := sort.Search(len(segs), func(i int) bool {
+		return segs[i].off+segs[i].length > off
+	})
+	for ; i < len(segs) && l > 0; i++ {
+		if segs[i].kind != segZero {
+			return false
+		}
+		covered := segs[i].off + segs[i].length - off
+		off += covered
+		l -= covered
+	}
+	return l <= 0
+}

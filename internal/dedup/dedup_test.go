@@ -1,0 +1,190 @@
+package dedup
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/block"
+)
+
+func h(b byte) block.Hash {
+	return block.HashOf([]byte{b})
+}
+
+func TestReferenceNewAndDup(t *testing.T) {
+	tab := NewTable()
+	e, dup := tab.Reference(h(1), 100, 10, 20, true)
+	if dup {
+		t.Fatal("first reference must not be a dup")
+	}
+	if e.Refs != 1 || e.Addr != 100 {
+		t.Fatalf("bad entry %+v", e)
+	}
+	e2, dup := tab.Reference(h(1), 999, 99, 99, false)
+	if !dup {
+		t.Fatal("second reference must dedup")
+	}
+	if e2 != e || e2.Refs != 2 || e2.Addr != 100 {
+		t.Fatalf("dup must return original entry, got %+v", e2)
+	}
+}
+
+func TestReleaseLifecycle(t *testing.T) {
+	tab := NewTable()
+	tab.Reference(h(1), 0, 8, 8, false)
+	tab.Reference(h(1), 0, 8, 8, false)
+	if _, freed, err := tab.Release(h(1)); err != nil || freed {
+		t.Fatalf("first release: freed=%v err=%v", freed, err)
+	}
+	e, freed, err := tab.Release(h(1))
+	if err != nil || !freed {
+		t.Fatalf("last release must free: freed=%v err=%v", freed, err)
+	}
+	if e.Hash != h(1) {
+		t.Fatal("freed entry mismatch")
+	}
+	if tab.Len() != 0 {
+		t.Fatal("table should be empty")
+	}
+	if _, _, err := tab.Release(h(1)); err == nil {
+		t.Fatal("releasing unknown hash must error")
+	}
+}
+
+func TestAddRefUnknown(t *testing.T) {
+	tab := NewTable()
+	if err := tab.AddRef(h(7)); err == nil {
+		t.Fatal("AddRef on unknown hash must error")
+	}
+	tab.Reference(h(7), 0, 1, 1, false)
+	if err := tab.AddRef(h(7)); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Lookup(h(7)).Refs != 2 {
+		t.Fatal("AddRef did not bump")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	tab := NewTable()
+	tab.Reference(h(1), 0, 10, 64, true)  // unique
+	tab.Reference(h(2), 10, 20, 64, true) // unique
+	tab.Reference(h(1), 0, 10, 64, true)  // dup
+	s := tab.Stats()
+	if s.Entries != 2 || s.References != 3 {
+		t.Fatalf("entries=%d refs=%d", s.Entries, s.References)
+	}
+	if s.PhysicalBytes != 30 {
+		t.Fatalf("physical=%d want 30", s.PhysicalBytes)
+	}
+	if s.LogicalBytes != 64*3 {
+		t.Fatalf("logical=%d want 192", s.LogicalBytes)
+	}
+	if s.DiskBytes != 2*DiskBytesPerEntry || s.MemBytes != 2*MemBytesPerEntry {
+		t.Fatalf("footprints wrong: %+v", s)
+	}
+	if got := s.DedupRatio(); got != 1.5 {
+		t.Fatalf("dedup ratio %v want 1.5", got)
+	}
+	if s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d", s.Hits, s.Misses)
+	}
+}
+
+func TestDedupRatioEmpty(t *testing.T) {
+	if r := (Stats{}).DedupRatio(); r != 1 {
+		t.Fatalf("empty ratio %v want 1", r)
+	}
+}
+
+func TestRefcountInvariantQuick(t *testing.T) {
+	// Property: after any sequence of references and releases over a small
+	// hash universe, live entries == hashes with more refs than releases,
+	// and total references match.
+	f := func(ops []byte) bool {
+		tab := NewTable()
+		refs := map[byte]int64{}
+		for _, op := range ops {
+			key := op & 0x0F
+			if op&0x10 == 0 || refs[key] == 0 {
+				tab.Reference(h(key), uint64(key), 4, 8, false)
+				refs[key]++
+			} else {
+				if _, _, err := tab.Release(h(key)); err != nil {
+					return false
+				}
+				refs[key]--
+			}
+		}
+		var live, total int64
+		for _, r := range refs {
+			if r > 0 {
+				live++
+				total += r
+			}
+		}
+		s := tab.Stats()
+		return s.Entries == live && s.References == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentReferences(t *testing.T) {
+	tab := NewTable()
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				tab.Reference(h(byte(rng.Intn(32))), 0, 4, 8, false)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	s := tab.Stats()
+	if s.References != goroutines*perG {
+		t.Fatalf("references %d want %d", s.References, goroutines*perG)
+	}
+	if s.Entries > 32 {
+		t.Fatalf("entries %d exceed universe", s.Entries)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	tab := NewTable()
+	for i := byte(0); i < 10; i++ {
+		tab.Reference(h(i), uint64(i), 4, 8, false)
+	}
+	n := 0
+	tab.ForEach(func(e *Entry) { n++ })
+	if n != 10 {
+		t.Fatalf("visited %d want 10", n)
+	}
+}
+
+func BenchmarkReferenceMiss(b *testing.B) {
+	tab := NewTable()
+	var buf [8]byte
+	for i := 0; i < b.N; i++ {
+		buf[0], buf[1], buf[2], buf[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+		tab.Reference(block.HashOf(buf[:]), uint64(i), 4, 8, false)
+	}
+}
+
+func BenchmarkReferenceHit(b *testing.B) {
+	tab := NewTable()
+	hh := h(1)
+	tab.Reference(hh, 0, 4, 8, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Reference(hh, 0, 4, 8, false)
+	}
+}

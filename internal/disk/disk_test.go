@@ -1,0 +1,164 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDiskSequentialReadsAvoidSeeks(t *testing.T) {
+	d := New(DAS4Model())
+	t1 := d.Read(10<<30, 1<<20)       // long seek from parked head
+	t2 := d.Read(10<<30+1<<20, 1<<20) // head is already there
+	if t2 >= t1 {
+		t.Fatalf("sequential read (%g) should be cheaper than seeking read (%g)", t2, t1)
+	}
+	if d.LongSeeks != 1 {
+		t.Fatalf("long seeks = %d, want exactly the first", d.LongSeeks)
+	}
+}
+
+func TestDiskRandomReadsSeek(t *testing.T) {
+	d := New(DAS4Model())
+	d.Read(0, 4096)
+	tRand := d.Read(10<<30, 4096) // 10 GB away
+	if tRand <= float64(4096)/DAS4Model().ReadBps {
+		t.Fatal("long-distance read must include seek cost")
+	}
+	if d.LongSeeks != 1 {
+		t.Fatalf("long seeks = %d, want 1", d.LongSeeks)
+	}
+}
+
+func TestDiskShortSeek(t *testing.T) {
+	m := DAS4Model()
+	d := New(m)
+	d.Read(0, 4096)
+	d.Read(1<<20, 4096) // within ShortSeekBytes
+	if d.ShortSeeks != 1 || d.LongSeeks != 0 {
+		t.Fatalf("short=%d long=%d", d.ShortSeeks, d.LongSeeks)
+	}
+}
+
+func TestDiskAccounting(t *testing.T) {
+	d := New(DAS4Model())
+	d.Read(0, 1000)
+	d.Write(5000, 2000)
+	if d.BytesRead != 1000 || d.BytesWritten != 2000 || d.Reads != 1 || d.Writes != 1 {
+		t.Fatalf("counters: %+v", d)
+	}
+	if d.BusySec <= 0 {
+		t.Fatal("busy time not accumulated")
+	}
+	d.Reset()
+	if d.BusySec != 0 || d.BytesRead != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestScaledModelPreservesRatios(t *testing.T) {
+	base, scaled := DAS4Model(), ScaledModel(100)
+	if scaled.ReadBps*100 != base.ReadBps {
+		t.Fatal("read rate not scaled")
+	}
+	if scaled.SeekSec != base.SeekSec*100 {
+		t.Fatal("seek not scaled")
+	}
+}
+
+func TestPageCacheHitsAndMisses(t *testing.T) {
+	pc := NewPageCache(1 << 20)
+	m1 := pc.Access(1, 0, 64<<10) // cold: one coalesced 64 KB miss
+	if len(m1) != 1 || m1[0].Off != 0 || m1[0].Len != 64<<10 {
+		t.Fatalf("cold access misses: %v", m1)
+	}
+	m2 := pc.Access(1, 0, 64<<10) // warm: no misses
+	if len(m2) != 0 {
+		t.Fatalf("warm access missed: %v", m2)
+	}
+	if pc.Hits != 16 || pc.Misses != 16 {
+		t.Fatalf("hits=%d misses=%d", pc.Hits, pc.Misses)
+	}
+}
+
+func TestPageCachePartialOverlap(t *testing.T) {
+	pc := NewPageCache(1 << 20)
+	pc.Access(1, 0, 8192)         // pages 0,1
+	m := pc.Access(1, 4096, 8192) // page 1 hit, page 2 miss
+	if len(m) != 1 || m[0].Off != 8192 || m[0].Len != PageSize {
+		t.Fatalf("overlap misses: %v", m)
+	}
+}
+
+func TestPageCacheDeviceIsolation(t *testing.T) {
+	pc := NewPageCache(1 << 20)
+	pc.Access(1, 0, 4096)
+	if len(pc.Access(2, 0, 4096)) != 1 {
+		t.Fatal("different devices must not share pages")
+	}
+}
+
+func TestPageCacheEviction(t *testing.T) {
+	pc := NewPageCache(4 * PageSize)
+	pc.Access(1, 0, 4*PageSize) // fills cache: pages 0..3
+	pc.Access(1, 0, PageSize)   // touch page 0 (now MRU)
+	pc.Access(1, 4*PageSize, PageSize)
+	// Page 1 was LRU and must have been evicted; page 0 survives.
+	if !pc.Contains(1, 0, PageSize) {
+		t.Fatal("MRU page evicted")
+	}
+	if pc.Contains(1, PageSize, PageSize) {
+		t.Fatal("LRU page not evicted")
+	}
+	if pc.Len() != 4 {
+		t.Fatalf("cache holds %d pages, cap 4", pc.Len())
+	}
+}
+
+func TestPageCacheMissCoalescing(t *testing.T) {
+	// Property: miss extents are disjoint, sorted, page-aligned, and
+	// cover exactly the non-resident pages of the range.
+	f := func(off uint16, n uint16, warm uint16, wn uint16) bool {
+		pc := NewPageCache(1 << 30)
+		pc.Access(7, int64(warm), int64(wn))
+		misses := pc.Access(7, int64(off), int64(n))
+		var prevEnd int64 = -1
+		var total int64
+		for _, e := range misses {
+			if e.Off%PageSize != 0 || e.Len%PageSize != 0 || e.Len == 0 {
+				return false
+			}
+			if e.Off <= prevEnd {
+				return false // overlapping or unsorted or uncoalesced
+			}
+			prevEnd = e.Off + e.Len - 1
+			total += e.Len
+		}
+		if n == 0 {
+			return len(misses) == 0
+		}
+		span := ((int64(off)+int64(n)-1)/PageSize - int64(off)/PageSize + 1) * PageSize
+		return total <= span
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPUModel(t *testing.T) {
+	cpu := DAS4CPU()
+	if cpu.DecompressSec("gzip6", 250e6) < 0.9 {
+		t.Fatal("gzip decompress rate wrong")
+	}
+	if cpu.DecompressSec("null", 1e9) != 0 {
+		t.Fatal("null codec should be free")
+	}
+	small := cpu.DDTLookupSec(1000)
+	big := cpu.DDTLookupSec(100_000_000)
+	if big <= small {
+		t.Fatal("bigger tables must cost more per lookup")
+	}
+	scaled := ScaledCPU(10)
+	if scaled.DecompressSec("gzip6", 100) <= cpu.DecompressSec("gzip6", 100) {
+		t.Fatal("scaled CPU should be slower")
+	}
+}

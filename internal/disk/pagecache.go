@@ -1,0 +1,160 @@
+package disk
+
+import "container/list"
+
+// PageSize is the OS page granularity (Linux page cache).
+const PageSize = 4096
+
+// pageKey identifies one cached page of one device/file.
+type pageKey struct {
+	dev  uint32
+	page int64
+}
+
+// PageCache is an LRU page cache over 4 KB pages, shared by all files of
+// a host, exactly the structure behind the paper's "free prefetching"
+// observation (§4.2.3): QCOW2's 64 KB cluster fetches populate pages
+// that later boot reads hit.
+type PageCache struct {
+	capPages int64
+	pages    map[pageKey]*list.Element
+	lru      *list.List // front = most recent; values are pageKey
+
+	Hits   int64
+	Misses int64
+}
+
+// NewPageCache returns a cache holding capBytes of pages (rounded down).
+func NewPageCache(capBytes int64) *PageCache {
+	c := capBytes / PageSize
+	if c < 1 {
+		c = 1
+	}
+	return &PageCache{
+		capPages: c,
+		pages:    make(map[pageKey]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Extent is a byte range that missed the cache and must be read from the
+// backing store.
+type Extent struct {
+	Off, Len int64
+}
+
+// Access touches the byte range [off, off+n) of device dev, inserting all
+// of its pages, and returns the coalesced extents that were misses.
+// Callers charge those extents to the disk.
+func (pc *PageCache) Access(dev uint32, off, n int64) []Extent {
+	if n <= 0 {
+		return nil
+	}
+	first := off / PageSize
+	last := (off + n - 1) / PageSize
+	var misses []Extent
+	for p := first; p <= last; p++ {
+		k := pageKey{dev, p}
+		if el, ok := pc.pages[k]; ok {
+			pc.lru.MoveToFront(el)
+			pc.Hits++
+			continue
+		}
+		pc.Misses++
+		pc.insert(k)
+		pOff := p * PageSize
+		if len(misses) > 0 && misses[len(misses)-1].Off+misses[len(misses)-1].Len == pOff {
+			misses[len(misses)-1].Len += PageSize
+		} else {
+			misses = append(misses, Extent{Off: pOff, Len: PageSize})
+		}
+	}
+	return misses
+}
+
+// Contains reports whether every page of the range is resident, without
+// touching LRU state.
+func (pc *PageCache) Contains(dev uint32, off, n int64) bool {
+	if n <= 0 {
+		return true
+	}
+	for p := off / PageSize; p <= (off+n-1)/PageSize; p++ {
+		if _, ok := pc.pages[pageKey{dev, p}]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// insert adds a page, evicting the LRU page if at capacity.
+func (pc *PageCache) insert(k pageKey) {
+	if int64(pc.lru.Len()) >= pc.capPages {
+		back := pc.lru.Back()
+		if back != nil {
+			delete(pc.pages, back.Value.(pageKey))
+			pc.lru.Remove(back)
+		}
+	}
+	pc.pages[k] = pc.lru.PushFront(k)
+}
+
+// Len returns the number of resident pages.
+func (pc *PageCache) Len() int { return pc.lru.Len() }
+
+// ---------------------------------------------------------------------------
+// CPU cost model.
+
+// CPUModel holds per-operation CPU costs for the boot simulator. The
+// decompression rates follow the codec benchmarks in internal/compress
+// (gzip ≈ 250 MB/s, lz4/lzjb ≈ 1.5 GB/s on one 2014-class core), divided
+// by the same scale factor as the disk so CPU and I/O shrink together.
+type CPUModel struct {
+	DecompressSecPerByte map[string]float64
+	// DDTLookupSec is the in-core dedup-table lookup cost per record
+	// read; it grows slowly (hash + pointer chase) with table size.
+	DDTLookupBaseSec   float64
+	ChecksumSecPerByte float64
+}
+
+// DAS4CPU returns full-scale CPU costs.
+func DAS4CPU() CPUModel {
+	return CPUModel{
+		DecompressSecPerByte: map[string]float64{
+			"gzip6": 1 / 250e6,
+			"gzip9": 1 / 250e6,
+			"lzjb":  1 / 1500e6,
+			"lz4":   1 / 1800e6,
+			"null":  0,
+		},
+		DDTLookupBaseSec:   2e-6,
+		ChecksumSecPerByte: 1 / 2000e6,
+	}
+}
+
+// ScaledCPU divides throughput-type costs by factor, matching
+// ScaledModel.
+func ScaledCPU(factor float64) CPUModel {
+	m := DAS4CPU()
+	for k := range m.DecompressSecPerByte {
+		m.DecompressSecPerByte[k] *= factor
+	}
+	m.DDTLookupBaseSec *= factor
+	m.ChecksumSecPerByte *= factor
+	return m
+}
+
+// DecompressSec returns the CPU seconds to decompress n logical bytes of
+// the named codec.
+func (m CPUModel) DecompressSec(codec string, n int64) float64 {
+	return m.DecompressSecPerByte[codec] * float64(n)
+}
+
+// DDTLookupSec returns the lookup cost given the current table size;
+// larger tables walk longer hash chains and miss CPU caches more.
+func (m CPUModel) DDTLookupSec(entries int64) float64 {
+	cost := m.DDTLookupBaseSec
+	for e := int64(1 << 16); e < entries; e <<= 2 {
+		cost += m.DDTLookupBaseSec / 2
+	}
+	return cost
+}

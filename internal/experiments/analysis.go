@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/compress"
+	"repro/internal/corpus"
+	"repro/internal/metrics"
+)
+
+// analysisSizes is the 1 KB–1 MB sweep of Figs 2, 3, 4, and 12.
+var analysisSizes = block.AllSizes
+
+func init() {
+	register(Experiment{ID: "fig2", Title: "Compression ratio of VMIs and caches with dedup and gzip6", Run: Fig2})
+	register(Experiment{ID: "fig3", Title: "Compression ratio of VMI caches with different routines", Run: Fig3})
+	register(Experiment{ID: "fig4", Title: "Combined compression ratio of VMIs and caches", Run: Fig4})
+	register(Experiment{ID: "fig12", Title: "Cross-similarity of VMIs and caches", Run: Fig12})
+	register(Experiment{ID: "tab1", Title: "Attained storage efficiency with 128 KB block size", Run: Table1})
+	register(Experiment{ID: "tab2", Title: "OS diversity in Windows Azure and Amazon EC2", Run: Table2})
+}
+
+// analysisRepo builds the corpus shared by the analysis experiments.
+func analysisRepo(s Scale) (*corpus.Repository, error) {
+	return corpus.New(AnalysisSpec(s))
+}
+
+// Fig2 sweeps dedup ratio and gzip6 ratio over block sizes for images and
+// caches.
+func Fig2(s Scale) (Table, error) {
+	repo, err := analysisRepo(s)
+	if err != nil {
+		return Table{}, err
+	}
+	gz := compress.MustGet("gzip6")
+	imgRes, err := metrics.Sweep(metrics.ImageSources(repo), analysisSizes, gz, 0)
+	if err != nil {
+		return Table{}, err
+	}
+	cacheRes, err := metrics.Sweep(metrics.CacheSources(repo), analysisSizes, gz, 0)
+	if err != nil {
+		return Table{}, err
+	}
+	xs := sizesAsFloats(analysisSizes)
+	series := []Series{
+		{Label: "caches: dedup", X: xs, Y: pick(cacheRes, metrics.Result.DedupRatio)},
+		{Label: "images: dedup", X: xs, Y: pick(imgRes, metrics.Result.DedupRatio)},
+		{Label: "caches: gzip6", X: xs, Y: pick(cacheRes, metrics.Result.CompressionRatio)},
+		{Label: "images: gzip6", X: xs, Y: pick(imgRes, metrics.Result.CompressionRatio)},
+	}
+	return SeriesTable("Fig 2: compression ratio vs block size (KB)", "bs(KB)", series, "%.0f", "%.2f"), nil
+}
+
+// Fig3 compares codecs on VMI caches.
+func Fig3(s Scale) (Table, error) {
+	repo, err := analysisRepo(s)
+	if err != nil {
+		return Table{}, err
+	}
+	caches := metrics.CacheSources(repo)
+	xs := sizesAsFloats(analysisSizes)
+	var series []Series
+	// Dedup line first, as in the paper's Fig 3.
+	dd, err := metrics.Sweep(caches, analysisSizes, nil, 0)
+	if err != nil {
+		return Table{}, err
+	}
+	series = append(series, Series{Label: "dedup", X: xs, Y: pick(dd, metrics.Result.DedupRatio)})
+	for _, name := range []string{"gzip6", "gzip9", "lzjb", "lz4"} {
+		res, err := metrics.Sweep(caches, analysisSizes, compress.MustGet(name), 0)
+		if err != nil {
+			return Table{}, err
+		}
+		series = append(series, Series{Label: name, X: xs, Y: pick(res, metrics.Result.CompressionRatio)})
+	}
+	return SeriesTable("Fig 3: cache compression ratio by routine vs block size (KB)", "bs(KB)", series, "%.0f", "%.2f"), nil
+}
+
+// Fig4 computes the combined compression ratio (CCR) curves.
+func Fig4(s Scale) (Table, error) {
+	repo, err := analysisRepo(s)
+	if err != nil {
+		return Table{}, err
+	}
+	gz := compress.MustGet("gzip6")
+	imgRes, err := metrics.Sweep(metrics.ImageSources(repo), analysisSizes, gz, 0)
+	if err != nil {
+		return Table{}, err
+	}
+	cacheRes, err := metrics.Sweep(metrics.CacheSources(repo), analysisSizes, gz, 0)
+	if err != nil {
+		return Table{}, err
+	}
+	xs := sizesAsFloats(analysisSizes)
+	series := []Series{
+		{Label: "caches: dedup+gzip6", X: xs, Y: pick(cacheRes, metrics.Result.CCR)},
+		{Label: "images: dedup+gzip6", X: xs, Y: pick(imgRes, metrics.Result.CCR)},
+	}
+	return SeriesTable("Fig 4: combined compression ratio vs block size (KB)", "bs(KB)", series, "%.0f", "%.2f"), nil
+}
+
+// Fig12 measures cross-similarity of images and caches.
+func Fig12(s Scale) (Table, error) {
+	repo, err := analysisRepo(s)
+	if err != nil {
+		return Table{}, err
+	}
+	imgRes, err := metrics.Sweep(metrics.ImageSources(repo), analysisSizes, nil, 0)
+	if err != nil {
+		return Table{}, err
+	}
+	cacheRes, err := metrics.Sweep(metrics.CacheSources(repo), analysisSizes, nil, 0)
+	if err != nil {
+		return Table{}, err
+	}
+	xs := sizesAsFloats(analysisSizes)
+	series := []Series{
+		{Label: "images", X: xs, Y: pick(imgRes, metrics.Result.CrossSimilarity)},
+		{Label: "caches", X: xs, Y: pick(cacheRes, metrics.Result.CrossSimilarity)},
+	}
+	return SeriesTable("Fig 12: cross-similarity vs block size (KB)", "bs(KB)", series, "%.0f", "%.3f"), nil
+}
+
+// Table1 computes the storage-efficiency chain at 128 KB: original →
+// nonzero → caches (nonzero) → caches/CCR.
+func Table1(s Scale) (Table, error) {
+	repo, err := analysisRepo(s)
+	if err != nil {
+		return Table{}, err
+	}
+	gz := compress.MustGet("gzip6")
+	cacheRes, err := metrics.Analyze(metrics.CacheSources(repo), block.Size128K, gz)
+	if err != nil {
+		return Table{}, err
+	}
+	original := repo.RawBytes()
+	nonzero := repo.NonzeroBytes()
+	caches := repo.CacheBytes()
+	compressed := float64(caches) / cacheRes.CCR()
+	t := Table{
+		Title:  "Table 1: attained storage efficiency, 128 KB blocks",
+		Header: []string{"Original", "Nonzero", "Caches (Nonzero)", "Caches/CCR"},
+		Rows: [][]string{{
+			fmtBytes(float64(original)), fmtBytes(float64(nonzero)),
+			fmtBytes(float64(caches)), fmtBytes(compressed),
+		}},
+		Comment: fmt.Sprintf("paper: 16.4 TB → 1.4 TB → 78.5 GB → 15.1 GB (CCR at 128K = %.2f here)", cacheRes.CCR()),
+	}
+	return t, nil
+}
+
+// Table2 prints the dataset's OS diversity next to the paper's Azure and
+// EC2 columns.
+func Table2(s Scale) (Table, error) {
+	repo, err := corpus.New(corpus.DefaultSpec())
+	if err != nil {
+		return Table{}, err
+	}
+	by := repo.ByDistro()
+	ec2 := map[string]int{}
+	for _, d := range corpus.EC2Distros() {
+		ec2[d.Name] = d.Count
+	}
+	t := Table{
+		Title:  "Table 2: OS diversity",
+		Header: []string{"OS distribution", "This corpus", "Windows Azure (paper)", "Amazon EC2 (paper)"},
+	}
+	total := 0
+	for _, d := range corpus.AzureDistros() {
+		t.Rows = append(t.Rows, []string{d.Name,
+			fmt.Sprintf("%d", by[d.Name]), fmt.Sprintf("%d", d.Count), fmt.Sprintf("%d", ec2[d.Name])})
+		total += by[d.Name]
+	}
+	t.Rows = append(t.Rows, []string{"Total", fmt.Sprintf("%d", total), "607", "9871"})
+	return t, nil
+}
+
+// pick projects a metric over a result slice.
+func pick(rs []metrics.Result, f func(metrics.Result) float64) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = f(r)
+	}
+	return out
+}
+
+// fmtBytes renders byte counts with binary units.
+func fmtBytes(v float64) string {
+	units := []string{"B", "KB", "MB", "GB", "TB"}
+	i := 0
+	for v >= 1024 && i < len(units)-1 {
+		v /= 1024
+		i++
+	}
+	return fmt.Sprintf("%.1f %s", v, units[i])
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/boot"
+	"repro/internal/corpus"
+	"repro/internal/zvol"
+)
+
+func init() {
+	register(Experiment{ID: "fig11", Title: "Performance of booting from deduplicated and compressed VMI caches", Run: Fig11})
+	register(Experiment{ID: "fig11codec", Title: "Ablation: boot time by cVolume codec (bs=64KB)", Run: Fig11Codec})
+}
+
+// bootSizes is Fig 11's block-size axis (1 KB – 128 KB).
+var bootSizes = []block.Size{
+	block.Size1K, block.Size2K, block.Size4K, block.Size8K,
+	block.Size16K, block.Size32K, block.Size64K, block.Size128K,
+}
+
+// bootSetup builds the corpus and a simulator scaled to it.
+func bootSetup(s Scale) (*corpus.Repository, *boot.Sim, error) {
+	repo, err := corpus.New(BootSpec(s))
+	if err != nil {
+		return nil, nil, err
+	}
+	var cacheSum int64
+	for _, im := range repo.Images {
+		cacheSum += im.CacheSize()
+	}
+	mean := float64(cacheSum) / float64(len(repo.Images))
+	// The paper's mean boot working set is ≈134 MB (78.5 GB / 607).
+	sim := boot.New(boot.DefaultConfig(134e6 / mean))
+	return repo, sim, nil
+}
+
+// ccVolumeAt stores every cache of the repo in a fresh cVolume.
+func ccVolumeAt(repo *corpus.Repository, bs block.Size, codec string) (*zvol.Volume, error) {
+	cfg := zvol.DefaultConfig()
+	cfg.BlockSize = bs
+	if codec != "" {
+		cfg.Codec = codec
+	}
+	v, err := zvol.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, im := range repo.Images {
+		if _, err := v.WriteObject(im.ID, im.CacheReader()); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// Fig11 measures average boot time for the four configurations over the
+// block-size sweep (the three XFS baselines are flat lines, as in the
+// paper).
+func Fig11(s Scale) (Table, error) {
+	repo, sim, err := bootSetup(s)
+	if err != nil {
+		return Table{}, err
+	}
+	baseline, err := boot.Average(repo.Images, func(im *corpus.Image) (boot.Result, error) {
+		return sim.BootBaselineLocal(im), nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	cold, err := boot.Average(repo.Images, func(im *corpus.Image) (boot.Result, error) {
+		return sim.BootColdCacheLocal(im), nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	warmXFS, err := boot.Average(repo.Images, func(im *corpus.Image) (boot.Result, error) {
+		return sim.BootWarmCacheXFS(im), nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	xs := sizesAsFloats(bootSizes)
+	zfs := make([]float64, 0, len(bootSizes))
+	for _, bs := range bootSizes {
+		vol, err := ccVolumeAt(repo, bs, "")
+		if err != nil {
+			return Table{}, err
+		}
+		avg, err := boot.Average(repo.Images, func(im *corpus.Image) (boot.Result, error) {
+			return sim.BootWarmCacheZVol(im, vol, im.ID)
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		zfs = append(zfs, avg)
+	}
+	flat := func(v float64) []float64 {
+		ys := make([]float64, len(bootSizes))
+		for i := range ys {
+			ys[i] = v
+		}
+		return ys
+	}
+	series := []Series{
+		{Label: "warm caches - zfs (s)", X: xs, Y: zfs},
+		{Label: "qcow2 - xfs (s)", X: xs, Y: flat(baseline)},
+		{Label: "cold caches - xfs (s)", X: xs, Y: flat(cold)},
+		{Label: "warm caches - xfs (s)", X: xs, Y: flat(warmXFS)},
+	}
+	t := SeriesTable("Fig 11: average boot time vs cVolume block size (KB)", "bs(KB)", series, "%.0f", "%.2f")
+	t.Comment = fmt.Sprintf("paper shape: zfs U-curve with minimum at 64KB, 128KB above 64KB; warm-xfs < zfs@64K < baseline < cold")
+	return t, nil
+}
+
+// Fig11Codec is the codec ablation the paper argues from (gzip6 chosen
+// because extra decompression CPU does not hurt boot): average warm boot
+// time at 64 KB for each codec.
+func Fig11Codec(s Scale) (Table, error) {
+	repo, sim, err := bootSetup(s)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{Title: "Fig 11 ablation: warm zfs boot time by codec (bs=64KB)",
+		Header: []string{"codec", "avg boot (s)", "volume data (MB)"}}
+	for _, codec := range []string{"null", "lz4", "lzjb", "gzip6", "gzip9"} {
+		vol, err := ccVolumeAt(repo, block.Size64K, codec)
+		if err != nil {
+			return Table{}, err
+		}
+		avg, err := boot.Average(repo.Images, func(im *corpus.Image) (boot.Result, error) {
+			return sim.BootWarmCacheZVol(im, vol, im.ID)
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		st := vol.Stats()
+		t.Rows = append(t.Rows, []string{codec, fmt.Sprintf("%.2f", avg),
+			fmt.Sprintf("%.2f", float64(st.DataBytes)/(1<<20))})
+	}
+	t.Comment = "gzip6 trades a little CPU for the smallest volume; boot times stay flat (§4.2.3)"
+	return t, nil
+}

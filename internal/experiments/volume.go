@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/corpus"
+	"repro/internal/zvol"
+)
+
+func init() {
+	register(Experiment{ID: "fig8", Title: "Disk consumption with deduplication and compression", Run: Fig8})
+	register(Experiment{ID: "fig9", Title: "Deduplication table size on disk", Run: Fig9})
+	register(Experiment{ID: "fig10", Title: "Memory consumption for deduplication tables", Run: Fig10})
+	register(Experiment{ID: "fig13", Title: "Resource consumption of cVolumes when iteratively adding VMIs or caches", Run: Fig13})
+}
+
+// volumeRepo builds the corpus shared by the volume experiments.
+func volumeRepo(s Scale) (*corpus.Repository, error) {
+	return corpus.New(VolumeSpec(s))
+}
+
+// fillVolume writes every image (or cache) of the repo into a fresh
+// volume at the given block size and returns its stats.
+func fillVolume(repo *corpus.Repository, bs block.Size, caches bool) (zvol.Stats, error) {
+	cfg := zvol.DefaultConfig()
+	cfg.BlockSize = bs
+	v, err := zvol.New(cfg)
+	if err != nil {
+		return zvol.Stats{}, err
+	}
+	for _, im := range repo.Images {
+		var err error
+		if caches {
+			_, err = v.WriteObject(im.ID, im.CacheReader())
+		} else {
+			_, err = v.WriteObject(im.ID, im.NonzeroReader())
+		}
+		if err != nil {
+			return zvol.Stats{}, fmt.Errorf("experiments: store %s: %w", im.ID, err)
+		}
+	}
+	return v.Stats(), nil
+}
+
+// volumeSweep measures volume stats over the Fig 8–10 block sizes for
+// images and caches.
+func volumeSweep(s Scale) (sizes []block.Size, img, cache []zvol.Stats, err error) {
+	repo, err := volumeRepo(s)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sizes = block.VolumeSizes
+	for _, bs := range sizes {
+		is, err := fillVolume(repo, bs, false)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cs, err := fillVolume(repo, bs, true)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		img = append(img, is)
+		cache = append(cache, cs)
+	}
+	return sizes, img, cache, nil
+}
+
+// volumeFigure renders one stats field for images and caches as a table.
+func volumeFigure(s Scale, title string, field func(zvol.Stats) float64, unit string) (Table, error) {
+	sizes, img, cache, err := volumeSweep(s)
+	if err != nil {
+		return Table{}, err
+	}
+	xs := sizesAsFloats(sizes)
+	series := []Series{
+		{Label: "images " + unit, X: xs, Y: pickStats(img, field)},
+		{Label: "caches " + unit, X: xs, Y: pickStats(cache, field)},
+	}
+	return SeriesTable(title, "bs(KB)", series, "%.0f", "%.2f"), nil
+}
+
+// Fig8 measures total on-disk consumption of dedup+gzip6 volumes.
+func Fig8(s Scale) (Table, error) {
+	return volumeFigure(s, "Fig 8: disk consumption (MB) with dedup + gzip6",
+		func(st zvol.Stats) float64 { return float64(st.DiskBytes) / (1 << 20) }, "(MB)")
+}
+
+// Fig9 measures the DDT's on-disk footprint.
+func Fig9(s Scale) (Table, error) {
+	return volumeFigure(s, "Fig 9: dedup table size on disk (MB)",
+		func(st zvol.Stats) float64 { return float64(st.DDTDiskBytes) / (1 << 20) }, "(MB)")
+}
+
+// Fig10 measures the DDT's in-core footprint.
+func Fig10(s Scale) (Table, error) {
+	return volumeFigure(s, "Fig 10: dedup table memory (MB)",
+		func(st zvol.Stats) float64 { return float64(st.DDTMemBytes) / (1 << 20) }, "(MB)")
+}
+
+// IterativeSeries is Fig 13's underlying data: disk and memory after each
+// added object, for caches and for images, at 64 KB blocks. Figs 14–17
+// fit and extrapolate these points.
+type IterativeSeries struct {
+	N         []float64 // object count after each insert
+	CacheDisk []float64 // bytes
+	CacheMem  []float64
+	ImageDisk []float64
+	ImageMem  []float64
+}
+
+// Iterative computes the Fig 13 series at the given block size.
+func Iterative(s Scale, bs block.Size) (*IterativeSeries, error) {
+	repo, err := volumeRepo(s)
+	if err != nil {
+		return nil, err
+	}
+	cfg := zvol.DefaultConfig()
+	cfg.BlockSize = bs
+	cacheVol, err := zvol.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	imgVol, err := zvol.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &IterativeSeries{}
+	for i, im := range repo.Images {
+		if _, err := cacheVol.WriteObject(im.ID, im.CacheReader()); err != nil {
+			return nil, err
+		}
+		if _, err := imgVol.WriteObject(im.ID, im.NonzeroReader()); err != nil {
+			return nil, err
+		}
+		cs, is := cacheVol.Stats(), imgVol.Stats()
+		out.N = append(out.N, float64(i+1))
+		out.CacheDisk = append(out.CacheDisk, float64(cs.DiskBytes))
+		out.CacheMem = append(out.CacheMem, float64(cs.DDTMemBytes))
+		out.ImageDisk = append(out.ImageDisk, float64(is.DiskBytes))
+		out.ImageMem = append(out.ImageMem, float64(is.DDTMemBytes))
+	}
+	return out, nil
+}
+
+// Fig13 renders the iterative series.
+func Fig13(s Scale) (Table, error) {
+	it, err := Iterative(s, block.Size64K)
+	if err != nil {
+		return Table{}, err
+	}
+	// Sample every k-th point to keep the table readable.
+	k := len(it.N) / 20
+	if k < 1 {
+		k = 1
+	}
+	var xs, cd, cm, id, im []float64
+	for i := 0; i < len(it.N); i += k {
+		xs = append(xs, it.N[i])
+		cd = append(cd, it.CacheDisk[i]/(1<<20))
+		cm = append(cm, it.CacheMem[i]/(1<<20))
+		id = append(id, it.ImageDisk[i]/(1<<20))
+		im = append(im, it.ImageMem[i]/(1<<20))
+	}
+	series := []Series{
+		{Label: "disk caches (MB)", X: xs, Y: cd},
+		{Label: "disk images (MB)", X: xs, Y: id},
+		{Label: "mem caches (MB)", X: xs, Y: cm},
+		{Label: "mem images (MB)", X: xs, Y: im},
+	}
+	return SeriesTable("Fig 13: resource consumption when iteratively adding objects (bs=64KB)", "n", series, "%.0f", "%.2f"), nil
+}
+
+// pickStats projects a field over volume stats.
+func pickStats(sts []zvol.Stats, f func(zvol.Stats) float64) []float64 {
+	out := make([]float64, len(sts))
+	for i, st := range sts {
+		out[i] = f(st)
+	}
+	return out
+}

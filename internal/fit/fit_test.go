@@ -1,0 +1,172 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func linspace(a, b float64, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = a + (b-a)*float64(i)/float64(n-1)
+	}
+	return xs
+}
+
+func apply(c Curve, xs []float64) []float64 {
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = c.Eval(x)
+	}
+	return ys
+}
+
+func TestLinearExactRecovery(t *testing.T) {
+	truth := Linear{A: 3.5, B: -0.75}
+	xs := linspace(0, 100, 40)
+	ys := apply(truth, xs)
+	c, err := (LinearFitter{}).Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := RMSE(c, xs, ys); r > 1e-9 {
+		t.Fatalf("linear RMSE %g on exact data", r)
+	}
+	p := c.Params()
+	if math.Abs(p[0]-3.5) > 1e-9 || math.Abs(p[1]+0.75) > 1e-9 {
+		t.Fatalf("params %v", p)
+	}
+}
+
+func TestHoerlExactRecovery(t *testing.T) {
+	truth := Hoerl{A: 2, B: 1.01, C: 0.5}
+	xs := linspace(1, 50, 30)
+	ys := apply(truth, xs)
+	c, err := (HoerlFitter{}).Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := RMSE(c, xs, ys); r > 1e-6 {
+		t.Fatalf("hoerl RMSE %g on exact data", r)
+	}
+}
+
+func TestMMFExactRecovery(t *testing.T) {
+	truth := MMF{A: 1, B: 120, C: 90, D: 1.3}
+	xs := linspace(1, 600, 60)
+	ys := apply(truth, xs)
+	c, err := (MMFFitter{}).Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := RMSE(c, xs, ys); r > 0.05 {
+		t.Fatalf("mmf RMSE %g on exact data", r)
+	}
+}
+
+func TestLinearQuick(t *testing.T) {
+	// Property: linear fitting recovers any non-degenerate line exactly.
+	f := func(a, b float64) bool {
+		if math.Abs(a) > 1e6 || math.Abs(b) > 1e6 {
+			return true
+		}
+		truth := Linear{A: a, B: b}
+		xs := linspace(0, 10, 12)
+		c, err := (LinearFitter{}).Fit(xs, apply(truth, xs))
+		return err == nil && RMSE(c, xs, apply(truth, xs)) < 1e-6*(1+math.Abs(a)+math.Abs(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	truth := Linear{A: 1, B: 0.03} // disk growth: ~30 MB per cache
+	xs := linspace(1, 600, 120)
+	ys := make([]float64, len(xs))
+	for i := range xs {
+		ys[i] = truth.Eval(xs[i]) + rng.NormFloat64()*0.05
+	}
+	c, err := (LinearFitter{}).Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := RMSE(c, xs, ys); r > 0.1 {
+		t.Fatalf("noisy linear RMSE %g", r)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if _, err := (LinearFitter{}).Fit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point must fail")
+	}
+	if _, err := (LinearFitter{}).Fit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x must fail (singular)")
+	}
+	if _, err := (HoerlFitter{}).Fit([]float64{-1, -2, -3}, []float64{1, 2, 3}); err == nil {
+		t.Error("negative domain must fail for hoerl")
+	}
+	if _, err := (MMFFitter{}).Fit([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("too few points must fail for mmf")
+	}
+}
+
+func TestTrainHalfProtocol(t *testing.T) {
+	// Saturating data: MMF must win over linear and Hoerl, as it does for
+	// memory consumption in Table 4.
+	truth := MMF{A: 5, B: 200, C: 85, D: 1.1}
+	xs := linspace(1, 600, 100)
+	ys := apply(truth, xs)
+	cands := TrainHalf(DefaultFitters(), xs, ys)
+	name, best, err := SelectBest(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "mmf" {
+		t.Fatalf("winner %s (RMSE %g), want mmf; candidates: lin=%g hoerl=%g mmf=%g",
+			name, best.RMSE, cands["linear"].RMSE, cands["hoerl"].RMSE, cands["mmf"].RMSE)
+	}
+	// Linear data: linear must win, as it does for disk in Table 3.
+	lt := Linear{A: 0.5, B: 0.03}
+	lys := apply(lt, xs)
+	name, _, err = SelectBest(TrainHalf(DefaultFitters(), xs, lys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "linear" {
+		t.Fatalf("winner %s, want linear", name)
+	}
+}
+
+func TestSelectBestAllFailed(t *testing.T) {
+	cands := map[string]Candidate{"x": {Err: ErrTooFewPoints}}
+	if _, _, err := SelectBest(cands); err == nil {
+		t.Fatal("all-failed selection must error")
+	}
+}
+
+func TestMMFSaturation(t *testing.T) {
+	m := MMF{A: 2, B: 100, C: 80, D: 1.2}
+	if y := m.Eval(0); math.Abs(y-2) > 1e-9 {
+		t.Fatalf("MMF(0) = %g, want a = 2", y)
+	}
+	if y := m.Eval(1e9); math.Abs(y-80) > 0.1 {
+		t.Fatalf("MMF(∞) = %g, want c = 80", y)
+	}
+}
+
+func TestExtrapolationSanity(t *testing.T) {
+	// Linear fit on the full data then evaluated beyond the training
+	// range must keep growing linearly (Fig 15's protocol).
+	xs := linspace(1, 600, 50)
+	truth := Linear{A: 1, B: 0.028}
+	c, _ := (LinearFitter{}).Fit(xs, apply(truth, xs))
+	at3000 := c.Eval(3000)
+	want := truth.Eval(3000)
+	if math.Abs(at3000-want) > 1e-6 {
+		t.Fatalf("extrapolation %g want %g", at3000, want)
+	}
+}

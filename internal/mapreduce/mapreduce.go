@@ -1,0 +1,88 @@
+// Package mapreduce is a small generic parallel map-reduce engine over
+// goroutines. It fills the role Hadoop plays in the paper's methodology:
+// the block-level analyses behind Figs 2, 3, 4, and 12 are embarrassingly
+// parallel jobs over (image × block-size) work items.
+package mapreduce
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Map applies fn to every item using at most workers goroutines and
+// returns the results in input order. The first error cancels remaining
+// work and is returned. workers <= 0 selects GOMAXPROCS.
+func Map[T, R any](items []T, workers int, fn func(T) (R, error)) ([]R, error) {
+	return MapCtx(context.Background(), items, workers, func(_ context.Context, t T) (R, error) {
+		return fn(t)
+	})
+}
+
+// MapCtx is Map with context cancellation: fn should return promptly when
+// ctx is done.
+func MapCtx[T, R any](ctx context.Context, items []T, workers int, fn func(context.Context, T) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type job struct{ idx int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // drain
+				}
+				r, err := fn(ctx, items[j.idx])
+				if err != nil {
+					fail(err)
+					continue
+				}
+				results[j.idx] = r
+			}
+		}()
+	}
+	for i := range items {
+		jobs <- job{idx: i}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// Reduce folds results sequentially: acc = fn(acc, r) over rs.
+func Reduce[R, A any](rs []R, init A, fn func(A, R) A) A {
+	acc := init
+	for _, r := range rs {
+		acc = fn(acc, r)
+	}
+	return acc
+}

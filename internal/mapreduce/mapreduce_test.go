@@ -1,0 +1,97 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapOrder(t *testing.T) {
+	in := make([]int, 100)
+	for i := range in {
+		in[i] = i
+	}
+	out, err := Map(in, 8, func(x int) (int, error) { return x * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map([]int{}, 4, func(x int) (int, error) { return x, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v %v", out, err)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	in := make([]int, 50)
+	_, err := Map(in, 4, func(x int) (int, error) {
+		if x == 0 {
+			return 0, boom
+		}
+		return x, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestMapCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	in := make([]int, 1000)
+	_, _ = MapCtx(ctx, in, 2, func(ctx context.Context, x int) (int, error) {
+		ran.Add(1)
+		return x, nil
+	})
+	// Most work should have been skipped after cancellation (drain path);
+	// allow a small margin for in-flight items.
+	if ran.Load() > 100 {
+		t.Fatalf("cancelled map still ran %d items", ran.Load())
+	}
+}
+
+func TestMapWorkersClamped(t *testing.T) {
+	// workers > len(items) and workers <= 0 must both work.
+	for _, w := range []int{-1, 0, 1, 1000} {
+		out, err := Map([]int{1, 2, 3}, w, func(x int) (int, error) { return x + 1, nil })
+		if err != nil || len(out) != 3 || out[2] != 4 {
+			t.Fatalf("workers=%d: %v %v", w, out, err)
+		}
+	}
+}
+
+func TestMapMatchesSequentialQuick(t *testing.T) {
+	f := func(in []int64) bool {
+		out, err := Map(in, 4, func(x int64) (int64, error) { return x * 3, nil })
+		if err != nil {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i]*3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	sum := Reduce([]int{1, 2, 3, 4}, 10, func(a, r int) int { return a + r })
+	if sum != 20 {
+		t.Fatalf("sum %d", sum)
+	}
+}

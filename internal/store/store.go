@@ -1,0 +1,126 @@
+// Package store models the physical block store underneath a cVolume: a
+// flat disk address space in which compressed block payloads are allocated
+// sequentially, freed, and reused.
+//
+// Keeping real byte addresses (instead of opaque IDs) matters for the
+// paper's Fig 11: after deduplication, logically adjacent blocks of one
+// image end up physically scattered because their single stored copies
+// were allocated whenever the *first* writer of each block arrived. The
+// boot simulator derives seek behaviour directly from these addresses.
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Store is a thread-safe virtual disk. Payloads are stored by address;
+// allocation is append-first with first-fit reuse of freed extents.
+type Store struct {
+	mu     sync.RWMutex
+	blocks map[uint64][]byte
+	next   uint64   // bump allocation pointer (bytes)
+	free   []extent // freed extents eligible for reuse, address-ordered
+
+	allocs int64
+	frees  int64
+}
+
+type extent struct {
+	addr uint64
+	size int64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{blocks: make(map[uint64][]byte)}
+}
+
+// Alloc stores a copy of payload and returns its disk address. Freed
+// extents are reused when the payload fits (first fit); otherwise the
+// payload is appended at the end of the used address space, which models
+// the mostly-append behaviour of a filling volume.
+func (s *Store) Alloc(payload []byte) uint64 {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.allocs++
+	need := int64(len(cp))
+	if need == 0 {
+		need = 1 // empty payloads still occupy a unique address
+	}
+	for i, e := range s.free {
+		if e.size >= need {
+			addr := e.addr
+			if e.size == need {
+				s.free = append(s.free[:i], s.free[i+1:]...)
+			} else {
+				s.free[i] = extent{addr: e.addr + uint64(need), size: e.size - need}
+			}
+			s.blocks[addr] = cp
+			return addr
+		}
+	}
+	addr := s.next
+	s.next += uint64(need)
+	s.blocks[addr] = cp
+	return addr
+}
+
+// Read returns the payload at addr. The returned slice must not be
+// modified by the caller.
+func (s *Store) Read(addr uint64) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.blocks[addr]
+	if !ok {
+		return nil, fmt.Errorf("store: read of unallocated address %d", addr)
+	}
+	return b, nil
+}
+
+// Free releases the payload at addr, making its extent reusable.
+func (s *Store) Free(addr uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blocks[addr]
+	if !ok {
+		return fmt.Errorf("store: free of unallocated address %d", addr)
+	}
+	delete(s.blocks, addr)
+	size := int64(len(b))
+	if size == 0 {
+		size = 1
+	}
+	s.free = append(s.free, extent{addr: addr, size: size})
+	s.frees++
+	return nil
+}
+
+// Stats describes the store's occupancy.
+type Stats struct {
+	Blocks     int64 // live payload count
+	UsedBytes  int64 // Σ live payload sizes
+	SpanBytes  int64 // high-water address (allocated span, incl. holes)
+	Allocs     int64
+	Frees      int64
+	FreeChunks int64 // fragmentation indicator
+}
+
+// Stats returns current occupancy numbers. O(blocks).
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Blocks:     int64(len(s.blocks)),
+		SpanBytes:  int64(s.next),
+		Allocs:     s.allocs,
+		Frees:      s.frees,
+		FreeChunks: int64(len(s.free)),
+	}
+	for _, b := range s.blocks {
+		st.UsedBytes += int64(len(b))
+	}
+	return st
+}

@@ -1,0 +1,187 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocReadFree(t *testing.T) {
+	s := New()
+	a := s.Alloc([]byte("hello"))
+	b := s.Alloc([]byte("world!"))
+	if a == b {
+		t.Fatal("addresses must be unique")
+	}
+	got, err := s.Read(a)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read a: %q %v", got, err)
+	}
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(a); err == nil {
+		t.Fatal("read after free must fail")
+	}
+	if err := s.Free(a); err == nil {
+		t.Fatal("double free must fail")
+	}
+	got, _ = s.Read(b)
+	if string(got) != "world!" {
+		t.Fatal("neighbour payload corrupted")
+	}
+}
+
+func TestAllocCopies(t *testing.T) {
+	s := New()
+	buf := []byte("mutable")
+	a := s.Alloc(buf)
+	buf[0] = 'X'
+	got, _ := s.Read(a)
+	if string(got) != "mutable" {
+		t.Fatal("store must copy payloads")
+	}
+}
+
+func TestReuseFreedExtent(t *testing.T) {
+	s := New()
+	a := s.Alloc(make([]byte, 100))
+	s.Alloc(make([]byte, 50))
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Alloc(make([]byte, 80)) // fits in the freed 100-byte extent
+	if c != a {
+		t.Fatalf("expected reuse of freed extent at %d, got %d", a, c)
+	}
+	// The remainder of the extent should be reusable too.
+	d := s.Alloc(make([]byte, 20))
+	if d != a+80 {
+		t.Fatalf("expected remainder at %d, got %d", a+80, d)
+	}
+}
+
+func TestEmptyPayloadAddressesUnique(t *testing.T) {
+	s := New()
+	a := s.Alloc(nil)
+	b := s.Alloc(nil)
+	if a == b {
+		t.Fatal("empty payloads must still get distinct addresses")
+	}
+}
+
+func TestSequentialPlacement(t *testing.T) {
+	// Fresh stores allocate sequentially: the n-th payload begins where
+	// the previous one ended. The boot simulator depends on this.
+	s := New()
+	var want uint64
+	for i := 0; i < 20; i++ {
+		p := make([]byte, 10+i)
+		addr := s.Alloc(p)
+		if addr != want {
+			t.Fatalf("alloc %d at %d, want %d", i, addr, want)
+		}
+		want += uint64(len(p))
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New()
+	s.Alloc(make([]byte, 100))
+	a := s.Alloc(make([]byte, 40))
+	s.Free(a)
+	st := s.Stats()
+	if st.Blocks != 1 || st.UsedBytes != 100 {
+		t.Fatalf("blocks=%d used=%d", st.Blocks, st.UsedBytes)
+	}
+	if st.SpanBytes != 140 {
+		t.Fatalf("span=%d want 140", st.SpanBytes)
+	}
+	if st.Allocs != 2 || st.Frees != 1 || st.FreeChunks != 1 {
+		t.Fatalf("counters wrong: %+v", st)
+	}
+}
+
+func TestAllocFreeQuick(t *testing.T) {
+	// Property: after arbitrary alloc/free interleavings, every live
+	// payload reads back intact and accounting matches a shadow model.
+	f := func(ops []uint16) bool {
+		s := New()
+		live := map[uint64][]byte{}
+		var order []uint64
+		rng := rand.New(rand.NewSource(1))
+		for _, op := range ops {
+			if op%3 != 0 || len(order) == 0 {
+				p := make([]byte, op%512)
+				rng.Read(p)
+				addr := s.Alloc(p)
+				if _, clash := live[addr]; clash {
+					return false
+				}
+				live[addr] = append([]byte(nil), p...)
+				order = append(order, addr)
+			} else {
+				i := int(op) % len(order)
+				addr := order[i]
+				order = append(order[:i], order[i+1:]...)
+				if s.Free(addr) != nil {
+					return false
+				}
+				delete(live, addr)
+			}
+		}
+		var used int64
+		for addr, want := range live {
+			got, err := s.Read(addr)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+			used += int64(len(want))
+		}
+		st := s.Stats()
+		return st.Blocks == int64(len(live)) && st.UsedBytes == used
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAlloc(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	addrs := make([][]uint64, 8)
+	for g := range addrs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				addrs[g] = append(addrs[g], s.Alloc([]byte{byte(g), byte(i)}))
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for g, as := range addrs {
+		for i, a := range as {
+			if seen[a] {
+				t.Fatal("duplicate address across goroutines")
+			}
+			seen[a] = true
+			got, err := s.Read(a)
+			if err != nil || got[0] != byte(g) || got[1] != byte(i) {
+				t.Fatalf("payload mismatch at %d", a)
+			}
+		}
+	}
+}
+
+func BenchmarkAlloc4K(b *testing.B) {
+	s := New()
+	p := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		s.Alloc(p)
+	}
+}

@@ -1,0 +1,213 @@
+package zvol
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stream is an incremental (or full) snapshot send stream, the unit
+// Squirrel multicasts from the scVolume to all ccVolumes when a VMI is
+// registered (§3.2). A stream carries the object-table delta between two
+// snapshots plus the payloads of blocks born in that interval; blocks the
+// receiver already holds are referenced by hash only, so a new VMI cache
+// with high cross-similarity produces an O(10 MB) diff even when the cache
+// itself is O(100 MB) (§5.3).
+type Stream struct {
+	FromSnap string // "" for a full stream
+	ToSnap   string
+	Created  time.Time
+
+	// Upserts are objects added (Squirrel caches are immutable, so changes
+	// only ever add or remove whole objects).
+	Upserts []StreamObject
+	// Deletes are object names present in FromSnap but not in ToSnap.
+	Deletes []string
+	// Blocks carries raw (uncompressed) payloads of new-born blocks keyed
+	// implicitly by their position; object records reference them by
+	// index. Hash-only references (negative index) denote blocks the
+	// receiver is assumed to hold already.
+	Blocks [][]byte
+}
+
+// StreamObject describes one object in a stream: for each logical block
+// either an index into Stream.Blocks (payload shipped) or -1 with a hash
+// the receiver must already know, or a hole.
+type StreamObject struct {
+	Name string
+	Size int64
+	Ptrs []StreamPtr
+}
+
+// StreamPtr is one logical block reference within a StreamObject.
+type StreamPtr struct {
+	Zero    bool
+	LogLen  int32
+	Payload int // index into Stream.Blocks, or -1
+	Hash    [32]byte
+}
+
+// SizeBytes returns the on-wire size of the stream: shipped payloads plus
+// a small fixed header per object and per pointer. This is the number
+// Squirrel's network accounting charges for registration propagation.
+func (st *Stream) SizeBytes() int64 {
+	var n int64 = 64 // stream header
+	for _, b := range st.Blocks {
+		n += int64(len(b))
+	}
+	for _, o := range st.Upserts {
+		n += 64 + int64(len(o.Name)) + int64(len(o.Ptrs))*40
+	}
+	for _, d := range st.Deletes {
+		n += int64(len(d)) + 8
+	}
+	return n
+}
+
+// Send produces a stream that transforms a replica holding fromSnap into
+// one holding toSnap. fromSnap may be "" for a full stream (used when a
+// compute node has been offline longer than the GC window and must
+// re-replicate the entire scVolume, §3.5).
+//
+// A block payload is shipped iff its hash is not referenced anywhere in
+// fromSnap; otherwise the stream carries only the hash. This mirrors ZFS's
+// incremental send, which ships blocks born after the origin snapshot.
+func (v *Volume) Send(fromSnap, toSnap string) (*Stream, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	to := v.findSnapLocked(toSnap)
+	if to == nil {
+		return nil, fmt.Errorf("%w: snapshot %s", ErrNotFound, toSnap)
+	}
+	var fromObjs map[string]*Object
+	known := map[[32]byte]bool{}
+	if fromSnap != "" {
+		from := v.findSnapLocked(fromSnap)
+		if from == nil {
+			return nil, fmt.Errorf("%w: %s", ErrNotAncestor, fromSnap)
+		}
+		fromObjs = from.objects
+		for _, o := range from.objects {
+			for _, p := range o.ptrs {
+				if !p.zero {
+					known[p.hash] = true
+				}
+			}
+		}
+	}
+	st := &Stream{FromSnap: fromSnap, ToSnap: toSnap, Created: to.Created}
+	shipped := map[[32]byte]int{} // hash → index in st.Blocks
+	for name, obj := range to.objects {
+		if fromObjs != nil {
+			if _, unchanged := fromObjs[name]; unchanged {
+				// Objects are immutable; same name ⇒ same content.
+				continue
+			}
+		}
+		so := StreamObject{Name: name, Size: obj.Size, Ptrs: make([]StreamPtr, 0, len(obj.ptrs))}
+		for _, p := range obj.ptrs {
+			sp := StreamPtr{Zero: p.zero, LogLen: p.logLen, Payload: -1}
+			if !p.zero {
+				sp.Hash = p.hash
+				if idx, dup := shipped[p.hash]; dup {
+					sp.Payload = idx
+				} else if !known[p.hash] {
+					data, err := v.readBlockPtr(p)
+					if err != nil {
+						return nil, fmt.Errorf("zvol: send %s: %w", name, err)
+					}
+					cp := make([]byte, len(data))
+					copy(cp, data)
+					st.Blocks = append(st.Blocks, cp)
+					idx := len(st.Blocks) - 1
+					shipped[p.hash] = idx
+					sp.Payload = idx
+				}
+			}
+			so.Ptrs = append(so.Ptrs, sp)
+		}
+		st.Upserts = append(st.Upserts, so)
+	}
+	for name := range fromObjs {
+		if _, still := to.objects[name]; !still {
+			st.Deletes = append(st.Deletes, name)
+		}
+	}
+	return st, nil
+}
+
+// Receive applies a stream, creating snapshot st.ToSnap on this volume.
+// For an incremental stream the volume must already hold st.FromSnap.
+// Hash-only references are resolved through the local DDT; a missing hash
+// means the stream does not match this replica's state and the receive is
+// rejected before any modification ("dry-run" pass first).
+func (v *Volume) Receive(st *Stream) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if st.FromSnap != "" && v.findSnapLocked(st.FromSnap) == nil {
+		return fmt.Errorf("%w: %s", ErrNotAncestor, st.FromSnap)
+	}
+	if v.findSnapLocked(st.ToSnap) != nil {
+		return fmt.Errorf("%w: %s", ErrSnapExists, st.ToSnap)
+	}
+	if !v.cfg.Dedup {
+		return fmt.Errorf("zvol: receive requires a dedup volume")
+	}
+	// Pass 1: verify all hash-only references resolve locally.
+	for _, so := range st.Upserts {
+		for _, sp := range so.Ptrs {
+			if sp.Zero || sp.Payload >= 0 {
+				continue
+			}
+			if v.ddt.Lookup(sp.Hash) == nil {
+				return fmt.Errorf("zvol: receive %s: unknown block %x", so.Name, sp.Hash[:8])
+			}
+		}
+	}
+	// Pass 2: apply deletes, then upserts.
+	for _, name := range st.Deletes {
+		if obj, ok := v.objects[name]; ok {
+			delete(v.objects, name)
+			v.releasePtrsLocked(obj.ptrs)
+		}
+	}
+	for _, so := range st.Upserts {
+		if old, ok := v.objects[so.Name]; ok {
+			// Replace: release the old object first (idempotent receive).
+			delete(v.objects, so.Name)
+			v.releasePtrsLocked(old.ptrs)
+		}
+		obj := &Object{Name: so.Name, Size: so.Size, ptrs: make([]blockPtr, 0, len(so.Ptrs))}
+		for _, sp := range so.Ptrs {
+			switch {
+			case sp.Zero:
+				obj.ptrs = append(obj.ptrs, blockPtr{zero: true, logLen: sp.LogLen})
+				v.logicalWritten += int64(sp.LogLen)
+				v.zeroBytes += int64(sp.LogLen)
+			case sp.Payload >= 0:
+				if sp.Payload >= len(st.Blocks) {
+					return fmt.Errorf("zvol: receive %s: payload index %d out of range", so.Name, sp.Payload)
+				}
+				obj.ptrs = append(obj.ptrs, v.writeBlock(st.Blocks[sp.Payload]))
+				v.logicalWritten += int64(sp.LogLen)
+			default:
+				e := v.ddt.Lookup(sp.Hash)
+				if e == nil {
+					return fmt.Errorf("zvol: receive %s: block %x vanished", so.Name, sp.Hash[:8])
+				}
+				v.ddt.AddRef(sp.Hash)
+				obj.ptrs = append(obj.ptrs, blockPtr{hash: sp.Hash, addr: e.Addr,
+					physLen: e.PhysLen, logLen: sp.LogLen, compressed: e.Compressed})
+				v.logicalWritten += int64(sp.LogLen)
+			}
+		}
+		v.objects[so.Name] = obj
+	}
+	// Finally, snapshot the resulting state under the stream's name.
+	objs := make(map[string]*Object, len(v.objects))
+	for n, o := range v.objects {
+		objs[n] = o
+		v.addRefsLocked(o.ptrs)
+	}
+	v.snaps = append(v.snaps, &Snapshot{Name: st.ToSnap, Created: st.Created, objects: objs})
+	return nil
+}
