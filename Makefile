@@ -1,0 +1,30 @@
+# Tier-1 verification is `make check`: build, vet, plain tests, and the
+# race detector over the whole module (the chaos tests are written to be
+# race-detector-clean).
+
+GO ?= go
+
+.PHONY: check build vet test race examples
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Smoke-run every example scenario (each asserts its own invariants and
+# exits nonzero on failure).
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/noderecovery
+	$(GO) run ./examples/multitenant
+	$(GO) run ./examples/autoscale
+	$(GO) run ./examples/chaos

@@ -1,0 +1,142 @@
+// Chaos: registration under fire.
+//
+// The paper's offline-propagation design (§3.5) exists because multicast
+// registration (§3.2) is lossy and compute nodes crash. This scenario
+// registers a stream of VMIs into a 16-node fleet while a seeded fault
+// plan drops, truncates, and corrupts the propagation streams and
+// crashes two nodes mid-transfer. Registrations never fail on
+// replica-side faults: missed replicas are repaired over unicast with
+// exponential backoff (NACK-style reliable multicast); replicas past the
+// retry budget go lagging and are healed by SyncNode on their next boot.
+// At the end, every node must hold the latest scVolume snapshot and boot
+// every image warm — byte-verified.
+//
+// The run is reproducible: every fault decision is a pure function of
+// the plan seed (change -seed semantics by editing plan.Seed below).
+//
+// Run with: go run ./examples/chaos
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/fault"
+)
+
+func main() {
+	plan := fault.Plan{
+		Seed:       20140623, // the paper's HPDC publication date
+		Drop:       0.25,     // ≥20% multicast loss
+		Truncate:   0.08,
+		Corrupt:    0.15,
+		Crash:      0.05,
+		MaxCrashes: 2,
+	}
+	inj, err := fault.New(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repo, err := corpus.New(corpus.TestSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.GigE, 4, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pfs, err := cluster.NewPFS(cl, 2, 2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.ClusterSize = 4096
+	cfg.Volume.BlockSize = 4096
+	cfg.Faults = inj
+	sq, err := core.New(cfg, cl, pfs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t0 := time.Date(2014, 6, 23, 0, 0, 0, 0, time.UTC)
+	fmt.Printf("fault plan: seed=%d drop=%.0f%% truncate=%.0f%% corrupt=%.0f%% crash=%.0f%% (budget %d)\n\n",
+		plan.Seed, plan.Drop*100, plan.Truncate*100, plan.Corrupt*100, plan.Crash*100, plan.MaxCrashes)
+
+	const regs = 12
+	for i := 0; i < regs; i++ {
+		im := repo.Images[i]
+		rep, err := sq.Register(im, t0.Add(time.Duration(i)*time.Hour))
+		if err != nil {
+			log.Fatalf("registration %s: %v", im.ID, err)
+		}
+		line := fmt.Sprintf("register %-28s → %2d/16 synced", im.ID, rep.Nodes)
+		if rep.Faults > 0 {
+			line += fmt.Sprintf(", %2d faults, %d retries, %6d repair B",
+				rep.Faults, rep.Retries, rep.RepairBytes)
+		}
+		for _, id := range rep.Crashed {
+			line += fmt.Sprintf("  [%s CRASHED]", id)
+		}
+		for _, id := range rep.Lagging {
+			line += fmt.Sprintf("  [%s lagging]", id)
+		}
+		fmt.Println(line)
+	}
+
+	ds := sq.Stats()
+	fmt.Printf("\nafter the storm: %d online, %d lagging of %d nodes\n",
+		ds.OnlineNodes, ds.LaggingNodes, ds.ComputeNodes)
+
+	// Restart crashed nodes; the first boot on each node heals lagging
+	// replicas through SyncNode (§3.5) before serving the VM.
+	for _, n := range cl.Compute {
+		if err := sq.SetOnline(n.ID, true); err != nil {
+			log.Fatal(err)
+		}
+	}
+	healed := 0
+	want := sq.SCVolume().LatestSnapshot().Name
+	latest := repo.Images[regs-1]
+	for _, n := range cl.Compute {
+		br, err := sq.Boot(latest.ID, n.ID, true)
+		if err != nil {
+			log.Fatalf("boot on %s: %v", n.ID, err)
+		}
+		if br.Healed {
+			healed++
+		}
+		ccv, err := sq.CCVolume(n.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap := ccv.LatestSnapshot()
+		if snap == nil || snap.Name != want {
+			log.Fatalf("%s did not converge to %s", n.ID, want)
+		}
+		if !br.Warm {
+			log.Fatalf("%s failed to boot warm after healing", n.ID)
+		}
+	}
+	fmt.Printf("recovery: %d nodes healed on first boot; all 16 converged to %s\n", healed, want)
+
+	// Full verification sweep: every image boots warm and byte-exact on
+	// every node.
+	warm := 0
+	for _, n := range cl.Compute {
+		for _, id := range sq.Registered() {
+			br, err := sq.Boot(id, n.ID, true)
+			if err != nil {
+				log.Fatalf("verify boot %s on %s: %v", id, n.ID, err)
+			}
+			if br.Warm {
+				warm++
+			}
+		}
+	}
+	fmt.Printf("verification: %d/%d boots warm and byte-exact\n\n", warm, 16*regs)
+	fmt.Printf("chaos accounting:\n%s", inj.Counters())
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"io"
+	"sync"
 )
 
 // PFS is the gluster-like parallel file system the paper runs on its
@@ -16,6 +17,7 @@ type PFS struct {
 	replicas   int   // copies per stripe
 	stripeUnit int64 // bytes per stripe chunk
 
+	mu    sync.RWMutex
 	files map[string]*pfsFile
 }
 
@@ -54,6 +56,8 @@ func NewPFS(c *Cluster, stripes, replicas int, stripeUnit int64) (*PFS, error) {
 // AddFile registers a file with the given size and a content function
 // (for VMIs, a corpus generator; tests use synthetic fills).
 func (p *PFS) AddFile(name string, size int64, read func(b []byte, off int64) (int, error)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if _, dup := p.files[name]; dup {
 		return fmt.Errorf("cluster: pfs file %s exists", name)
 	}
@@ -63,7 +67,9 @@ func (p *PFS) AddFile(name string, size int64, read func(b []byte, off int64) (i
 
 // Size returns a file's size.
 func (p *PFS) Size(name string) (int64, error) {
+	p.mu.RLock()
 	f, ok := p.files[name]
+	p.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("cluster: pfs file %s not found", name)
 	}
@@ -94,7 +100,9 @@ func (p *PFS) serverFor(name string, chunk int64) *Node {
 // ReadAt serves a read issued by compute node client, accounting NIC
 // traffic on both ends. Returns bytes read.
 func (p *PFS) ReadAt(client *Node, name string, buf []byte, off int64) (int, error) {
+	p.mu.RLock()
 	f, ok := p.files[name]
+	p.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("cluster: pfs file %s not found", name)
 	}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"repro/internal/fault"
+)
+
+// Delivery is the per-destination outcome of a one-to-many stream
+// transfer. Wire holds the bytes as the destination received them: the
+// original slice when the transfer was clean, a mutated copy under
+// Truncate/Corrupt, nil under Drop/Crash.
+type Delivery struct {
+	Node  *Node
+	Wire  []byte
+	Fault fault.Kind
+}
+
+// OK reports whether the destination received the stream intact.
+func (d Delivery) OK() bool { return d.Fault == fault.None }
+
+// deliveries applies the injector to each destination and accounts the
+// bytes that actually arrived on its NIC. A nil injector is a perfect
+// network.
+func deliveries(op string, dsts []*Node, wire []byte, inj *fault.Injector) []Delivery {
+	out := make([]Delivery, len(dsts))
+	for i, d := range dsts {
+		kind, got := inj.Strike(op, d.ID, 0, wire)
+		out[i] = Delivery{Node: d, Wire: got, Fault: kind}
+		if got != nil {
+			d.Recv(int64(len(got)))
+		}
+	}
+	return out
+}
+
+// MulticastStream is the fault-aware form of Multicast: the source
+// transmits the wire stream once; each destination receives whatever the
+// injector lets through. Returns per-destination deliveries and the
+// fabric transfer duration.
+func (c *Cluster) MulticastStream(op string, src *Node, dsts []*Node, wire []byte, inj *fault.Injector) ([]Delivery, float64) {
+	n := int64(len(wire))
+	src.Send(n)
+	return deliveries(op, dsts, wire, inj), c.Fabric.TransferSec(n)
+}
+
+// UnicastStream is the fault-aware form of UnicastFanout: the source
+// transmits one copy per destination and serializes on its uplink.
+func (c *Cluster) UnicastStream(op string, src *Node, dsts []*Node, wire []byte, inj *fault.Injector) ([]Delivery, float64) {
+	n := int64(len(wire))
+	src.Send(n * int64(len(dsts)))
+	return deliveries(op, dsts, wire, inj), c.Fabric.TransferSec(n * int64(len(dsts)))
+}
+
+// PipelineStream is the fault-aware form of Pipeline: src → d1 → d2 → …
+// A destination that received any bytes (even truncated/corrupted ones)
+// forwards what it got downstream; LANTorrent-style chains re-route
+// around dead members, so a dropped or crashed hop does not starve the
+// rest of the chain — its successors receive the stream from the last
+// healthy predecessor, which is what the per-destination injector draw
+// already models.
+func (c *Cluster) PipelineStream(op string, src *Node, dsts []*Node, wire []byte, inj *fault.Injector) ([]Delivery, float64) {
+	src.Send(int64(len(wire)))
+	out := deliveries(op, dsts, wire, inj)
+	for i, d := range out {
+		if i < len(out)-1 && d.Wire != nil {
+			d.Node.Send(int64(len(d.Wire)))
+		}
+	}
+	return out, c.Fabric.TransferSec(int64(len(wire)))
+}
+
+// Unicast moves n bytes point-to-point from src to dst — the NACK-style
+// repair channel the registration path falls back to when a replica
+// missed the one-to-many stream.
+func (c *Cluster) Unicast(src, dst *Node, n int64) float64 {
+	src.Send(n)
+	dst.Recv(n)
+	return c.Fabric.TransferSec(n)
+}

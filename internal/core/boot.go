@@ -17,6 +17,7 @@ type BootReport struct {
 	ImageID      string
 	NodeID       string
 	Warm         bool  // served entirely from the local ccVolume
+	Healed       bool  // node was lagging and auto-synced before the boot
 	NetworkBytes int64 // bytes this boot pulled over the network
 	CacheBytes   int64 // bytes served from the local cache
 	ReadBytes    int64 // total bytes the VM read during boot
@@ -30,19 +31,36 @@ type BootReport struct {
 //
 // verify additionally checks each read against the image's true content —
 // the end-to-end correctness check for the whole chain.
+//
+// Booting on a lagging node (one that exhausted its registration repair
+// budget, or crashed mid-transfer and came back) first heals it through
+// the SyncNode path (§3.5), then boots warm from the repaired replica.
 func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
+	s.mu.Lock()
 	im, ok := s.images[id]
 	if !ok {
+		s.mu.Unlock()
 		return BootReport{}, fmt.Errorf("%w: %s", ErrNotRegistered, id)
 	}
 	node, err := s.computeNode(nodeID)
 	if err != nil {
+		s.mu.Unlock()
 		return BootReport{}, err
 	}
 	if !s.online[nodeID] {
+		s.mu.Unlock()
 		return BootReport{}, fmt.Errorf("%w: %s", ErrNodeOffline, nodeID)
 	}
+	healed := false
+	if s.lagging[nodeID] {
+		if _, err := s.syncNodeLocked(nodeID); err != nil {
+			s.mu.Unlock()
+			return BootReport{}, fmt.Errorf("core: healing lagging node %s: %w", nodeID, err)
+		}
+		healed = true
+	}
 	ccv := s.cc[nodeID]
+	s.mu.Unlock()
 
 	cb, err := newChainBackend(s, im, ccv, node)
 	if err != nil {
@@ -53,7 +71,7 @@ func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
 		return BootReport{}, err
 	}
 
-	rep := BootReport{ImageID: id, NodeID: nodeID}
+	rep := BootReport{ImageID: id, NodeID: nodeID, Healed: healed}
 	var gen *corpus.Generator
 	if verify {
 		gen = corpus.NewGenerator(im)
@@ -89,17 +107,22 @@ func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
 // paper's "without caches" baseline in Fig 18 — every boot pulls its
 // working set (rounded to clusters) over the data-center network.
 func (s *Squirrel) BootWithoutCache(id, nodeID string) (BootReport, error) {
+	s.mu.Lock()
 	im, ok := s.images[id]
 	if !ok {
+		s.mu.Unlock()
 		return BootReport{}, fmt.Errorf("%w: %s", ErrNotRegistered, id)
 	}
 	node, err := s.computeNode(nodeID)
 	if err != nil {
+		s.mu.Unlock()
 		return BootReport{}, err
 	}
 	if !s.online[nodeID] {
+		s.mu.Unlock()
 		return BootReport{}, fmt.Errorf("%w: %s", ErrNodeOffline, nodeID)
 	}
+	s.mu.Unlock()
 	cb, err := newChainBackend(s, im, nil, node)
 	if err != nil {
 		return BootReport{}, err

@@ -10,10 +10,16 @@
 //	Register    first-boot the new VMI on a storage node to capture its
 //	            boot working set, store the cache in the scVolume, take a
 //	            snapshot, and multicast the incremental snapshot diff to
-//	            every online compute node (§3.2, Fig 6).
+//	            every online compute node (§3.2, Fig 6). Replica-side
+//	            transfer failures never fail the registration: failed
+//	            replicas are retried over unicast with bounded exponential
+//	            backoff (NACK-style reliable multicast), and past the
+//	            retry budget the node is marked lagging for offline
+//	            propagation to heal.
 //	Boot        chain CoW → ccVolume cache → base VMI for a VM start on a
 //	            compute node (§3.3, Fig 7); with a warm replica the boot
-//	            performs zero network I/O.
+//	            performs zero network I/O. Landing on a lagging node first
+//	            heals it through SyncNode.
 //	Deregister  drop the VMI and its cache from the scVolume; the removal
 //	            reaches ccVolumes with the next snapshot (§3.4).
 //	GarbageCollect  daily cron job destroying snapshots outside the
@@ -21,17 +27,21 @@
 //	SyncNode    offline propagation for nodes that missed registrations:
 //	            incremental catch-up when their latest snapshot is still
 //	            retained, full re-replication otherwise (§3.5).
+//
+// All operations are safe for concurrent use.
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
-	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/corpus"
+	"repro/internal/fault"
 	"repro/internal/qcow"
 	"repro/internal/zvol"
 )
@@ -48,6 +58,29 @@ type Config struct {
 	ClusterSize int64
 	// Propagation selects the one-to-many diff transfer scheme.
 	Propagation Propagation
+	// Faults optionally injects transfer faults into propagation and
+	// repair (chaos testing, §3.5's motivation). nil is a perfect network.
+	Faults *fault.Injector
+	// Repair bounds the NACK-style unicast retry loop for replicas that
+	// missed or rejected a registration stream.
+	Repair RepairPolicy
+}
+
+// RepairPolicy bounds per-replica registration repair.
+type RepairPolicy struct {
+	// MaxAttempts is the unicast retry budget per replica per
+	// registration; once spent the node is marked lagging.
+	MaxAttempts int
+	// Backoff is the base of the exponential backoff between attempts.
+	// Backoff time is simulated (accounted in reports, never slept) so
+	// chaos runs stay deterministic and fast.
+	Backoff time.Duration
+}
+
+// DefaultRepairPolicy mirrors reliable-multicast practice: a few NACK
+// retries starting at 50 ms.
+func DefaultRepairPolicy() RepairPolicy {
+	return RepairPolicy{MaxAttempts: 3, Backoff: 50 * time.Millisecond}
 }
 
 // Propagation is the transfer scheme for registration diffs.
@@ -67,6 +100,7 @@ func DefaultConfig() Config {
 		RetentionDays: 7,
 		ClusterSize:   qcow.DefaultClusterSize,
 		Propagation:   Multicast,
+		Repair:        DefaultRepairPolicy(),
 	}
 }
 
@@ -76,11 +110,16 @@ type Squirrel struct {
 	cl  *cluster.Cluster
 	pfs *cluster.PFS
 
-	sc     *zvol.Volume            // scVolume (storage nodes)
-	cc     map[string]*zvol.Volume // ccVolume per compute node ID
-	online map[string]bool
+	sc *zvol.Volume // scVolume (storage nodes); internally locked
 
-	images  map[string]*corpus.Image // registered VMIs by ID
+	// mu guards the mutable deployment state below. Register and SyncNode
+	// serialize under it; Boot drops it before replaying the trace so
+	// boots run concurrently.
+	mu      sync.Mutex
+	cc      map[string]*zvol.Volume // ccVolume per compute node ID
+	online  map[string]bool
+	lagging map[string]bool // exhausted repair budget; heal via SyncNode
+	images  map[string]*corpus.Image
 	snapSeq int
 }
 
@@ -100,13 +139,14 @@ func New(cfg Config, cl *cluster.Cluster, pfs *cluster.PFS) (*Squirrel, error) {
 		return nil, err
 	}
 	s := &Squirrel{
-		cfg:    cfg,
-		cl:     cl,
-		pfs:    pfs,
-		sc:     sc,
-		cc:     make(map[string]*zvol.Volume),
-		online: make(map[string]bool),
-		images: make(map[string]*corpus.Image),
+		cfg:     cfg,
+		cl:      cl,
+		pfs:     pfs,
+		sc:      sc,
+		cc:      make(map[string]*zvol.Volume),
+		online:  make(map[string]bool),
+		lagging: make(map[string]bool),
+		images:  make(map[string]*corpus.Image),
 	}
 	for _, n := range cl.Compute {
 		v, err := zvol.New(cfg.Volume)
@@ -124,6 +164,8 @@ func (s *Squirrel) SCVolume() *zvol.Volume { return s.sc }
 
 // CCVolume returns a compute node's cVolume.
 func (s *Squirrel) CCVolume(nodeID string) (*zvol.Volume, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v, ok := s.cc[nodeID]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
@@ -133,7 +175,11 @@ func (s *Squirrel) CCVolume(nodeID string) (*zvol.Volume, error) {
 
 // SetOnline marks a compute node up or down. Offline nodes miss
 // registration diffs and must SyncNode on their next boot (§3.5).
+// Bringing a crashed node back up does not clear its lagging mark; the
+// first boot (or an explicit SyncNode) heals it.
 func (s *Squirrel) SetOnline(nodeID string, up bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.cc[nodeID]; !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
@@ -143,8 +189,23 @@ func (s *Squirrel) SetOnline(nodeID string, up bool) error {
 
 // Registered lists registered image IDs, sorted.
 func (s *Squirrel) Registered() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	ids := make([]string, 0, len(s.images))
 	for id := range s.images {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lagging lists nodes that exhausted their repair budget (or crashed
+// mid-transfer) and await offline propagation, sorted.
+func (s *Squirrel) Lagging() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.lagging))
+	for id := range s.lagging {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
@@ -156,19 +217,49 @@ type RegisterReport struct {
 	ImageID    string
 	Snapshot   string
 	CacheBytes int64   // boot working set captured on the storage node
-	DiffBytes  int64   // incremental stream size actually propagated
-	Nodes      int     // online nodes that received the diff
+	DiffBytes  int64   // incremental wire-stream size actually propagated
+	Nodes      int     // replicas holding the snapshot when Register returns
 	XferSec    float64 // propagation duration on the fabric
+
+	// Fault/repair accounting; all zero on a perfect network.
+	Faults      int      // transfer faults injected against this registration
+	Retries     int      // unicast repair attempts
+	RepairBytes int64    // bytes delivered by unicast repair
+	RepairSec   float64  // simulated repair transfer + backoff time
+	Lagging     []string // replicas left lagging after the retry budget
+	Crashed     []string // replicas that crashed mid-transfer
 }
 
 // Register runs the paper's registration workflow (Fig 6) for a VMI that
-// has been uploaded to the PFS: capture its boot working set by a
-// first boot on a storage node, store it in the scVolume, snapshot, and
+// has been uploaded to the PFS: capture its boot working set by a first
+// boot on a storage node, store it in the scVolume, snapshot, and
 // propagate the snapshot diff to all online compute nodes. at is the
 // registration time (drives snapshot retention).
+//
+// Registration is reliable and degradable: a replica that misses or
+// rejects the one-to-many stream (lossy multicast, corruption, a crash
+// mid-transfer) is repaired over unicast with bounded exponential
+// backoff; a replica that exhausts the budget is marked lagging and
+// healed later by SyncNode. Replica-side faults therefore never surface
+// as a Register error — only storage-side failures do, and those roll
+// back cleanly so the registration can be retried.
 func (s *Squirrel) Register(im *corpus.Image, at time.Time) (RegisterReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.registerLocked(im, at)
+}
+
+func (s *Squirrel) registerLocked(im *corpus.Image, at time.Time) (RegisterReport, error) {
 	if _, dup := s.images[im.ID]; dup {
 		return RegisterReport{}, fmt.Errorf("%w: %s", ErrRegistered, im.ID)
+	}
+	// A previously failed attempt may have left the cache object behind
+	// without registering the image; clear it so the retry does not hit
+	// duplicate-object state.
+	if s.sc.HasObject(im.ID) {
+		if err := s.sc.DeleteObject(im.ID); err != nil {
+			return RegisterReport{}, err
+		}
 	}
 	// Publish the base VMI on the parallel file system if not present
 	// (uploads are the provider's existing mechanism, §3.2).
@@ -190,54 +281,168 @@ func (s *Squirrel) Register(im *corpus.Image, at time.Time) (RegisterReport, err
 	}
 	s.snapSeq++
 	snapName := fmt.Sprintf("cVol@%06d-%s", s.snapSeq, im.ID)
+	// rollback undoes the storage-side half of a failed registration so a
+	// retry starts from clean state instead of duplicate-object errors.
+	rollback := func(snapTaken bool) {
+		if snapTaken {
+			s.sc.DeleteSnapshot(snapName)
+		}
+		s.sc.DeleteObject(im.ID)
+		s.snapSeq--
+	}
 	if _, err := s.sc.Snapshot(snapName, at); err != nil {
+		rollback(false)
 		return RegisterReport{}, err
 	}
 	stream, err := s.sc.Send(prev, snapName)
 	if err != nil {
+		rollback(true)
 		return RegisterReport{}, err
 	}
-	// Account the exact multicast payload: the encoded wire stream.
-	wireSize, err := stream.Encode(io.Discard)
-	if err != nil {
+	// Encode once: the wire stream is both the multicast payload and the
+	// unit fault injection mutates.
+	var wireBuf bytes.Buffer
+	if _, err := stream.Encode(&wireBuf); err != nil {
+		rollback(true)
 		return RegisterReport{}, err
 	}
+	wire := wireBuf.Bytes()
 	rep := RegisterReport{
 		ImageID:    im.ID,
 		Snapshot:   snapName,
 		CacheBytes: obj.Size,
-		DiffBytes:  wireSize,
+		DiffBytes:  int64(len(wire)),
 	}
-	// Propagate to every online node; each replica applies the stream.
+	// Propagate to every online, in-sync node. Lagging nodes are skipped:
+	// they lack the previous snapshot, so the incremental stream cannot
+	// apply — SyncNode will catch them up wholesale instead.
 	var dsts []*cluster.Node
 	for _, n := range s.cl.Compute {
-		if s.online[n.ID] {
+		if s.online[n.ID] && !s.lagging[n.ID] {
 			dsts = append(dsts, n)
 		}
 	}
 	src := s.cl.Storage[0]
+	op := "register:" + snapName
+	var deliv []cluster.Delivery
 	switch s.cfg.Propagation {
 	case UnicastFanout:
-		rep.XferSec = s.cl.UnicastFanout(src, dsts, wireSize)
+		deliv, rep.XferSec = s.cl.UnicastStream(op, src, dsts, wire, s.cfg.Faults)
 	case Pipeline:
-		rep.XferSec = s.cl.Pipeline(src, dsts, wireSize)
+		deliv, rep.XferSec = s.cl.PipelineStream(op, src, dsts, wire, s.cfg.Faults)
 	default:
-		rep.XferSec = s.cl.Multicast(src, dsts, wireSize)
+		deliv, rep.XferSec = s.cl.MulticastStream(op, src, dsts, wire, s.cfg.Faults)
 	}
-	for _, n := range dsts {
-		if err := s.cc[n.ID].Receive(stream); err != nil {
-			return RegisterReport{}, fmt.Errorf("core: replica %s: %w", n.ID, err)
+	for _, dv := range deliv {
+		if !dv.OK() {
+			rep.Faults++
+		}
+		if dv.Fault == fault.Crash {
+			s.crashReplica(dv.Node.ID, &rep)
+			continue
+		}
+		if s.applyDelivery(dv, stream) {
+			rep.Nodes++
+			continue
+		}
+		if s.repairReplica(op, dv.Node, stream, wire, &rep) {
+			rep.Nodes++
+		} else if s.online[dv.Node.ID] {
+			s.lagging[dv.Node.ID] = true
+			rep.Lagging = append(rep.Lagging, dv.Node.ID)
+			s.cfg.Faults.Counters().Add("repair.lagging", 1)
 		}
 	}
-	rep.Nodes = len(dsts)
 	s.images[im.ID] = im
 	return rep, nil
+}
+
+// applyDelivery tries to apply one delivery to its replica: an intact
+// delivery applies the already-decoded stream; a damaged one is decoded
+// from its wire bytes, which the stream CRC and Receive's per-block
+// checksums almost always reject.
+func (s *Squirrel) applyDelivery(dv cluster.Delivery, st *zvol.Stream) bool {
+	rst := st
+	if dv.Fault != fault.None {
+		if len(dv.Wire) == 0 {
+			return false
+		}
+		decoded, err := zvol.DecodeStream(bytes.NewReader(dv.Wire))
+		if err != nil {
+			return false
+		}
+		rst = decoded
+	}
+	return s.cc[dv.Node.ID].Receive(rst) == nil
+}
+
+// crashReplica records a mid-transfer node crash: the node drops offline
+// and is marked lagging so its first boot after recovery heals it.
+func (s *Squirrel) crashReplica(nodeID string, rep *RegisterReport) {
+	s.online[nodeID] = false
+	s.lagging[nodeID] = true
+	rep.Crashed = append(rep.Crashed, nodeID)
+	s.cfg.Faults.Counters().Add("repair.crashed", 1)
+}
+
+// repairReplica retries one failed replica over unicast with bounded
+// exponential backoff — the NACK path of reliable multicast. Backoff is
+// simulated into the report, never slept. Returns true once the replica
+// holds the snapshot; false when the node crashed or the budget ran out.
+func (s *Squirrel) repairReplica(op string, node *cluster.Node, st *zvol.Stream, wire []byte, rep *RegisterReport) bool {
+	ccv := s.cc[node.ID]
+	pol := s.cfg.Repair
+	if pol.MaxAttempts <= 0 {
+		pol.MaxAttempts = DefaultRepairPolicy().MaxAttempts
+	}
+	if pol.Backoff <= 0 {
+		pol.Backoff = DefaultRepairPolicy().Backoff
+	}
+	src := s.cl.Storage[0]
+	backoff := pol.Backoff
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		rep.Retries++
+		rep.RepairSec += backoff.Seconds()
+		backoff *= 2
+		s.cfg.Faults.Counters().Add("repair.retries", 1)
+		kind, got := s.cfg.Faults.Strike(op, node.ID, attempt, wire)
+		if kind != fault.None {
+			rep.Faults++
+		}
+		if kind == fault.Crash {
+			s.crashReplica(node.ID, rep)
+			return false
+		}
+		src.Send(int64(len(wire))) // the source retransmits in full
+		if got == nil {
+			continue // lost entirely; back off and renack
+		}
+		node.Recv(int64(len(got)))
+		rep.RepairBytes += int64(len(got))
+		rep.RepairSec += s.cl.Fabric.TransferSec(int64(len(got)))
+		s.cfg.Faults.Counters().Add("repair.bytes", int64(len(got)))
+		rst := st
+		if kind != fault.None {
+			decoded, err := zvol.DecodeStream(bytes.NewReader(got))
+			if err != nil {
+				continue // truncation/corruption caught by the stream CRC
+			}
+			rst = decoded
+		}
+		if err := ccv.Receive(rst); err != nil {
+			continue
+		}
+		return true
+	}
+	return false
 }
 
 // Deregister removes a VMI: the original image and its scVolume cache are
 // deleted. ccVolumes learn about the removal with the next snapshot
 // (§3.4) — Squirrel deliberately takes no snapshot here.
 func (s *Squirrel) Deregister(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.images[id]; !ok {
 		return fmt.Errorf("%w: %s", ErrNotRegistered, id)
 	}
@@ -252,6 +457,8 @@ func (s *Squirrel) Deregister(id string) error {
 // ccVolumes, keeping snapshots younger than the retention window plus the
 // latest snapshot. Returns the number of snapshots destroyed.
 func (s *Squirrel) GarbageCollect(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	window := time.Duration(s.cfg.RetentionDays) * 24 * time.Hour
 	n := len(s.sc.GarbageCollect(now, window))
 	for _, v := range s.cc {

@@ -21,13 +21,19 @@ type DeploymentStats struct {
 	// StaleReplicas counts online nodes whose latest snapshot lags the
 	// scVolume (they will SyncNode on next boot).
 	StaleReplicas int
+	// LaggingNodes counts replicas that exhausted their registration
+	// repair budget (or crashed mid-transfer) and await healing.
+	LaggingNodes int
 }
 
 // Stats computes current deployment-wide statistics.
 func (s *Squirrel) Stats() DeploymentStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	ds := DeploymentStats{
 		RegisteredImages: len(s.images),
 		ComputeNodes:     len(s.cc),
+		LaggingNodes:     len(s.lagging),
 		SCVolume:         s.sc.Stats(),
 	}
 	latest := ""

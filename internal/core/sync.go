@@ -36,6 +36,7 @@ type SyncReport struct {
 	Bytes    int64   // stream size transferred
 	XferSec  float64 // unicast transfer duration
 	Snapshot string  // snapshot the node ended at
+	Healed   bool    // the node was lagging and this sync cleared it
 }
 
 // SyncNode implements offline propagation (§3.5): upon boot, a compute
@@ -43,21 +44,38 @@ type SyncReport struct {
 // scVolume's latest. If the node's snapshot is still retained on the
 // storage side the incremental stream succeeds; if the node has been
 // offline for longer than the retention window (or is brand new), the
-// incremental send fails and the whole scVolume is re-replicated.
+// incremental send fails and the whole scVolume is re-replicated. A
+// successful sync clears the node's lagging mark: this is the healing
+// path for replicas that exhausted their registration repair budget.
 func (s *Squirrel) SyncNode(nodeID string) (SyncReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncNodeLocked(nodeID)
+}
+
+func (s *Squirrel) syncNodeLocked(nodeID string) (SyncReport, error) {
 	ccv, ok := s.cc[nodeID]
 	if !ok {
 		return SyncReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
+	wasLagging := s.lagging[nodeID]
+	heal := func(rep SyncReport) SyncReport {
+		if wasLagging {
+			delete(s.lagging, nodeID)
+			rep.Healed = true
+			s.cfg.Faults.Counters().Add("repair.healed", 1)
+		}
+		return rep
+	}
 	latest := s.sc.LatestSnapshot()
 	if latest == nil {
-		return SyncReport{NodeID: nodeID, Mode: SyncNone}, nil
+		return heal(SyncReport{NodeID: nodeID, Mode: SyncNone}), nil
 	}
 	local := ""
 	if snap := ccv.LatestSnapshot(); snap != nil {
 		local = snap.Name
 		if local == latest.Name {
-			return SyncReport{NodeID: nodeID, Mode: SyncNone, Snapshot: local}, nil
+			return heal(SyncReport{NodeID: nodeID, Mode: SyncNone, Snapshot: local}), nil
 		}
 	}
 	node, err := s.computeNode(nodeID)
@@ -75,10 +93,8 @@ func (s *Squirrel) SyncNode(nodeID string) (SyncReport, error) {
 			}
 			rep.Mode = SyncIncremental
 			rep.Bytes = stream.SizeBytes()
-			node.Recv(stream.SizeBytes())
-			s.cl.Storage[0].Send(stream.SizeBytes())
-			rep.XferSec = s.cl.Fabric.TransferSec(stream.SizeBytes())
-			return rep, nil
+			rep.XferSec = s.cl.Unicast(s.cl.Storage[0], node, stream.SizeBytes())
+			return heal(rep), nil
 		case errors.Is(err, zvol.ErrNotAncestor):
 			// The node's snapshot fell out of the retention window: fall
 			// through to full re-replication.
@@ -101,8 +117,6 @@ func (s *Squirrel) SyncNode(nodeID string) (SyncReport, error) {
 	s.cc[nodeID] = fresh
 	rep.Mode = SyncFull
 	rep.Bytes = stream.SizeBytes()
-	node.Recv(stream.SizeBytes())
-	s.cl.Storage[0].Send(stream.SizeBytes())
-	rep.XferSec = s.cl.Fabric.TransferSec(stream.SizeBytes())
-	return rep, nil
+	rep.XferSec = s.cl.Unicast(s.cl.Storage[0], node, stream.SizeBytes())
+	return heal(rep), nil
 }

@@ -1,0 +1,246 @@
+// Package fault is a deterministic, seeded fault-injection substrate for
+// Squirrel's propagation paths. The paper's offline-propagation design
+// (§3.5) exists precisely because multicast registration (§3.2) is lossy
+// and compute nodes crash; this package makes those failures injectable so
+// the retry/repair/lagging machinery in internal/core can be exercised
+// reproducibly.
+//
+// An Injector is configured with a Plan: a seed plus per-kind
+// probabilities. Every transfer decision is a pure function of
+// (seed, op, dst, attempt), so a chaos run is reproducible from its seed
+// alone, independent of goroutine scheduling or call order. The only
+// shared state is the crash budget (Plan.MaxCrashes), which caps how many
+// Crash decisions the injector will ever hand out.
+package fault
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Kind classifies one injected transfer fault.
+type Kind int
+
+// Fault kinds, roughly ordered by severity.
+const (
+	// None: the transfer is delivered intact.
+	None Kind = iota
+	// Drop: the destination never receives the stream (lost multicast
+	// registration, §3.2's unreliable delivery).
+	Drop
+	// Truncate: the connection dies mid-stream; the destination holds a
+	// prefix of the wire bytes.
+	Truncate
+	// Corrupt: wire bytes are flipped in flight; the stream CRC and the
+	// per-block checksums on Receive catch it.
+	Corrupt
+	// Crash: the destination node dies mid-transfer and drops offline.
+	Crash
+)
+
+// String renders the kind for reports and counter names.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Truncate:
+		return "truncate"
+	case Corrupt:
+		return "corrupt"
+	case Crash:
+		return "crash"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Plan parameterizes an Injector. Probabilities are per transfer attempt
+// and must sum to ≤ 1; the remainder is fault-free delivery.
+type Plan struct {
+	Seed     int64
+	Drop     float64 // P(stream lost entirely)
+	Truncate float64 // P(stream cut short)
+	Corrupt  float64 // P(wire bytes flipped)
+	Crash    float64 // P(destination crashes mid-transfer)
+	// MaxCrashes caps Crash decisions over the injector's lifetime; once
+	// spent, would-be crashes degrade to Drop. Zero means no crashes.
+	MaxCrashes int
+}
+
+// Validate rejects nonsensical plans.
+func (p Plan) Validate() error {
+	for _, pr := range []float64{p.Drop, p.Truncate, p.Corrupt, p.Crash} {
+		if pr < 0 || pr > 1 {
+			return fmt.Errorf("fault: probability %v out of [0,1]", pr)
+		}
+	}
+	if s := p.Drop + p.Truncate + p.Corrupt + p.Crash; s > 1 {
+		return fmt.Errorf("fault: probabilities sum to %v > 1", s)
+	}
+	if p.MaxCrashes < 0 {
+		return fmt.Errorf("fault: negative crash budget")
+	}
+	return nil
+}
+
+// Injector decides, deterministically from its plan, which transfers
+// fault and how. A nil *Injector is a valid "perfect network" injector.
+type Injector struct {
+	plan     Plan
+	counters *metrics.CounterSet
+
+	mu      sync.Mutex
+	crashes int
+}
+
+// New builds an injector for the plan.
+func New(plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{plan: plan, counters: metrics.NewCounterSet()}, nil
+}
+
+// Plan returns the injector's plan (for logging seeds in reports).
+func (in *Injector) Plan() Plan {
+	if in == nil {
+		return Plan{}
+	}
+	return in.plan
+}
+
+// Counters exposes the injector's fault accounting: "fault.<kind>" per
+// injected kind plus "fault.crash_degraded" for crashes past the budget.
+func (in *Injector) Counters() *metrics.CounterSet {
+	if in == nil {
+		return nil
+	}
+	return in.counters
+}
+
+// Crashes returns how many Crash decisions have been issued so far.
+func (in *Injector) Crashes() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashes
+}
+
+// roll hashes (seed, op, dst, attempt, lane) into a uniform uint64.
+// splitmix64 over an FNV-1a fold gives good avalanche without pulling in
+// a full RNG, and keeps every decision order-independent.
+func (in *Injector) roll(op, dst string, attempt, lane int) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	mix := func(b []byte) {
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= fnvPrime
+		}
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(in.plan.Seed))
+	mix(buf[:])
+	mix([]byte(op))
+	mix([]byte{0})
+	mix([]byte(dst))
+	binary.LittleEndian.PutUint64(buf[:], uint64(attempt)<<32|uint64(uint32(lane)))
+	mix(buf[:])
+	// splitmix64 finalizer.
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// uniform maps a roll to [0, 1).
+func uniform(r uint64) float64 { return float64(r>>11) / (1 << 53) }
+
+// Decide picks the fault kind for one transfer attempt of op to dst. It
+// is deterministic in (seed, op, dst, attempt) except for the crash
+// budget: a Crash past Plan.MaxCrashes degrades to Drop.
+func (in *Injector) Decide(op, dst string, attempt int) Kind {
+	if in == nil {
+		return None
+	}
+	u := uniform(in.roll(op, dst, attempt, 0))
+	p := in.plan
+	k := None
+	switch {
+	case u < p.Crash:
+		k = Crash
+	case u < p.Crash+p.Drop:
+		k = Drop
+	case u < p.Crash+p.Drop+p.Truncate:
+		k = Truncate
+	case u < p.Crash+p.Drop+p.Truncate+p.Corrupt:
+		k = Corrupt
+	}
+	if k == Crash {
+		in.mu.Lock()
+		if in.crashes >= p.MaxCrashes {
+			k = Drop
+			in.counters.Add("fault.crash_degraded", 1)
+		} else {
+			in.crashes++
+		}
+		in.mu.Unlock()
+	}
+	if k != None {
+		in.counters.Add("fault."+k.String(), 1)
+	}
+	return k
+}
+
+// Strike decides the fault for one transfer attempt and applies it to the
+// wire bytes, returning the bytes the destination actually sees:
+//
+//	None            wire unchanged (same slice)
+//	Drop, Crash     nil — nothing arrives
+//	Truncate        a strict prefix copy of wire
+//	Corrupt         a same-length copy with a few bytes flipped
+//
+// Mutations are deterministic in (seed, op, dst, attempt) and never alias
+// the input slice, so one encoded stream can be shared across
+// destinations.
+func (in *Injector) Strike(op, dst string, attempt int, wire []byte) (Kind, []byte) {
+	k := in.Decide(op, dst, attempt)
+	switch k {
+	case None:
+		return k, wire
+	case Drop, Crash:
+		return k, nil
+	}
+	r := in.roll(op, dst, attempt, 1)
+	switch k {
+	case Truncate:
+		if len(wire) == 0 {
+			return k, nil
+		}
+		cut := make([]byte, int(r%uint64(len(wire))))
+		copy(cut, wire)
+		return k, cut
+	default: // Corrupt
+		if len(wire) == 0 {
+			return k, wire
+		}
+		bad := make([]byte, len(wire))
+		copy(bad, wire)
+		flips := 1 + int(r%7)
+		for i := 0; i < flips; i++ {
+			off := in.roll(op, dst, attempt, 2+i) % uint64(len(bad))
+			bad[off] ^= byte(1 + in.roll(op, dst, attempt, 100+i)%255)
+		}
+		return k, bad
+	}
+}

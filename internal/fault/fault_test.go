@@ -1,0 +1,176 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func mustNew(t *testing.T, p Plan) *Injector {
+	t.Helper()
+	in, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{Drop: -0.1},
+		{Drop: 1.1},
+		{Drop: 0.5, Corrupt: 0.6},
+		{MaxCrashes: -1},
+	}
+	for _, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Fatalf("plan %+v should be rejected", p)
+		}
+	}
+	if _, err := New(Plan{Seed: 1, Drop: 0.5, Truncate: 0.2, Corrupt: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminismAcrossInjectors(t *testing.T) {
+	p := Plan{Seed: 99, Drop: 0.2, Truncate: 0.1, Corrupt: 0.2}
+	a, b := mustNew(t, p), mustNew(t, p)
+	wire := bytes.Repeat([]byte("squirrel"), 64)
+	for op := 0; op < 5; op++ {
+		for dst := 0; dst < 8; dst++ {
+			for attempt := 0; attempt < 4; attempt++ {
+				o, d := fmt.Sprintf("op%d", op), fmt.Sprintf("n%d", dst)
+				ka, wa := a.Strike(o, d, attempt, wire)
+				kb, wb := b.Strike(o, d, attempt, wire)
+				if ka != kb || !bytes.Equal(wa, wb) {
+					t.Fatalf("(%s,%s,%d): %v/%v diverge", o, d, attempt, ka, kb)
+				}
+			}
+		}
+	}
+}
+
+func TestDecisionIndependentOfCallOrder(t *testing.T) {
+	p := Plan{Seed: 7, Drop: 0.3, Corrupt: 0.3}
+	a, b := mustNew(t, p), mustNew(t, p)
+	// a decides forward, b backward: per-decision hashing must agree.
+	const n = 100
+	ka := make([]Kind, n)
+	for i := 0; i < n; i++ {
+		ka[i] = a.Decide("op", fmt.Sprintf("n%d", i), 0)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if kb := b.Decide("op", fmt.Sprintf("n%d", i), 0); kb != ka[i] {
+			t.Fatalf("decision %d depends on call order: %v != %v", i, kb, ka[i])
+		}
+	}
+}
+
+func TestDistributionRoughlyMatchesPlan(t *testing.T) {
+	in := mustNew(t, Plan{Seed: 4, Drop: 0.25})
+	drops := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if in.Decide("dist", fmt.Sprintf("n%d", i), 0) == Drop {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("drop rate %.3f far from planned 0.25", got)
+	}
+}
+
+func TestMutations(t *testing.T) {
+	wire := bytes.Repeat([]byte{0xAB}, 4096)
+	orig := append([]byte(nil), wire...)
+	// Probability 1 for each kind in turn, deterministic over all targets.
+	for _, tc := range []struct {
+		plan Plan
+		want Kind
+	}{
+		{Plan{Seed: 1, Drop: 1}, Drop},
+		{Plan{Seed: 1, Truncate: 1}, Truncate},
+		{Plan{Seed: 1, Corrupt: 1}, Corrupt},
+	} {
+		in := mustNew(t, tc.plan)
+		for i := 0; i < 50; i++ {
+			dst := fmt.Sprintf("n%d", i)
+			k, got := in.Strike("op", dst, 0, wire)
+			if k != tc.want {
+				t.Fatalf("kind %v, want %v", k, tc.want)
+			}
+			switch tc.want {
+			case Drop:
+				if got != nil {
+					t.Fatal("drop must deliver nothing")
+				}
+			case Truncate:
+				if len(got) >= len(wire) {
+					t.Fatalf("truncate kept %d of %d bytes", len(got), len(wire))
+				}
+				if !bytes.Equal(got, wire[:len(got)]) {
+					t.Fatal("truncation must be a prefix")
+				}
+			case Corrupt:
+				if len(got) != len(wire) {
+					t.Fatalf("corrupt changed length %d → %d", len(wire), len(got))
+				}
+				if bytes.Equal(got, wire) {
+					t.Fatalf("corrupt(%s) left wire intact", dst)
+				}
+			}
+			if !bytes.Equal(wire, orig) {
+				t.Fatal("Strike mutated the caller's wire slice")
+			}
+		}
+	}
+}
+
+func TestNoFaultsDeliversSameSlice(t *testing.T) {
+	in := mustNew(t, Plan{Seed: 3})
+	wire := []byte("payload")
+	k, got := in.Strike("op", "n0", 0, wire)
+	if k != None || &got[0] != &wire[0] {
+		t.Fatal("fault-free delivery must return the original slice")
+	}
+	// A nil injector is a perfect network.
+	var nilInj *Injector
+	if k, got := nilInj.Strike("op", "n0", 0, wire); k != None || &got[0] != &wire[0] {
+		t.Fatal("nil injector must be a no-op")
+	}
+	if nilInj.Decide("op", "n0", 0) != None || nilInj.Crashes() != 0 {
+		t.Fatal("nil injector must decide None")
+	}
+	nilInj.Counters().Add("x", 1) // must not panic
+}
+
+func TestCrashBudget(t *testing.T) {
+	in := mustNew(t, Plan{Seed: 8, Crash: 1, MaxCrashes: 2})
+	crashes, drops := 0, 0
+	for i := 0; i < 10; i++ {
+		switch in.Decide("op", fmt.Sprintf("n%d", i), 0) {
+		case Crash:
+			crashes++
+		case Drop:
+			drops++
+		}
+	}
+	if crashes != 2 || drops != 8 {
+		t.Fatalf("crashes=%d drops=%d, want 2/8", crashes, drops)
+	}
+	if in.Crashes() != 2 {
+		t.Fatalf("Crashes() = %d", in.Crashes())
+	}
+	c := in.Counters().Snapshot()
+	if c["fault.crash"] != 2 || c["fault.drop"] != 8 || c["fault.crash_degraded"] != 8 {
+		t.Fatalf("counters %v", c)
+	}
+}
+
+func TestTruncateEmptyWire(t *testing.T) {
+	in := mustNew(t, Plan{Seed: 5, Truncate: 1})
+	if _, got := in.Strike("op", "n0", 0, nil); got != nil {
+		t.Fatal("truncating an empty wire must deliver nothing")
+	}
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CounterSet is a small thread-safe named-counter registry. The fault
+// injector and the repair path use one to account chaos events (faults
+// injected by kind, retries, repair bytes, lagging transitions) without
+// threading bespoke structs through every layer; an operator dashboard
+// would scrape exactly this.
+type CounterSet struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{m: make(map[string]int64)}
+}
+
+// Add increments the named counter by delta. Nil-safe: a nil set drops
+// the update, so callers can account unconditionally.
+func (c *CounterSet) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the named counter's current value (0 if never touched).
+func (c *CounterSet) Get(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot copies all counters at once.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	if c == nil {
+		return out
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the counters sorted by name, one "name=value" per line —
+// the format the chaos example and test logs print.
+func (c *CounterSet) String() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d\n", n, snap[n])
+	}
+	return b.String()
+}

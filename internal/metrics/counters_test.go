@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	c := NewCounterSet()
+	c.Add("a", 2)
+	c.Add("a", 3)
+	c.Add("b", 1)
+	if c.Get("a") != 5 || c.Get("b") != 1 || c.Get("missing") != 0 {
+		t.Fatalf("snapshot %v", c.Snapshot())
+	}
+	snap := c.Snapshot()
+	c.Add("a", 1)
+	if snap["a"] != 5 {
+		t.Fatal("snapshot must be a copy")
+	}
+	s := c.String()
+	if !strings.Contains(s, "a=6") || !strings.Contains(s, "b=1") {
+		t.Fatalf("render %q", s)
+	}
+}
+
+func TestCounterSetNilSafe(t *testing.T) {
+	var c *CounterSet
+	c.Add("a", 1)
+	if c.Get("a") != 0 || len(c.Snapshot()) != 0 || c.String() != "" {
+		t.Fatal("nil CounterSet must act empty")
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	c := NewCounterSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Get("n") != 8000 {
+		t.Fatalf("lost updates: %d", c.Get("n"))
+	}
+}

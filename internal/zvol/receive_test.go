@@ -1,0 +1,201 @@
+package zvol
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// snapshotState captures the observable replica state for atomicity
+// checks: object names, object contents, and snapshot names.
+func snapshotState(t *testing.T, v *Volume) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, name := range v.Objects() {
+		data, err := v.ReadObject(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["obj:"+name] = string(data)
+	}
+	for _, s := range v.Snapshots() {
+		out["snap:"+s.Name] = ""
+	}
+	return out
+}
+
+func sameState(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// sendStream builds a one-object volume, snapshots it, and returns the
+// full stream plus a primed empty destination.
+func sendStream(t *testing.T) (*Stream, *Volume) {
+	t.Helper()
+	src, dst := pair(t)
+	if _, err := src.WriteObject("img", bytes.NewReader(mkData(7, 64*1024))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Snapshot("s1", day(0)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := src.Send("", "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, dst
+}
+
+func TestReceiveRejectsCorruptPayload(t *testing.T) {
+	st, dst := sendStream(t)
+	if len(st.Blocks) == 0 {
+		t.Fatal("stream shipped no payloads")
+	}
+	before := snapshotState(t, dst)
+	st.Blocks[0][0] ^= 0xFF // in-memory corruption the wire CRC never sees
+	err := dst.Receive(st)
+	if !errors.Is(err, ErrBadStream) {
+		t.Fatalf("corrupt payload: %v", err)
+	}
+	if !sameState(before, snapshotState(t, dst)) {
+		t.Fatal("failed receive mutated the replica")
+	}
+	// Un-corrupt and the very same stream applies cleanly.
+	st.Blocks[0][0] ^= 0xFF
+	if err := dst.Receive(st); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.HasObject("img") {
+		t.Fatal("repaired receive missing object")
+	}
+}
+
+func TestReceiveRejectsPayloadIndexOutOfRange(t *testing.T) {
+	st, dst := sendStream(t)
+	before := snapshotState(t, dst)
+	st.Upserts[0].Ptrs[0].Payload = len(st.Blocks) + 5
+	if err := dst.Receive(st); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("bad index: %v", err)
+	}
+	if !sameState(before, snapshotState(t, dst)) {
+		t.Fatal("failed receive mutated the replica")
+	}
+}
+
+func TestReceiveRejectsSizeMismatch(t *testing.T) {
+	st, dst := sendStream(t)
+	st.Upserts[0].Size += 17
+	if err := dst.Receive(st); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("size mismatch: %v", err)
+	}
+	if len(dst.Objects()) != 0 || len(dst.Snapshots()) != 0 {
+		t.Fatal("failed receive left state behind")
+	}
+}
+
+func TestReceiveRejectsLengthMismatch(t *testing.T) {
+	st, dst := sendStream(t)
+	st.Upserts[0].Ptrs[0].LogLen++
+	if err := dst.Receive(st); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("length mismatch: %v", err)
+	}
+}
+
+func TestReceiveRejectsUnknownHashReference(t *testing.T) {
+	// An incremental stream whose hash-only references the replica cannot
+	// resolve must be rejected without touching it.
+	src, dst := pair(t)
+	src.WriteObject("a", bytes.NewReader(mkData(1, 32*1024)))
+	src.Snapshot("s1", day(0))
+	src.WriteObject("b", bytes.NewReader(mkData(1, 32*1024))) // dedups against a
+	src.Snapshot("s2", day(1))
+	inc, err := src.Send("s1", "s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dst holds s1's *name* but not its blocks: fake the ancestor so the
+	// ancestry check passes and the hash check is what trips.
+	if _, err := dst.Snapshot("s1", day(0)); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotState(t, dst)
+	if err := dst.Receive(inc); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("unknown hash: %v", err)
+	}
+	if !sameState(before, snapshotState(t, dst)) {
+		t.Fatal("failed receive mutated the replica")
+	}
+}
+
+func TestWireCorruptionCaughtByChecksum(t *testing.T) {
+	st, _ := sendStream(t)
+	var buf bytes.Buffer
+	if _, err := st.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+	// Flip one byte anywhere in the body: the trailing CRC must trip.
+	bad := append([]byte(nil), wire...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := DecodeStream(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted wire decoded cleanly")
+	}
+	// Truncations at a spread of cut points must all fail to decode.
+	for _, frac := range []int{1, 3, 10, 50, 99} {
+		cut := wire[:len(wire)*frac/100]
+		if _, err := DecodeStream(bytes.NewReader(cut)); err == nil {
+			t.Fatalf("truncated wire (%d%%) decoded cleanly", frac)
+		}
+	}
+	// And the intact wire round-trips.
+	if _, err := DecodeStream(bytes.NewReader(wire)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReceiveReplaceReleasesAfterUpserts(t *testing.T) {
+	// A stream that simultaneously deletes the sole holder of a block and
+	// upserts an object referencing that block by hash must apply: the
+	// new references land before the release.
+	src, dst := pair(t)
+	data := mkData(9, 16*1024)
+	src.WriteObject("old", bytes.NewReader(data))
+	src.Snapshot("s1", day(0))
+	full, err := src.Send("", "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Receive(full); err != nil {
+		t.Fatal(err)
+	}
+	// New snapshot: "old" deleted, "new" holds the same content (its
+	// blocks dedup against old's, so the incremental ships hashes only).
+	src.DeleteObject("old")
+	src.WriteObject("new", bytes.NewReader(data))
+	src.Snapshot("s2", day(1))
+	inc, err := src.Send("s1", "s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc.Blocks) != 0 {
+		t.Fatalf("incremental shipped %d payloads, want hash-only", len(inc.Blocks))
+	}
+	if err := dst.Receive(inc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.ReadObject("new")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("replaced object unreadable: %v", err)
+	}
+	if dst.HasObject("old") {
+		t.Fatal("delete not applied")
+	}
+}

@@ -3,6 +3,8 @@ package zvol
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/block"
 )
 
 // Stream is an incremental (or full) snapshot send stream, the unit
@@ -137,12 +139,73 @@ func (v *Volume) Send(fromSnap, toSnap string) (*Stream, error) {
 
 // Receive applies a stream, creating snapshot st.ToSnap on this volume.
 // For an incremental stream the volume must already hold st.FromSnap.
-// Hash-only references are resolved through the local DDT; a missing hash
-// means the stream does not match this replica's state and the receive is
-// rejected before any modification ("dry-run" pass first).
+//
+// Receive is atomic with respect to errors: the full stream is verified
+// — ancestry, payload indexes, per-block content checksums, object sizes,
+// and hash-only references resolvable through the local DDT — before the
+// replica is mutated, so a corrupted or truncated stream can never leave
+// a half-applied ccVolume behind.
 func (v *Volume) Receive(st *Stream) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	if err := v.verifyStreamLocked(st); err != nil {
+		return err
+	}
+	// Apply. Verification guarantees nothing below can fail. Upserts land
+	// before any release, so a hash-only pointer that resolved during
+	// verification cannot watch its block vanish when this same stream
+	// replaces or deletes the object that held it.
+	var release [][]blockPtr
+	for _, so := range st.Upserts {
+		obj := &Object{Name: so.Name, Size: so.Size, ptrs: make([]blockPtr, 0, len(so.Ptrs))}
+		for _, sp := range so.Ptrs {
+			switch {
+			case sp.Zero:
+				obj.ptrs = append(obj.ptrs, blockPtr{zero: true, logLen: sp.LogLen})
+				v.zeroBytes += int64(sp.LogLen)
+			case sp.Payload >= 0:
+				obj.ptrs = append(obj.ptrs, v.writeBlock(st.Blocks[sp.Payload]))
+			default:
+				e := v.ddt.Lookup(sp.Hash)
+				v.ddt.AddRef(sp.Hash)
+				obj.ptrs = append(obj.ptrs, blockPtr{hash: sp.Hash, addr: e.Addr,
+					physLen: e.PhysLen, logLen: sp.LogLen, compressed: e.Compressed})
+			}
+			v.logicalWritten += int64(sp.LogLen)
+		}
+		if old, ok := v.objects[so.Name]; ok {
+			// Replace (idempotent receive): the old object's references go
+			// only after every upsert is in.
+			release = append(release, old.ptrs)
+		}
+		v.objects[so.Name] = obj
+	}
+	for _, name := range st.Deletes {
+		if obj, ok := v.objects[name]; ok {
+			delete(v.objects, name)
+			release = append(release, obj.ptrs)
+		}
+	}
+	for _, ptrs := range release {
+		v.releasePtrsLocked(ptrs)
+	}
+	// Finally, snapshot the resulting state under the stream's name.
+	objs := make(map[string]*Object, len(v.objects))
+	for n, o := range v.objects {
+		objs[n] = o
+		v.addRefsLocked(o.ptrs)
+	}
+	v.snaps = append(v.snaps, &Snapshot{Name: st.ToSnap, Created: st.Created, objects: objs})
+	return nil
+}
+
+// verifyStreamLocked checks a stream end to end without touching the
+// volume. Everything Receive's apply phase relies on is proven here:
+// ancestry and snapshot-name freshness, payload indexes in range, shipped
+// payloads matching their declared length and content hash, object sizes
+// consistent with their pointers, and every hash-only reference present
+// in the local DDT.
+func (v *Volume) verifyStreamLocked(st *Stream) error {
 	if st.FromSnap != "" && v.findSnapLocked(st.FromSnap) == nil {
 		return fmt.Errorf("%w: %s", ErrNotAncestor, st.FromSnap)
 	}
@@ -152,62 +215,41 @@ func (v *Volume) Receive(st *Stream) error {
 	if !v.cfg.Dedup {
 		return fmt.Errorf("zvol: receive requires a dedup volume")
 	}
-	// Pass 1: verify all hash-only references resolve locally.
-	for _, so := range st.Upserts {
-		for _, sp := range so.Ptrs {
-			if sp.Zero || sp.Payload >= 0 {
-				continue
-			}
-			if v.ddt.Lookup(sp.Hash) == nil {
-				return fmt.Errorf("zvol: receive %s: unknown block %x", so.Name, sp.Hash[:8])
-			}
-		}
-	}
-	// Pass 2: apply deletes, then upserts.
-	for _, name := range st.Deletes {
-		if obj, ok := v.objects[name]; ok {
-			delete(v.objects, name)
-			v.releasePtrsLocked(obj.ptrs)
-		}
+	// Checksum every shipped payload once up front.
+	hashes := make([]block.Hash, len(st.Blocks))
+	for i, b := range st.Blocks {
+		hashes[i] = block.HashOf(b)
 	}
 	for _, so := range st.Upserts {
-		if old, ok := v.objects[so.Name]; ok {
-			// Replace: release the old object first (idempotent receive).
-			delete(v.objects, so.Name)
-			v.releasePtrsLocked(old.ptrs)
-		}
-		obj := &Object{Name: so.Name, Size: so.Size, ptrs: make([]blockPtr, 0, len(so.Ptrs))}
+		var size int64
 		for _, sp := range so.Ptrs {
+			size += int64(sp.LogLen)
 			switch {
 			case sp.Zero:
-				obj.ptrs = append(obj.ptrs, blockPtr{zero: true, logLen: sp.LogLen})
-				v.logicalWritten += int64(sp.LogLen)
-				v.zeroBytes += int64(sp.LogLen)
 			case sp.Payload >= 0:
 				if sp.Payload >= len(st.Blocks) {
-					return fmt.Errorf("zvol: receive %s: payload index %d out of range", so.Name, sp.Payload)
+					return fmt.Errorf("%w: %s payload index %d out of range",
+						ErrBadStream, so.Name, sp.Payload)
 				}
-				obj.ptrs = append(obj.ptrs, v.writeBlock(st.Blocks[sp.Payload]))
-				v.logicalWritten += int64(sp.LogLen)
+				if int32(len(st.Blocks[sp.Payload])) != sp.LogLen {
+					return fmt.Errorf("%w: %s block %d is %d bytes, pointer says %d",
+						ErrBadStream, so.Name, sp.Payload, len(st.Blocks[sp.Payload]), sp.LogLen)
+				}
+				if hashes[sp.Payload] != block.Hash(sp.Hash) {
+					return fmt.Errorf("%w: %s block %d checksum mismatch",
+						ErrBadStream, so.Name, sp.Payload)
+				}
 			default:
-				e := v.ddt.Lookup(sp.Hash)
-				if e == nil {
-					return fmt.Errorf("zvol: receive %s: block %x vanished", so.Name, sp.Hash[:8])
+				if v.ddt.Lookup(sp.Hash) == nil {
+					return fmt.Errorf("%w: %s references unknown block %x",
+						ErrBadStream, so.Name, sp.Hash[:8])
 				}
-				v.ddt.AddRef(sp.Hash)
-				obj.ptrs = append(obj.ptrs, blockPtr{hash: sp.Hash, addr: e.Addr,
-					physLen: e.PhysLen, logLen: sp.LogLen, compressed: e.Compressed})
-				v.logicalWritten += int64(sp.LogLen)
 			}
 		}
-		v.objects[so.Name] = obj
+		if size != so.Size {
+			return fmt.Errorf("%w: %s pointers cover %d bytes, object says %d",
+				ErrBadStream, so.Name, size, so.Size)
+		}
 	}
-	// Finally, snapshot the resulting state under the stream's name.
-	objs := make(map[string]*Object, len(v.objects))
-	for n, o := range v.objects {
-		objs[n] = o
-		v.addRefsLocked(o.ptrs)
-	}
-	v.snaps = append(v.snaps, &Snapshot{Name: st.ToSnap, Created: st.Created, objects: objs})
 	return nil
 }

@@ -130,6 +130,7 @@ var (
 	ErrNotFound    = errors.New("zvol: not found")
 	ErrSnapExists  = errors.New("zvol: snapshot already exists")
 	ErrNotAncestor = errors.New("zvol: incremental source snapshot not present")
+	ErrBadStream   = errors.New("zvol: stream failed verification")
 )
 
 // WriteObject stores the stream r as a new object. Writing over an
