@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race examples
+.PHONY: check build vet test race examples bench
 
 check: build vet test race
 
@@ -28,3 +28,9 @@ examples:
 	$(GO) run ./examples/multitenant
 	$(GO) run ./examples/autoscale
 	$(GO) run ./examples/chaos
+	$(GO) run ./examples/peerboot
+
+# Run the experiment benchmarks and record machine-readable results.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchjson > BENCH.json
+	@echo wrote BENCH.json

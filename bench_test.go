@@ -137,3 +137,8 @@ func BenchmarkTable3DiskRMSE(b *testing.B) {
 func BenchmarkTable4MemoryRMSE(b *testing.B) {
 	runExperiment(b, "tab4")
 }
+
+func BenchmarkFigPeerExchange(b *testing.B) {
+	tb := runExperiment(b, "figpeer")
+	b.ReportMetric(lastFloat(tb, -1, 4), "peer-share-%")
+}

@@ -8,17 +8,20 @@
 //	squirrelctl                          # demo run with defaults
 //	squirrelctl -images 32 -nodes 8 -vms 4
 //	squirrelctl -offline node03          # take one node offline mid-run
+//	squirrelctl -peers                   # peer exchange on; dumps the index
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/peer"
 )
 
 func main() {
@@ -28,15 +31,16 @@ func main() {
 		vms     = flag.Int("vms", 2, "VMs booted per node")
 		offline = flag.String("offline", "", "node to take offline during registrations")
 		verify  = flag.Bool("verify", true, "verify boot data against image content")
+		peers   = flag.Bool("peers", false, "enable the peer block exchange, drop one replica to force a peer-served cold boot, and dump the content index")
 	)
 	flag.Parse()
-	if err := run(*nImages, *nNodes, *vms, *offline, *verify); err != nil {
+	if err := run(*nImages, *nNodes, *vms, *offline, *verify, *peers); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(nImages, nNodes, vms int, offline string, verify bool) error {
+func run(nImages, nNodes, vms int, offline string, verify, peers bool) error {
 	spec := corpus.DefaultSpec().Scale(float64(nImages)/607, 0.25)
 	repo, err := corpus.New(spec)
 	if err != nil {
@@ -53,7 +57,11 @@ func run(nImages, nNodes, vms int, offline string, verify bool) error {
 	if err != nil {
 		return err
 	}
-	sq, err := core.New(core.DefaultConfig(), cl, pfs)
+	cfg := core.DefaultConfig()
+	if peers {
+		cfg.Peer = peer.DefaultPolicy()
+	}
+	sq, err := core.New(cfg, cl, pfs)
 	if err != nil {
 		return err
 	}
@@ -90,6 +98,17 @@ func run(nImages, nNodes, vms int, offline string, verify bool) error {
 		fmt.Printf("%s back online: %s sync, %d bytes\n\n", offline, rep.Mode, rep.Bytes)
 	}
 
+	if peers {
+		// Manufacture one cold miss so the boot wave exercises the peer
+		// path: the first compute node loses its replica of the first
+		// image and must fetch it from a neighbor.
+		node, im := cl.Compute[0].ID, repo.Images[0].ID
+		if err := sq.DropReplica(node, im); err != nil {
+			return err
+		}
+		fmt.Printf("peer exchange on; dropped %s's replica of %s\n\n", node, im)
+	}
+
 	fmt.Printf("booting %d VMs per node, all from warm replicas...\n", vms)
 	cl.ResetCounters()
 	img := 0
@@ -102,7 +121,12 @@ func run(nImages, nNodes, vms int, offline string, verify bool) error {
 				return err
 			}
 			if !rep.Warm {
-				fmt.Printf("  %s on %s: COLD (%d network bytes)\n", im.ID, n.ID, rep.NetworkBytes)
+				src := rep.PeerNode
+				if src == "" {
+					src = "-"
+				}
+				fmt.Printf("  %s on %s: COLD (%d PFS bytes, %d peer bytes from %s)\n",
+					im.ID, n.ID, rep.NetworkBytes, rep.PeerBytes, src)
 			}
 		}
 	}
@@ -118,6 +142,20 @@ func run(nImages, nNodes, vms int, offline string, verify bool) error {
 		st.Objects, mb(st.LogicalBytes), mb(st.DiskBytes), mb(st.DataBytes), mb(st.DDTDiskBytes), mb(st.MetaBytes))
 	fmt.Printf("  per-node replica cost: %.2f MB disk, %.2f MB DDT memory, dedup ratio %.2f\n",
 		mb(ds.ReplicaDiskBytes), mb(ds.ReplicaMemBytes), st.DedupRatio)
+	if peers {
+		fmt.Printf("\npeer content index: %d objects, %d announcements\n",
+			ds.PeerIndexObjects, ds.PeerIndexEntries)
+		fmt.Printf("  %-8s  %-6s  %-12s  %s\n", "node", "active", "served reads", "served bytes")
+		for _, l := range ds.PeerLoads {
+			fmt.Printf("  %-8s  %-6d  %-12d  %d\n", l.NodeID, l.Active, l.ServedReads, l.ServedBytes)
+		}
+		if ctr := sq.PeerIndex().Counters().String(); ctr != "" {
+			fmt.Printf("  counters:\n")
+			for _, line := range strings.Split(strings.TrimRight(ctr, "\n"), "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+	}
 
 	n := sq.GarbageCollect(t0.Add(30 * 24 * time.Hour))
 	fmt.Printf("\ngarbage collection destroyed %d old snapshots\n", n)

@@ -18,9 +18,14 @@ type BootReport struct {
 	NodeID       string
 	Warm         bool  // served entirely from the local ccVolume
 	Healed       bool  // node was lagging and auto-synced before the boot
-	NetworkBytes int64 // bytes this boot pulled over the network
+	NetworkBytes int64 // bytes this boot pulled from the PFS (storage nodes)
 	CacheBytes   int64 // bytes served from the local cache
 	ReadBytes    int64 // total bytes the VM read during boot
+
+	// Peer block exchange accounting.
+	PeerBytes     int64  // bytes served by neighboring compute nodes
+	PeerNode      string // peer that served the most bytes ("" if none)
+	PeerFallbacks int    // peer-servable ranges that fell back to the PFS
 }
 
 // Boot starts a VM from image id on the given compute node (§3.3,
@@ -66,6 +71,11 @@ func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
 	if err != nil {
 		return BootReport{}, err
 	}
+	// A cold miss (no local replica) may be served by the peer exchange
+	// before falling back to the PFS.
+	if s.cfg.Peer.Enabled && !cb.local {
+		cb.fetch = s.newPeerFetcher(im, node)
+	}
 	cow, err := qcow.NewOverlay(cb, s.cfg.ClusterSize, false)
 	if err != nil {
 		return BootReport{}, err
@@ -86,6 +96,7 @@ func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
 			return BootReport{}, fmt.Errorf("core: boot read at %d: %w", e.Off, err)
 		}
 		rep.ReadBytes += e.Len
+		s.bootReads.Observe(e.Len)
 		if verify {
 			want := make([]byte, e.Len)
 			if _, err := gen.ReadAt(want, e.Off); err != nil && err != io.EOF {
@@ -98,7 +109,12 @@ func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
 	}
 	rep.NetworkBytes = cb.networkBytes
 	rep.CacheBytes = cb.cacheBytes
-	rep.Warm = cb.networkBytes == 0
+	if cb.fetch != nil {
+		rep.PeerBytes = cb.peerBytes
+		rep.PeerNode = cb.fetch.topSource()
+		rep.PeerFallbacks = cb.fetch.fallbacks
+	}
+	rep.Warm = cb.networkBytes == 0 && cb.peerBytes == 0
 	return rep, nil
 }
 
@@ -141,6 +157,7 @@ func (s *Squirrel) BootWithoutCache(id, nodeID string) (BootReport, error) {
 			return BootReport{}, fmt.Errorf("core: uncached boot read at %d: %w", e.Off, err)
 		}
 		rep.ReadBytes += e.Len
+		s.bootReads.Observe(e.Len)
 	}
 	rep.NetworkBytes = cb.networkBytes
 	rep.Warm = false
@@ -159,20 +176,29 @@ func (s *Squirrel) computeNode(nodeID string) (*cluster.Node, error) {
 
 // chainBackend is the "cache chained to base" layer under the CoW
 // overlay: ranges held by the local ccVolume cache are served locally;
-// anything else goes to the PFS over the network.
+// ranges inside the image's cache extents but missing locally may be
+// fetched from a peer replica; anything else goes to the PFS over the
+// network.
 type chainBackend struct {
-	im   *corpus.Image
-	node *cluster.Node
-	pfs  pfsReader
+	id      string
+	rawSize int64
+	node    *cluster.Node
+	pfs     pfsReader
+	fetch   *peerFetcher // nil unless peer exchange is enabled and the replica is missing
 
-	// cacheData is the materialized cache object; exts/bases map image
-	// offsets into it. nil when the node has no replica of this cache.
+	// exts/bases describe the image's cache-object layout: extent i of
+	// the image maps to [bases[i], bases[i]+exts[i].Len) of the cache
+	// object. Identical on every replica, so they double as the map for
+	// peer fetches. cacheData is the locally materialized object; local
+	// says whether this node holds it.
+	local     bool
 	cacheData []byte
 	exts      []corpus.Extent
 	bases     []int64
 
-	networkBytes int64
-	cacheBytes   int64
+	networkBytes int64 // pulled from the PFS
+	cacheBytes   int64 // served from the local replica
+	peerBytes    int64 // served by neighboring compute nodes
 }
 
 // pfsReader is the slice of the PFS API the backend needs.
@@ -181,37 +207,46 @@ type pfsReader interface {
 }
 
 func newChainBackend(s *Squirrel, im *corpus.Image, ccv *zvol.Volume, node *cluster.Node) (*chainBackend, error) {
-	cb := &chainBackend{im: im, node: node, pfs: s.pfs}
+	cb := &chainBackend{id: im.ID, rawSize: im.RawSize(), node: node, pfs: s.pfs}
+	var base int64
+	for _, e := range im.CacheExtentsSorted() {
+		cb.exts = append(cb.exts, corpus.Extent{Off: e.Off, Len: e.Len})
+		cb.bases = append(cb.bases, base)
+		base += e.Len
+	}
 	if ccv != nil && ccv.HasObject(im.ID) {
 		data, err := ccv.ReadObject(im.ID)
 		if err != nil {
 			return nil, err
 		}
-		cb.cacheData = data
-		var base int64
-		for _, e := range im.CacheExtentsSorted() {
-			cb.exts = append(cb.exts, corpus.Extent{Off: e.Off, Len: e.Len})
-			cb.bases = append(cb.bases, base)
-			base += e.Len
-		}
 		if base != int64(len(data)) {
 			return nil, fmt.Errorf("core: cache object %s is %d bytes, extents say %d",
 				im.ID, len(data), base)
 		}
+		cb.local = true
+		cb.cacheData = data
 	}
 	return cb, nil
 }
 
 // Size implements qcow.Backend.
-func (cb *chainBackend) Size() int64 { return cb.im.RawSize() }
+func (cb *chainBackend) Size() int64 { return cb.rawSize }
 
-// ReadAt implements qcow.Backend: cache extents first, PFS for the rest.
+// ReadAt implements qcow.Backend: local cache extents first, then the
+// peer exchange for cache-covered ranges the node is missing, then the
+// PFS for everything else (including peer-fetch fallbacks).
 func (cb *chainBackend) ReadAt(p []byte, off int64) (int, error) {
 	total := 0
-	for len(p) > 0 && off < cb.im.RawSize() {
-		n, fromCache := cb.cacheRange(p, off)
-		if !fromCache {
-			read, err := cb.pfs.ReadAt(cb.node, cb.im.ID, p[:n], off)
+	for len(p) > 0 && off < cb.rawSize {
+		n, ext, served := cb.cacheRange(p, off)
+		switch {
+		case served:
+			cb.cacheBytes += n
+		case ext >= 0 && cb.fetch != nil &&
+			cb.fetch.fetch(p[:n], cb.bases[ext]+(off-cb.exts[ext].Off)):
+			cb.peerBytes += n
+		default:
+			read, err := cb.pfs.ReadAt(cb.node, cb.id, p[:n], off)
 			if err != nil && err != io.EOF {
 				return total, err
 			}
@@ -219,8 +254,6 @@ func (cb *chainBackend) ReadAt(p []byte, off int64) (int, error) {
 			if int64(read) != n {
 				return total + read, io.EOF
 			}
-		} else {
-			cb.cacheBytes += n
 		}
 		p = p[n:]
 		off += n
@@ -232,17 +265,20 @@ func (cb *chainBackend) ReadAt(p []byte, off int64) (int, error) {
 	return total, nil
 }
 
-// cacheRange serves the prefix of p from the cache if [off, ...) starts
-// inside a cached extent, returning the bytes served and true. Otherwise
-// it returns the length of the uncached prefix (up to the next cached
-// extent) and false.
-func (cb *chainBackend) cacheRange(p []byte, off int64) (int64, bool) {
-	n := int64(len(p))
-	if rem := cb.im.RawSize() - off; n > rem {
+// cacheRange resolves the prefix of p against the cache layout. It
+// returns the prefix length n (clamped to the image size, the containing
+// extent, or the gap up to the next extent), the index of the containing
+// extent (-1 when [off, off+n) lies outside every cache extent), and
+// whether the bytes were served from the local replica. When ext >= 0
+// but served is false the range is a cold miss a peer replica could
+// serve; when ext < 0 only the PFS holds the bytes.
+func (cb *chainBackend) cacheRange(p []byte, off int64) (n int64, ext int, served bool) {
+	n = int64(len(p))
+	if rem := cb.rawSize - off; n > rem {
 		n = rem
 	}
 	if len(cb.exts) == 0 {
-		return n, false
+		return n, -1, false
 	}
 	// First extent ending after off.
 	i := sort.Search(len(cb.exts), func(i int) bool {
@@ -254,13 +290,16 @@ func (cb *chainBackend) cacheRange(p []byte, off int64) (int64, bool) {
 		if rem := e.Off + e.Len - off; n > rem {
 			n = rem
 		}
-		src := cb.bases[i] + (off - e.Off)
-		copy(p[:n], cb.cacheData[src:src+n])
-		return n, true
+		if cb.local {
+			src := cb.bases[i] + (off - e.Off)
+			copy(p[:n], cb.cacheData[src:src+n])
+			return n, i, true
+		}
+		return n, i, false
 	}
-	// Before extent i (or past all extents): uncached gap.
+	// Before extent i (or past all extents): a gap only the PFS holds.
 	if i < len(cb.exts) && cb.exts[i].Off < off+n {
 		n = cb.exts[i].Off - off
 	}
-	return n, false
+	return n, -1, false
 }

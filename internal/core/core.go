@@ -42,6 +42,8 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/peer"
 	"repro/internal/qcow"
 	"repro/internal/zvol"
 )
@@ -64,6 +66,11 @@ type Config struct {
 	// Repair bounds the NACK-style unicast retry loop for replicas that
 	// missed or rejected a registration stream.
 	Repair RepairPolicy
+	// Peer configures the peer block exchange: cold-boot misses consult
+	// the content index and fetch from a neighboring replica before
+	// falling back to the PFS. The index is always maintained;
+	// Peer.Enabled gates only the fetch path.
+	Peer peer.Policy
 }
 
 // RepairPolicy bounds per-replica registration repair.
@@ -101,6 +108,9 @@ func DefaultConfig() Config {
 		ClusterSize:   qcow.DefaultClusterSize,
 		Propagation:   Multicast,
 		Repair:        DefaultRepairPolicy(),
+		// The paper's boot path is cache-or-PFS; the peer exchange is this
+		// repo's extension and stays opt-in (peer.DefaultPolicy enables it).
+		Peer: peer.Policy{}.Normalize(),
 	}
 }
 
@@ -111,6 +121,13 @@ type Squirrel struct {
 	pfs *cluster.PFS
 
 	sc *zvol.Volume // scVolume (storage nodes); internally locked
+
+	// peers is the content index of the peer block exchange; internally
+	// locked (never acquire s.mu while holding index locks — core always
+	// locks s.mu first, or calls the index without s.mu held).
+	peers *peer.Index
+	// bootReads records the size of every boot-trace read.
+	bootReads *metrics.Histogram
 
 	// mu guards the mutable deployment state below. Register and SyncNode
 	// serialize under it; Boot drops it before replaying the trace so
@@ -138,15 +155,18 @@ func New(cfg Config, cl *cluster.Cluster, pfs *cluster.PFS) (*Squirrel, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Peer = cfg.Peer.Normalize()
 	s := &Squirrel{
-		cfg:     cfg,
-		cl:      cl,
-		pfs:     pfs,
-		sc:      sc,
-		cc:      make(map[string]*zvol.Volume),
-		online:  make(map[string]bool),
-		lagging: make(map[string]bool),
-		images:  make(map[string]*corpus.Image),
+		cfg:       cfg,
+		cl:        cl,
+		pfs:       pfs,
+		sc:        sc,
+		peers:     peer.NewIndex(),
+		bootReads: metrics.MustHistogram(metrics.ByteBuckets()...),
+		cc:        make(map[string]*zvol.Volume),
+		online:    make(map[string]bool),
+		lagging:   make(map[string]bool),
+		images:    make(map[string]*corpus.Image),
 	}
 	for _, n := range cl.Compute {
 		v, err := zvol.New(cfg.Volume)
@@ -161,6 +181,42 @@ func New(cfg Config, cl *cluster.Cluster, pfs *cluster.PFS) (*Squirrel, error) {
 
 // SCVolume exposes the storage-side cVolume (for stats and tests).
 func (s *Squirrel) SCVolume() *zvol.Volume { return s.sc }
+
+// PeerIndex exposes the peer block exchange's content index (stats,
+// experiments, and the squirrelctl -peers dump read it).
+func (s *Squirrel) PeerIndex() *peer.Index { return s.peers }
+
+// BootReadSizes is the histogram of boot-trace read sizes across every
+// boot served by this deployment.
+func (s *Squirrel) BootReadSizes() *metrics.Histogram { return s.bootReads }
+
+// SetFaults swaps the deployment's fault injector. Chaos scenarios use
+// this to bring a deployment up on a clean fabric and then turn it
+// hostile for the phase under test.
+func (s *Squirrel) SetFaults(inj *fault.Injector) {
+	s.mu.Lock()
+	s.cfg.Faults = inj
+	s.mu.Unlock()
+}
+
+// announceHoldingsLocked reconciles the peer index with what nodeID's
+// ccVolume actually holds, restricted to registered images (a replica
+// may still physically hold a deregistered object until the next
+// snapshot removes it, but such objects are no longer servable).
+// Callers hold s.mu.
+func (s *Squirrel) announceHoldingsLocked(nodeID string) {
+	ccv := s.cc[nodeID]
+	if ccv == nil {
+		return
+	}
+	var held []string
+	for _, obj := range ccv.Objects() {
+		if _, ok := s.images[obj]; ok {
+			held = append(held, obj)
+		}
+	}
+	s.peers.SetHoldings(nodeID, held)
+}
 
 // CCVolume returns a compute node's cVolume.
 func (s *Squirrel) CCVolume(nodeID string) (*zvol.Volume, error) {
@@ -184,6 +240,14 @@ func (s *Squirrel) SetOnline(nodeID string, up bool) error {
 		return fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
 	s.online[nodeID] = up
+	// Offline nodes cannot serve peer fetches, so their announcements are
+	// withdrawn; on the way back up the node re-announces what it still
+	// physically holds (possibly a stale-but-valid subset).
+	if up {
+		s.announceHoldingsLocked(nodeID)
+	} else {
+		s.peers.WithdrawNode(nodeID)
+	}
 	return nil
 }
 
@@ -264,8 +328,9 @@ func (s *Squirrel) registerLocked(im *corpus.Image, at time.Time) (RegisterRepor
 	// Publish the base VMI on the parallel file system if not present
 	// (uploads are the provider's existing mechanism, §3.2).
 	if _, err := s.pfs.Size(im.ID); err != nil {
-		gen := corpus.NewGenerator(im)
-		if err := s.pfs.AddFile(im.ID, im.RawSize(), gen.ReadAt); err != nil {
+		// ReadAtFunc, not a bare Generator: the PFS serves concurrent
+		// boots of the same image.
+		if err := s.pfs.AddFile(im.ID, im.RawSize(), im.ReadAtFunc()); err != nil {
 			return RegisterReport{}, err
 		}
 	}
@@ -333,6 +398,7 @@ func (s *Squirrel) registerLocked(im *corpus.Image, at time.Time) (RegisterRepor
 	default:
 		deliv, rep.XferSec = s.cl.MulticastStream(op, src, dsts, wire, s.cfg.Faults)
 	}
+	var synced []string
 	for _, dv := range deliv {
 		if !dv.OK() {
 			rep.Faults++
@@ -343,10 +409,12 @@ func (s *Squirrel) registerLocked(im *corpus.Image, at time.Time) (RegisterRepor
 		}
 		if s.applyDelivery(dv, stream) {
 			rep.Nodes++
+			synced = append(synced, dv.Node.ID)
 			continue
 		}
 		if s.repairReplica(op, dv.Node, stream, wire, &rep) {
 			rep.Nodes++
+			synced = append(synced, dv.Node.ID)
 		} else if s.online[dv.Node.ID] {
 			s.lagging[dv.Node.ID] = true
 			rep.Lagging = append(rep.Lagging, dv.Node.ID)
@@ -354,6 +422,11 @@ func (s *Squirrel) registerLocked(im *corpus.Image, at time.Time) (RegisterRepor
 		}
 	}
 	s.images[im.ID] = im
+	// Replicas that applied the snapshot announce their (updated) holdings
+	// to the peer index — the publish half of the peer block exchange.
+	for _, nodeID := range synced {
+		s.announceHoldingsLocked(nodeID)
+	}
 	return rep, nil
 }
 
@@ -381,6 +454,7 @@ func (s *Squirrel) applyDelivery(dv cluster.Delivery, st *zvol.Stream) bool {
 func (s *Squirrel) crashReplica(nodeID string, rep *RegisterReport) {
 	s.online[nodeID] = false
 	s.lagging[nodeID] = true
+	s.peers.WithdrawNode(nodeID)
 	rep.Crashed = append(rep.Crashed, nodeID)
 	s.cfg.Faults.Counters().Add("repair.crashed", 1)
 }
@@ -450,6 +524,10 @@ func (s *Squirrel) Deregister(id string) error {
 		return err
 	}
 	delete(s.images, id)
+	// Replicas may physically hold the object until the next snapshot
+	// propagates the delete, but a deregistered image is not servable:
+	// withdraw it from the peer index immediately.
+	s.peers.WithdrawObject(id)
 	return nil
 }
 
@@ -461,8 +539,34 @@ func (s *Squirrel) GarbageCollect(now time.Time) int {
 	defer s.mu.Unlock()
 	window := time.Duration(s.cfg.RetentionDays) * 24 * time.Hour
 	n := len(s.sc.GarbageCollect(now, window))
-	for _, v := range s.cc {
+	for id, v := range s.cc {
 		n += len(v.GarbageCollect(now, window))
+		// Retention changes what each replica can serve going forward;
+		// reconcile announcements against the live object sets.
+		if s.online[id] {
+			s.announceHoldingsLocked(id)
+		}
 	}
 	return n
+}
+
+// DropReplica deletes nodeID's local copy of one cache object and
+// withdraws its peer-index announcement. This is the hook experiments,
+// tests, and capacity policies use to manufacture cold-boot misses (or
+// reclaim replica space) without taking the node offline: the next boot
+// of imageID on nodeID must fetch from a peer or the PFS.
+func (s *Squirrel) DropReplica(nodeID, imageID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ccv, ok := s.cc[nodeID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
+	}
+	if ccv.HasObject(imageID) {
+		if err := ccv.DeleteObject(imageID); err != nil {
+			return err
+		}
+	}
+	s.peers.Withdraw(imageID, nodeID)
+	return nil
 }

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/corpus"
+	"repro/internal/fault"
+	"repro/internal/peer"
+)
+
+// peerDeployment is deployment with the peer block exchange enabled.
+func peerDeployment(t testing.TB, computeNodes int) (*Squirrel, *cluster.Cluster, *corpus.Repository) {
+	t.Helper()
+	cl, err := cluster.New(cluster.GigE, 4, computeNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfs, err := cluster.NewPFS(cl, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ClusterSize = 4096
+	cfg.Volume.BlockSize = 4096
+	cfg.Peer = peer.DefaultPolicy()
+	sq, err := New(cfg, cl, pfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := corpus.New(corpus.TestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sq, cl, repo
+}
+
+func storageTx(cl *cluster.Cluster) int64 {
+	var n int64
+	for _, sn := range cl.Storage {
+		n += sn.TxBytes()
+	}
+	return n
+}
+
+func TestPeerServesColdBootMiss(t *testing.T) {
+	sq, cl, repo := peerDeployment(t, 4)
+	im := repo.Images[0]
+	if _, err := sq.Register(im, day(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !sq.PeerIndex().Holds(im.ID, "node03") {
+		t.Fatal("registration did not announce node03's replica")
+	}
+	if err := sq.DropReplica("node03", im.ID); err != nil {
+		t.Fatal(err)
+	}
+	if sq.PeerIndex().Holds(im.ID, "node03") {
+		t.Fatal("DropReplica left the announcement behind")
+	}
+	cl.ResetCounters()
+	rep, err := sq.Boot(im.ID, "node03", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeerBytes <= 0 {
+		t.Fatalf("cold miss not served by a peer: %+v", rep)
+	}
+	if rep.NetworkBytes != 0 {
+		t.Fatalf("peer-served boot still pulled %d bytes from the PFS", rep.NetworkBytes)
+	}
+	if rep.Warm {
+		t.Fatal("peer-served boot must not report warm")
+	}
+	if rep.PeerNode == "" || rep.PeerNode == "node03" {
+		t.Fatalf("bad source peer %q", rep.PeerNode)
+	}
+	// Exact NIC accounting: all boot traffic is peer traffic, none of it
+	// touched the storage nodes.
+	if tx := storageTx(cl); tx != 0 {
+		t.Fatalf("storage nodes transmitted %d bytes during a peer-served boot", tx)
+	}
+	if rx := cl.ComputeRxTotal(); rx != rep.PeerBytes {
+		t.Fatalf("compute NICs saw %d bytes, report says %d", rx, rep.PeerBytes)
+	}
+	// The exchange's own accounting agrees.
+	ctr := sq.PeerIndex().Counters()
+	if ctr.Get("peer.bytes") != rep.PeerBytes || ctr.Get("peer.hit") == 0 {
+		t.Fatalf("peer counters: %s", ctr)
+	}
+	// Selection is least-loaded, so serves spread across the holders; the
+	// loads must sum to the report, the top server must be the report's
+	// PeerNode, and nobody may still hold a slot.
+	var sum, top int64
+	for _, l := range sq.Stats().PeerLoads {
+		sum += l.ServedBytes
+		if l.Active != 0 {
+			t.Fatalf("leaked serve slot: %+v", l)
+		}
+		if l.ServedBytes > top {
+			top = l.ServedBytes
+			if l.NodeID != rep.PeerNode {
+				t.Fatalf("top server %s, report says %s", l.NodeID, rep.PeerNode)
+			}
+		}
+	}
+	if sum != rep.PeerBytes {
+		t.Fatalf("serve loads sum to %d, report says %d", sum, rep.PeerBytes)
+	}
+	if sq.PeerIndex().TransferSizes().Sum() != rep.PeerBytes {
+		t.Fatal("transfer-size histogram disagrees with the report")
+	}
+}
+
+func TestPeerOffloadsConcurrentColdBoots(t *testing.T) {
+	// Twin deployments over the same seeded corpus: one PFS-only, one
+	// peer-assisted. The same wave of concurrent cold boots must move a
+	// majority of miss bytes off the storage nodes.
+	const nodes, images, holders = 8, 3, 2
+	run := func(enabled bool) (peerSum, pfsSum, tx int64) {
+		cl, err := cluster.New(cluster.GigE, 4, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pfs, err := cluster.NewPFS(cl, 2, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.ClusterSize = 4096
+		cfg.Volume.BlockSize = 4096
+		cfg.Peer = peer.DefaultPolicy()
+		cfg.Peer.Enabled = enabled
+		sq, err := New(cfg, cl, pfs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repo, err := corpus.New(corpus.TestSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < images; i++ {
+			if _, err := sq.Register(repo.Images[i], day(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Scatter-hoard partial state: only the first `holders` nodes
+		// keep replicas; everyone else cold-boots.
+		for i := 0; i < images; i++ {
+			for n := holders; n < nodes; n++ {
+				if err := sq.DropReplica(cl.Compute[n].ID, repo.Images[i].ID); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		cl.ResetCounters()
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			errs []error
+		)
+		for i := 0; i < images; i++ {
+			for n := holders; n < nodes; n++ {
+				im, nodeID := repo.Images[i], cl.Compute[n].ID
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rep, err := sq.Boot(im.ID, nodeID, true)
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						errs = append(errs, err)
+						return
+					}
+					peerSum += rep.PeerBytes
+					pfsSum += rep.NetworkBytes
+				}()
+			}
+		}
+		wg.Wait()
+		for _, err := range errs {
+			t.Fatal(err)
+		}
+		return peerSum, pfsSum, storageTx(cl)
+	}
+	basePeer, basePFS, baseTx := run(false)
+	if basePeer != 0 || basePFS == 0 {
+		t.Fatalf("PFS-only run: peer=%d pfs=%d", basePeer, basePFS)
+	}
+	peerSum, pfsSum, tx := run(true)
+	if peerSum == 0 {
+		t.Fatal("peer-assisted run served nothing from peers")
+	}
+	if pfsSum >= basePFS {
+		t.Fatalf("peer run PFS bytes %d not lower than PFS-only %d", pfsSum, basePFS)
+	}
+	if tx >= baseTx {
+		t.Fatalf("storage tx %d not lower than PFS-only %d", tx, baseTx)
+	}
+	if peerSum <= pfsSum {
+		t.Fatalf("peers served %d of %d miss bytes — not a majority", peerSum, peerSum+pfsSum)
+	}
+}
+
+// setFaults swaps the deployment's injector after registration so tests
+// can fault only the peer-fetch path.
+func setFaults(sq *Squirrel, plan fault.Plan, t *testing.T) *fault.Injector {
+	t.Helper()
+	inj, err := fault.New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq.SetFaults(inj)
+	return inj
+}
+
+func TestPeerFetchFaultFailoverDeterministic(t *testing.T) {
+	// Under a lossy plan the peer path fails over source by source and
+	// finally to the PFS; the boot still verifies byte-exact, every
+	// transferred byte is accounted, and the whole run replays
+	// identically from the seed.
+	boot := func() (BootReport, map[string]int64, int64) {
+		sq, cl, repo := peerDeployment(t, 4)
+		im := repo.Images[0]
+		if _, err := sq.Register(im, day(0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sq.DropReplica("node03", im.ID); err != nil {
+			t.Fatal(err)
+		}
+		setFaults(sq, fault.Plan{Seed: 42, Drop: 0.5, Truncate: 0.2, Corrupt: 0.15}, t)
+		cl.ResetCounters()
+		rep, err := sq.Boot(im.ID, "node03", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, sq.PeerIndex().Counters().Snapshot(), cl.ComputeRxTotal()
+	}
+	rep, ctr, rx := boot()
+	if ctr["peer.fault"] == 0 {
+		t.Fatalf("plan injected no faults: %v", ctr)
+	}
+	if rep.PeerBytes == 0 || ctr["peer.hit"] == 0 {
+		t.Fatalf("no ranges survived the lossy exchange: %+v %v", rep, ctr)
+	}
+	if ctr["peer.fallback"] == 0 || rep.PeerFallbacks == 0 || rep.NetworkBytes == 0 {
+		t.Fatalf("no ranges fell back to the PFS: %+v %v", rep, ctr)
+	}
+	// Exact accounting: the booting node received its PFS bytes, its
+	// peer bytes, and the wasted bytes of truncated/corrupted transfers.
+	if want := rep.NetworkBytes + rep.PeerBytes + ctr["peer.wasted_bytes"]; rx != want {
+		t.Fatalf("compute rx %d, want %d (pfs %d + peer %d + wasted %d)",
+			rx, want, rep.NetworkBytes, rep.PeerBytes, ctr["peer.wasted_bytes"])
+	}
+	// Deterministic replay: identical deployment, identical outcomes.
+	rep2, ctr2, rx2 := boot()
+	if rep2 != rep || rx2 != rx {
+		t.Fatalf("chaos boot not reproducible:\n%+v rx=%d\n%+v rx=%d", rep, rx, rep2, rx2)
+	}
+	for k, v := range ctr {
+		if ctr2[k] != v {
+			t.Fatalf("counter %s: %d vs %d", k, v, ctr2[k])
+		}
+	}
+}
+
+func TestPeerSourceCrashFailsOverToPFS(t *testing.T) {
+	sq, _, repo := peerDeployment(t, 4)
+	im := repo.Images[0]
+	if _, err := sq.Register(im, day(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sq.DropReplica("node03", im.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Every transfer decision crashes, budget 1: the first source dies
+	// mid-serve, later crashes degrade to drops, the boot finishes off
+	// the PFS.
+	setFaults(sq, fault.Plan{Seed: 7, Crash: 1, MaxCrashes: 1}, t)
+	rep, err := sq.Boot(im.ID, "node03", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeerBytes != 0 || rep.NetworkBytes == 0 {
+		t.Fatalf("crash-looped boot should finish off the PFS: %+v", rep)
+	}
+	ctr := sq.PeerIndex().Counters()
+	if ctr.Get("peer.crash") != 1 {
+		t.Fatalf("want exactly one source crash, got %d", ctr.Get("peer.crash"))
+	}
+	// The crashed source (least-loaded pick: node00) is offline, lagging,
+	// and withdrawn from the index.
+	if got := sq.Lagging(); len(got) != 1 || got[0] != "node00" {
+		t.Fatalf("lagging: %v", got)
+	}
+	if sq.PeerIndex().Holds(im.ID, "node00") {
+		t.Fatal("crashed source still announced")
+	}
+	// Recovery: the crashed node comes back, heals on first boot, and
+	// re-announces.
+	if err := sq.SetOnline("node00", true); err != nil {
+		t.Fatal(err)
+	}
+	br, err := sq.Boot(im.ID, "node00", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !br.Healed || !br.Warm {
+		t.Fatalf("crashed source did not heal: %+v", br)
+	}
+	if !sq.PeerIndex().Holds(im.ID, "node00") {
+		t.Fatal("healed node did not re-announce")
+	}
+}
+
+func TestPeerNeverPicksIneligibleSources(t *testing.T) {
+	sq, cl, repo := peerDeployment(t, 4)
+	im := repo.Images[0]
+	if _, err := sq.Register(im, day(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Strip all but one replica; take that sole holder offline. The cold
+	// boot must fall back to the PFS (never the booting node itself, an
+	// offline node, or a node without the object).
+	for _, n := range []string{"node01", "node02"} {
+		if err := sq.DropReplica(n, im.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sq.DropReplica("node03", im.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := sq.SetOnline("node00", false); err != nil {
+		t.Fatal(err)
+	}
+	cl.ResetCounters()
+	rep, err := sq.Boot(im.ID, "node03", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeerBytes != 0 || rep.NetworkBytes == 0 {
+		t.Fatalf("boot should have used the PFS only: %+v", rep)
+	}
+	if sq.PeerIndex().Counters().Get("peer.hit") != 0 {
+		t.Fatal("an ineligible source served a fetch")
+	}
+	if node00 := cl.Compute[0]; node00.TxBytes() != 0 {
+		t.Fatal("offline node transmitted bytes")
+	}
+}
+
+func TestPeerIndexMaintenance(t *testing.T) {
+	sq, _, repo := peerDeployment(t, 4)
+	ix := sq.PeerIndex()
+	a, b := repo.Images[0], repo.Images[1]
+	if _, err := sq.Register(a, day(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sq.Register(b, day(1)); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Objects() != 2 || ix.Entries() != 8 {
+		t.Fatalf("after 2 registrations: objects=%d entries=%d", ix.Objects(), ix.Entries())
+	}
+	// Offline → withdrawn; online → re-announced from actual holdings.
+	if err := sq.SetOnline("node02", false); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Entries() != 6 || ix.Holds(a.ID, "node02") {
+		t.Fatalf("offline withdraw: entries=%d", ix.Entries())
+	}
+	if err := sq.SetOnline("node02", true); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Entries() != 8 || !ix.Holds(a.ID, "node02") {
+		t.Fatalf("online re-announce: entries=%d", ix.Entries())
+	}
+	// Deregistration withdraws the object everywhere, immediately.
+	if err := sq.Deregister(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Objects() != 1 || ix.Holders(a.ID) != nil && len(ix.Holders(a.ID)) != 0 {
+		t.Fatalf("deregister: objects=%d holders=%v", ix.Objects(), ix.Holders(a.ID))
+	}
+	// A later registration must not resurrect the deregistered object on
+	// replicas that still physically hold it pending snapshot cleanup.
+	c := repo.Images[2]
+	if _, err := sq.Register(c, day(2)); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Holds(a.ID, "node00") {
+		t.Fatal("deregistered object re-announced")
+	}
+	if !ix.Holds(c.ID, "node00") || ix.Objects() != 2 {
+		t.Fatalf("post-deregister registration: objects=%d", ix.Objects())
+	}
+	// GC reconciles without inventing entries.
+	sq.GarbageCollect(day(40))
+	if ix.Objects() != 2 || ix.Entries() != 8 {
+		t.Fatalf("after GC: objects=%d entries=%d", ix.Objects(), ix.Entries())
+	}
+}

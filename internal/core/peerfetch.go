@@ -1,0 +1,197 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/corpus"
+	"repro/internal/fault"
+	"repro/internal/peer"
+)
+
+// peerFetcher resolves one boot's cold-cache misses against replicas on
+// neighboring compute nodes: the lookup half of the peer block exchange.
+// For every miss inside the image's cache extents it asks the content
+// index for holders, picks the least-loaded eligible source (never the
+// booting node itself, never offline or lagging nodes, never a node with
+// all serve slots busy), transfers the range over cluster unicast with
+// exact NIC byte accounting, and on a fault fails over to the next
+// candidate. When the attempt budget is spent the caller falls back to
+// the PFS, so a boot always completes.
+//
+// Transfer faults come from the deployment's fault.Injector under the op
+// key "peerfetch:<image>:<node>" with a per-boot attempt sequence, so a
+// chaos run's peer-fetch outcomes are replayable from the plan seed and
+// the boot order alone.
+type peerFetcher struct {
+	s        *Squirrel
+	imageID  string
+	bootNode *cluster.Node
+	policy   peer.Policy
+	faults   *fault.Injector // captured at boot start (SetFaults may swap mid-run)
+	op       string
+
+	seq       int               // transfer attempts so far (fault lane)
+	data      map[string][]byte // materialized cache object per source
+	served    map[string]int64  // bytes served per source
+	fallbacks int               // misses the peer path gave up on
+}
+
+func (s *Squirrel) newPeerFetcher(im *corpus.Image, node *cluster.Node) *peerFetcher {
+	s.mu.Lock()
+	inj := s.cfg.Faults
+	s.mu.Unlock()
+	return &peerFetcher{
+		s:        s,
+		imageID:  im.ID,
+		bootNode: node,
+		policy:   s.cfg.Peer,
+		faults:   inj,
+		op:       "peerfetch:" + im.ID + ":" + node.ID,
+		data:     make(map[string][]byte),
+		served:   make(map[string]int64),
+	}
+}
+
+// fetch fills dst from a peer replica's cache object at [base,
+// base+len(dst)), trying up to MaxAttempts candidate sources. It returns
+// false when no peer could serve the range — the caller then reads the
+// PFS.
+func (f *peerFetcher) fetch(dst []byte, base int64) bool {
+	ctr := f.s.peers.Counters()
+	tried := make(map[string]bool)
+	for attempt := 0; attempt < f.policy.MaxAttempts; attempt++ {
+		src, release, ok, busy := f.acquire(tried)
+		if !ok {
+			if busy {
+				ctr.Add("peer.busy", 1)
+			} else if attempt == 0 {
+				// No holder anywhere: a pure index miss, not a fallback
+				// after failed transfers.
+				ctr.Add("peer.miss", 1)
+				return false
+			}
+			break
+		}
+		tried[src] = true
+		if f.transfer(src, dst, base, release) {
+			ctr.Add("peer.hit", 1)
+			ctr.Add("peer.bytes", int64(len(dst)))
+			f.served[src] += int64(len(dst))
+			return true
+		}
+	}
+	f.fallbacks++
+	ctr.Add("peer.fallback", 1)
+	return false
+}
+
+// acquire reserves a serve slot on the best eligible holder. Deployment
+// eligibility (online, not lagging, replica actually present) is
+// snapshotted under s.mu first; the index is then consulted without s.mu
+// held, keeping lock order one-way (s.mu before index locks, never the
+// reverse).
+func (f *peerFetcher) acquire(tried map[string]bool) (string, func(int64), bool, bool) {
+	s := f.s
+	s.mu.Lock()
+	eligible := make(map[string]bool)
+	for _, id := range s.peers.Holders(f.imageID) {
+		if tried[id] || id == f.bootNode.ID || !s.online[id] || s.lagging[id] {
+			continue
+		}
+		if ccv := s.cc[id]; ccv != nil && ccv.HasObject(f.imageID) {
+			eligible[id] = true
+		}
+	}
+	s.mu.Unlock()
+	return s.peers.Acquire(f.imageID, f.policy.MaxServeSlots,
+		func(id string) bool { return !eligible[id] })
+}
+
+// transfer moves one range from src to the booting node, applying the
+// deployment's fault injector. NIC counters account exactly the bytes
+// that crossed the fabric: the full range on success and on corruption
+// (damage is detected at the receiver), the delivered prefix on
+// truncation, nothing on a drop or source crash.
+func (f *peerFetcher) transfer(src string, dst []byte, base int64, release func(int64)) bool {
+	s := f.s
+	ctr := s.peers.Counters()
+	done := func(served int64, ok bool) bool {
+		release(served)
+		return ok
+	}
+	payload, err := f.sourceRange(src, base, int64(len(dst)))
+	if err != nil {
+		// The replica vanished between index lookup and read (dropped or
+		// deregistered concurrently): treat as a failed attempt.
+		ctr.Add("peer.stale", 1)
+		return done(0, false)
+	}
+	f.seq++
+	kind, got := f.faults.Strike(f.op, src, f.seq, payload)
+	if kind != fault.None {
+		ctr.Add("peer.fault", 1)
+	}
+	srcNode, err := s.computeNode(src)
+	if err != nil {
+		return done(0, false)
+	}
+	if kind == fault.Crash {
+		// The source dies mid-serve: it drops offline, its announcements
+		// are withdrawn, and its next boot heals it like any crash.
+		s.mu.Lock()
+		s.online[src] = false
+		s.lagging[src] = true
+		s.mu.Unlock()
+		s.peers.WithdrawNode(src)
+		ctr.Add("peer.crash", 1)
+		return done(0, false)
+	}
+	if len(got) > 0 {
+		srcNode.Send(int64(len(got)))
+		f.bootNode.Recv(int64(len(got)))
+	}
+	if kind != fault.None {
+		// Truncated or corrupted transfers moved bytes but deliver no
+		// usable data (per-block checksums reject them at the receiver).
+		ctr.Add("peer.wasted_bytes", int64(len(got)))
+		return done(0, false)
+	}
+	copy(dst, got)
+	return done(int64(len(dst)), true)
+}
+
+// sourceRange reads [base, base+n) of the source's cache object,
+// materializing the object once per source per boot.
+func (f *peerFetcher) sourceRange(src string, base, n int64) ([]byte, error) {
+	data, ok := f.data[src]
+	if !ok {
+		s := f.s
+		s.mu.Lock()
+		ccv := s.cc[src]
+		s.mu.Unlock()
+		if ccv == nil {
+			return nil, ErrUnknownNode
+		}
+		var err error
+		data, err = ccv.ReadObject(f.imageID)
+		if err != nil {
+			return nil, err
+		}
+		f.data[src] = data
+	}
+	if base < 0 || base+n > int64(len(data)) {
+		return nil, ErrNotRegistered
+	}
+	return data[base : base+n : base+n], nil
+}
+
+// topSource is the peer that served the most bytes this boot, breaking
+// ties by node ID for determinism.
+func (f *peerFetcher) topSource() string {
+	top, topBytes := "", int64(0)
+	for id, b := range f.served {
+		if b > topBytes || (b == topBytes && top != "" && id < top) {
+			top, topBytes = id, b
+		}
+	}
+	return top
+}

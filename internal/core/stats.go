@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/peer"
 	"repro/internal/zvol"
 )
 
@@ -24,6 +25,15 @@ type DeploymentStats struct {
 	// LaggingNodes counts replicas that exhausted their registration
 	// repair budget (or crashed mid-transfer) and await healing.
 	LaggingNodes int
+
+	// PeerIndexObjects / PeerIndexEntries size the peer block exchange's
+	// content index: distinct cache objects announced, and total
+	// (object, node) announcements.
+	PeerIndexObjects int
+	PeerIndexEntries int
+	// PeerLoads is the per-node serve load of the peer exchange, sorted
+	// by node ID (nodes that never served are absent).
+	PeerLoads []peer.NodeLoad
 }
 
 // Stats computes current deployment-wide statistics.
@@ -35,6 +45,9 @@ func (s *Squirrel) Stats() DeploymentStats {
 		ComputeNodes:     len(s.cc),
 		LaggingNodes:     len(s.lagging),
 		SCVolume:         s.sc.Stats(),
+		PeerIndexObjects: s.peers.Objects(),
+		PeerIndexEntries: s.peers.Entries(),
+		PeerLoads:        s.peers.Loads(),
 	}
 	latest := ""
 	if snap := s.sc.LatestSnapshot(); snap != nil {

@@ -65,6 +65,11 @@ func (s *Squirrel) syncNodeLocked(nodeID string) (SyncReport, error) {
 			rep.Healed = true
 			s.cfg.Faults.Counters().Add("repair.healed", 1)
 		}
+		// A synced node's holdings are authoritative again: (re)announce
+		// them so the peer exchange can route misses here.
+		if s.online[nodeID] {
+			s.announceHoldingsLocked(nodeID)
+		}
 		return rep
 	}
 	latest := s.sc.LatestSnapshot()

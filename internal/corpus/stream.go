@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/block"
 )
@@ -84,6 +85,20 @@ func (g *Generator) fillPoolRange(seg *segment, buf []byte, segRel int64) {
 		filled += copy(buf[filled:], g.cell[cellRel:])
 	}
 	seg.applyEdits(buf, segRel)
+}
+
+// ReadAtFunc returns a goroutine-safe ReadAt over the image's raw
+// content: each concurrent caller draws its own Generator from a pool.
+// This is the content function to hand long-lived shared readers like
+// the PFS, which serves simultaneous boots of the same image.
+func (im *Image) ReadAtFunc() func(p []byte, off int64) (int, error) {
+	pool := sync.Pool{New: func() any { return NewGenerator(im) }}
+	return func(p []byte, off int64) (int, error) {
+		g := pool.Get().(*Generator)
+		n, err := g.ReadAt(p, off)
+		pool.Put(g)
+		return n, err
+	}
 }
 
 // Reader returns an io.Reader over the image's full raw content

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Histogram is a fixed-bucket size/latency histogram: values are counted
+// into buckets delimited by a fixed ascending list of inclusive upper
+// bounds, with one implicit overflow bucket past the last bound. Like
+// CounterSet it is race-safe and nil-safe, so callers can observe
+// unconditionally from any goroutine. The boot path records per-read
+// sizes through one, and the peer exchange records transfer sizes.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []int64 // ascending inclusive upper bounds
+	counts []int64 // len(bounds)+1; last is the overflow bucket
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// ByteBuckets is the default power-of-four size ladder (1 KB … 16 MB),
+// wide enough for boot-trace reads and peer transfers alike.
+func ByteBuckets() []int64 {
+	return []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+}
+
+// NewHistogram builds a histogram over the given inclusive upper bounds.
+// Bounds must be non-empty and strictly ascending; the bucket layout is
+// fixed for the histogram's lifetime.
+func NewHistogram(bounds ...int64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("metrics: histogram needs at least one bucket bound")
+	}
+	if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
+		return nil, fmt.Errorf("metrics: histogram bounds must be strictly ascending")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] == bounds[i-1] {
+			return nil, fmt.Errorf("metrics: duplicate histogram bound %d", bounds[i])
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}, nil
+}
+
+// MustHistogram is NewHistogram for static bucket layouts.
+func MustHistogram(bounds ...int64) *Histogram {
+	h, err := NewHistogram(bounds...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Observe counts one value. Nil-safe: a nil histogram drops the
+// observation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a consistent copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []int64 // inclusive upper bounds
+	Counts []int64 // len(Bounds)+1; last is the overflow bucket
+	Count  int64
+	Sum    int64
+	Min    int64 // zero when Count == 0
+	Max    int64 // zero when Count == 0
+}
+
+// Mean is Sum/Count, or 0 for an empty histogram.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot copies the histogram state at once. A nil histogram yields an
+// empty snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+	return s
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// String renders the histogram one bucket per line ("≤bound count"),
+// ending with the overflow bucket and a summary line. Empty buckets are
+// included so layouts line up across runs.
+func (h *Histogram) String() string {
+	s := h.Snapshot()
+	var b strings.Builder
+	for i, bound := range s.Bounds {
+		fmt.Fprintf(&b, "≤%-10d %d\n", bound, s.Counts[i])
+	}
+	if len(s.Counts) > 0 {
+		fmt.Fprintf(&b, ">%-10d %d\n", s.Bounds[len(s.Bounds)-1], s.Counts[len(s.Counts)-1])
+	}
+	fmt.Fprintf(&b, "count=%d sum=%d min=%d max=%d mean=%.1f\n", s.Count, s.Sum, s.Min, s.Max, s.Mean())
+	return b.String()
+}

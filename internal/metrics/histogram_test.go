@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramBounds(t *testing.T) {
+	if _, err := NewHistogram(); err == nil {
+		t.Fatal("empty bounds accepted")
+	}
+	if _, err := NewHistogram(10, 5); err == nil {
+		t.Fatal("descending bounds accepted")
+	}
+	if _, err := NewHistogram(5, 5); err == nil {
+		t.Fatal("duplicate bounds accepted")
+	}
+	if _, err := NewHistogram(1, 2, 3); err != nil {
+		t.Fatalf("valid bounds rejected: %v", err)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := MustHistogram(10, 100, 1000)
+	// Bucket edges are inclusive upper bounds; values past the last bound
+	// land in the overflow bucket, and values below the first bound
+	// (including negatives) land in the first.
+	for _, v := range []int64{-5, 0, 10} { // first bucket
+		h.Observe(v)
+	}
+	h.Observe(11)   // second
+	h.Observe(100)  // second
+	h.Observe(101)  // third
+	h.Observe(1001) // overflow
+	s := h.Snapshot()
+	want := []int64{3, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d: got %d want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 7 {
+		t.Fatalf("count %d want 7", s.Count)
+	}
+	if s.Min != -5 || s.Max != 1001 {
+		t.Fatalf("min/max %d/%d want -5/1001", s.Min, s.Max)
+	}
+	if s.Sum != -5+0+10+11+100+101+1001 {
+		t.Fatalf("sum %d", s.Sum)
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(42) // must not panic
+	s := nilH.Snapshot()
+	if s.Count != 0 || s.Mean() != 0 {
+		t.Fatalf("nil histogram snapshot: %+v", s)
+	}
+	h := MustHistogram(1, 2)
+	s = h.Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Mean() != 0 {
+		t.Fatalf("empty histogram snapshot: %+v", s)
+	}
+	if h.String() == "" {
+		t.Fatal("empty histogram should still render")
+	}
+}
+
+func TestHistogramSnapshotIsolated(t *testing.T) {
+	h := MustHistogram(10)
+	h.Observe(1)
+	s := h.Snapshot()
+	s.Counts[0] = 99
+	s.Bounds[0] = 99
+	if got := h.Snapshot(); got.Counts[0] != 1 || got.Bounds[0] != 10 {
+		t.Fatalf("snapshot aliases histogram state: %+v", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := MustHistogram(ByteBuckets()...)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count %d want %d", got, workers*per)
+	}
+	var total int64
+	for _, c := range h.Snapshot().Counts {
+		total += c
+	}
+	if total != workers*per {
+		t.Fatalf("bucket counts sum to %d want %d", total, workers*per)
+	}
+}

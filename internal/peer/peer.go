@@ -1,0 +1,319 @@
+// Package peer implements the content index and source-selection policy
+// behind Squirrel's peer block exchange: compute nodes collectively
+// hoard VMI cache replicas (§3 of the paper), so a cold-boot miss can be
+// served by a neighboring node instead of hammering the parallel file
+// system. The design follows Shoal-style publish/lookup indexing: nodes
+// announce the cache objects they hold, withdraw them when replicas are
+// dropped or nodes go away, and a booting node looks up holders and
+// picks a source with a load-aware policy.
+//
+// The package is deliberately mechanism-only: it tracks who holds what
+// and how loaded each holder is. Eligibility policy that depends on
+// deployment state (the booting node itself, offline nodes, lagging
+// nodes) is passed in by the caller as an exclusion predicate, which
+// keeps the index free of core's locking.
+//
+// All methods are safe for concurrent use.
+package peer
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Policy parameterizes the peer exchange on a deployment.
+type Policy struct {
+	// Enabled gates the boot-time peer-fetch path. The index itself is
+	// always maintained (it is cheap, and stats/experiments read it).
+	Enabled bool
+	// MaxServeSlots bounds concurrent serves per node so one hot replica
+	// cannot melt a single peer; a node at capacity is skipped by
+	// selection. Zero or negative means DefaultMaxServeSlots.
+	MaxServeSlots int
+	// MaxAttempts is how many candidate peers one miss tries before
+	// falling back to the PFS. Zero or negative means
+	// DefaultMaxAttempts.
+	MaxAttempts int
+}
+
+// Defaults for Policy's knobs.
+const (
+	DefaultMaxServeSlots = 4
+	DefaultMaxAttempts   = 3
+)
+
+// DefaultPolicy returns the enabled peer exchange with default bounds.
+func DefaultPolicy() Policy {
+	return Policy{Enabled: true, MaxServeSlots: DefaultMaxServeSlots, MaxAttempts: DefaultMaxAttempts}
+}
+
+// Normalize fills unset bounds with defaults.
+func (p Policy) Normalize() Policy {
+	if p.MaxServeSlots <= 0 {
+		p.MaxServeSlots = DefaultMaxServeSlots
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	return p
+}
+
+// load is the per-node serve-side state.
+type load struct {
+	active int   // serves in flight (bounded by Policy.MaxServeSlots)
+	reads  int64 // completed serves
+	bytes  int64 // bytes served
+}
+
+// NodeLoad is a snapshot of one node's serve load.
+type NodeLoad struct {
+	NodeID      string
+	Active      int   // serves in flight at snapshot time
+	ServedReads int64 // completed serves
+	ServedBytes int64 // bytes served over the peer exchange
+}
+
+// Index is the cluster-wide content index: cache-object ID → the set of
+// compute nodes currently announcing a replica, plus per-node serve
+// load. One Index belongs to one deployment.
+type Index struct {
+	mu      sync.Mutex
+	holders map[string]map[string]struct{} // objID → nodeID set
+	loads   map[string]*load               // nodeID → serve load
+
+	counters *metrics.CounterSet
+	sizes    *metrics.Histogram // successful peer-transfer sizes
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		holders:  make(map[string]map[string]struct{}),
+		loads:    make(map[string]*load),
+		counters: metrics.NewCounterSet(),
+		sizes:    metrics.MustHistogram(metrics.ByteBuckets()...),
+	}
+}
+
+// Counters exposes the exchange accounting: peer.hit, peer.miss,
+// peer.fallback, peer.busy, peer.fault, peer.bytes, peer.wasted_bytes,
+// peer.crash — what an operator dashboard would scrape.
+func (ix *Index) Counters() *metrics.CounterSet {
+	if ix == nil {
+		return nil
+	}
+	return ix.counters
+}
+
+// TransferSizes is the histogram of successful peer-transfer sizes.
+func (ix *Index) TransferSizes() *metrics.Histogram {
+	if ix == nil {
+		return nil
+	}
+	return ix.sizes
+}
+
+// Announce publishes that node holds a replica of obj.
+func (ix *Index) Announce(obj, node string) {
+	ix.mu.Lock()
+	ix.announceLocked(obj, node)
+	ix.mu.Unlock()
+}
+
+func (ix *Index) announceLocked(obj, node string) {
+	set, ok := ix.holders[obj]
+	if !ok {
+		set = make(map[string]struct{})
+		ix.holders[obj] = set
+	}
+	set[node] = struct{}{}
+}
+
+// Withdraw removes node's announcement for obj (replica dropped).
+func (ix *Index) Withdraw(obj, node string) {
+	ix.mu.Lock()
+	ix.withdrawLocked(obj, node)
+	ix.mu.Unlock()
+}
+
+func (ix *Index) withdrawLocked(obj, node string) {
+	if set, ok := ix.holders[obj]; ok {
+		delete(set, node)
+		if len(set) == 0 {
+			delete(ix.holders, obj)
+		}
+	}
+}
+
+// WithdrawNode removes every announcement by node (crash, offline).
+// Serve-load history is kept: a node that comes back re-announces its
+// holdings but does not forget what it already served.
+func (ix *Index) WithdrawNode(node string) {
+	ix.mu.Lock()
+	for obj, set := range ix.holders {
+		delete(set, node)
+		if len(set) == 0 {
+			delete(ix.holders, obj)
+		}
+	}
+	ix.mu.Unlock()
+}
+
+// WithdrawObject removes obj from the index entirely (deregistration).
+func (ix *Index) WithdrawObject(obj string) {
+	ix.mu.Lock()
+	delete(ix.holders, obj)
+	ix.mu.Unlock()
+}
+
+// SetHoldings reconciles node's announcements to exactly objs: new
+// objects are announced, missing ones withdrawn. This is the
+// announcement form used after snapshot application, healing, and
+// garbage collection, where the replica's object set is authoritative.
+func (ix *Index) SetHoldings(node string, objs []string) {
+	want := make(map[string]struct{}, len(objs))
+	for _, o := range objs {
+		want[o] = struct{}{}
+	}
+	ix.mu.Lock()
+	for obj, set := range ix.holders {
+		if _, keep := want[obj]; !keep {
+			if _, held := set[node]; held {
+				delete(set, node)
+				if len(set) == 0 {
+					delete(ix.holders, obj)
+				}
+			}
+		}
+	}
+	for obj := range want {
+		ix.announceLocked(obj, node)
+	}
+	ix.mu.Unlock()
+}
+
+// Holders returns the nodes currently announcing obj, sorted.
+func (ix *Index) Holders(obj string) []string {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	set := ix.holders[obj]
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Holds reports whether node currently announces obj.
+func (ix *Index) Holds(obj, node string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	set, ok := ix.holders[obj]
+	if !ok {
+		return false
+	}
+	_, held := set[node]
+	return held
+}
+
+// Objects returns the number of distinct objects indexed.
+func (ix *Index) Objects() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.holders)
+}
+
+// Entries returns the total number of (object, node) announcements.
+func (ix *Index) Entries() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	n := 0
+	for _, set := range ix.holders {
+		n += len(set)
+	}
+	return n
+}
+
+// Loads snapshots per-node serve load for every node that has ever
+// served (or is serving), sorted by node ID.
+func (ix *Index) Loads() []NodeLoad {
+	ix.mu.Lock()
+	out := make([]NodeLoad, 0, len(ix.loads))
+	for id, l := range ix.loads {
+		out = append(out, NodeLoad{NodeID: id, Active: l.active, ServedReads: l.reads, ServedBytes: l.bytes})
+	}
+	ix.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].NodeID < out[j].NodeID })
+	return out
+}
+
+// Acquire picks the best source for obj and reserves one serve slot on
+// it. Candidates are the current holders minus those the caller
+// excludes (the booting node, offline/lagging nodes, already-tried
+// sources) minus nodes at maxSlots in-flight serves. "Best" is
+// least-loaded: fewest active serves, then fewest served bytes, then
+// lexical node ID — deterministic for identical load states.
+//
+// The returned release function MUST be called exactly once: with the
+// bytes actually served on success, or 0 on a failed transfer. ok is
+// false when no candidate exists; busy additionally distinguishes
+// "holders exist but all are at capacity" from "no eligible holder".
+func (ix *Index) Acquire(obj string, maxSlots int, exclude func(node string) bool) (src string, release func(served int64), ok, busy bool) {
+	if maxSlots <= 0 {
+		maxSlots = DefaultMaxServeSlots
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var best *load
+	for node := range ix.holders[obj] {
+		if exclude != nil && exclude(node) {
+			continue
+		}
+		l := ix.loads[node]
+		if l == nil {
+			l = &load{}
+			ix.loads[node] = l
+		}
+		if l.active >= maxSlots {
+			busy = true
+			continue
+		}
+		if best == nil || less(node, l, src, best) {
+			src, best = node, l
+		}
+	}
+	if best == nil {
+		return "", nil, false, busy
+	}
+	best.active++
+	var once sync.Once
+	release = func(served int64) {
+		once.Do(func() {
+			ix.mu.Lock()
+			best.active--
+			if served > 0 {
+				best.reads++
+				best.bytes += served
+			}
+			ix.mu.Unlock()
+			if served > 0 {
+				ix.sizes.Observe(served)
+			}
+		})
+	}
+	return src, release, true, false
+}
+
+// less orders candidate (an, al) before the current best (bn, bl).
+func less(an string, al *load, bn string, bl *load) bool {
+	if al.active != bl.active {
+		return al.active < bl.active
+	}
+	if al.bytes != bl.bytes {
+		return al.bytes < bl.bytes
+	}
+	return an < bn
+}

@@ -1,0 +1,198 @@
+package peer
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestAnnounceWithdraw(t *testing.T) {
+	ix := NewIndex()
+	ix.Announce("img-a", "node00")
+	ix.Announce("img-a", "node01")
+	ix.Announce("img-b", "node00")
+	if got := ix.Holders("img-a"); !reflect.DeepEqual(got, []string{"node00", "node01"}) {
+		t.Fatalf("holders: %v", got)
+	}
+	if ix.Objects() != 2 || ix.Entries() != 3 {
+		t.Fatalf("objects=%d entries=%d", ix.Objects(), ix.Entries())
+	}
+	ix.Withdraw("img-a", "node00")
+	if ix.Holds("img-a", "node00") || !ix.Holds("img-a", "node01") {
+		t.Fatal("withdraw applied to the wrong node")
+	}
+	ix.Withdraw("img-a", "node01")
+	if ix.Objects() != 1 {
+		t.Fatalf("empty holder set should drop the object: %d objects", ix.Objects())
+	}
+	// Withdrawing something never announced is a no-op.
+	ix.Withdraw("ghost", "node09")
+}
+
+func TestWithdrawNodeAndObject(t *testing.T) {
+	ix := NewIndex()
+	for _, obj := range []string{"a", "b", "c"} {
+		ix.Announce(obj, "node00")
+		ix.Announce(obj, "node01")
+	}
+	ix.WithdrawNode("node00")
+	for _, obj := range []string{"a", "b", "c"} {
+		if ix.Holds(obj, "node00") {
+			t.Fatalf("node00 still holds %s after WithdrawNode", obj)
+		}
+		if !ix.Holds(obj, "node01") {
+			t.Fatalf("node01 lost %s collaterally", obj)
+		}
+	}
+	ix.WithdrawObject("b")
+	if ix.Objects() != 2 || ix.Holds("b", "node01") {
+		t.Fatal("WithdrawObject left entries behind")
+	}
+}
+
+func TestSetHoldings(t *testing.T) {
+	ix := NewIndex()
+	ix.SetHoldings("node00", []string{"a", "b"})
+	ix.SetHoldings("node01", []string{"b", "c"})
+	ix.SetHoldings("node00", []string{"b", "d"}) // drops a, adds d
+	if ix.Holds("a", "node00") {
+		t.Fatal("stale announcement survived SetHoldings")
+	}
+	for _, obj := range []string{"b", "d"} {
+		if !ix.Holds(obj, "node00") {
+			t.Fatalf("node00 should hold %s", obj)
+		}
+	}
+	if !ix.Holds("c", "node01") || !ix.Holds("b", "node01") {
+		t.Fatal("SetHoldings for node00 disturbed node01")
+	}
+	ix.SetHoldings("node00", nil)
+	if ix.Holds("b", "node00") || ix.Holds("d", "node00") {
+		t.Fatal("empty SetHoldings should withdraw everything")
+	}
+}
+
+func TestAcquireSelectionOrder(t *testing.T) {
+	ix := NewIndex()
+	for _, n := range []string{"node02", "node00", "node01"} {
+		ix.Announce("img", n)
+	}
+	// Equal load everywhere: lexically smallest wins.
+	src, rel, ok, busy := ix.Acquire("img", 4, nil)
+	if !ok || busy || src != "node00" {
+		t.Fatalf("first acquire: src=%s ok=%v busy=%v", src, ok, busy)
+	}
+	// node00 now has an active serve: next pick is node01.
+	src2, rel2, ok, _ := ix.Acquire("img", 4, nil)
+	if !ok || src2 != "node01" {
+		t.Fatalf("second acquire: %s", src2)
+	}
+	rel(1000) // node00: 1000 bytes served
+	rel2(10)  // node01: 10 bytes served
+	// No active serves; node02 has served nothing yet, so it leads.
+	src3, rel3, ok, _ := ix.Acquire("img", 4, nil)
+	if !ok || src3 != "node02" {
+		t.Fatalf("least-bytes acquire: %s", src3)
+	}
+	rel3(0)
+	// With node02 excluded, node01 (10 bytes) beats node00 (1000 bytes).
+	src4, rel4, ok, _ := ix.Acquire("img", 4, func(n string) bool { return n == "node02" })
+	if !ok || src4 != "node01" {
+		t.Fatalf("excluded acquire: %s", src4)
+	}
+	rel4(0)
+}
+
+func TestAcquireSlotBound(t *testing.T) {
+	ix := NewIndex()
+	ix.Announce("img", "node00")
+	var rels []func(int64)
+	for i := 0; i < 2; i++ {
+		_, rel, ok, busy := ix.Acquire("img", 2, nil)
+		if !ok || busy {
+			t.Fatalf("acquire %d should succeed", i)
+		}
+		rels = append(rels, rel)
+	}
+	if _, _, ok, busy := ix.Acquire("img", 2, nil); ok || !busy {
+		t.Fatalf("third acquire should report busy: ok=%v busy=%v", ok, busy)
+	}
+	rels[0](64)
+	if _, rel, ok, _ := ix.Acquire("img", 2, nil); !ok {
+		t.Fatal("slot released, acquire should succeed")
+	} else {
+		rel(0)
+	}
+	rels[1](0)
+	// busy=false when there is simply no holder.
+	if _, _, ok, busy := ix.Acquire("ghost", 2, nil); ok || busy {
+		t.Fatalf("no-holder acquire: ok=%v busy=%v", ok, busy)
+	}
+}
+
+func TestReleaseIdempotentAndLoads(t *testing.T) {
+	ix := NewIndex()
+	ix.Announce("img", "node00")
+	_, rel, ok, _ := ix.Acquire("img", 1, nil)
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+	rel(128)
+	rel(128) // second call must be a no-op
+	loads := ix.Loads()
+	if len(loads) != 1 {
+		t.Fatalf("loads: %v", loads)
+	}
+	l := loads[0]
+	if l.NodeID != "node00" || l.Active != 0 || l.ServedReads != 1 || l.ServedBytes != 128 {
+		t.Fatalf("load: %+v", l)
+	}
+	if ix.TransferSizes().Count() != 1 || ix.TransferSizes().Sum() != 128 {
+		t.Fatal("transfer-size histogram not updated exactly once")
+	}
+}
+
+func TestPolicyNormalize(t *testing.T) {
+	p := Policy{Enabled: true}.Normalize()
+	if p.MaxServeSlots != DefaultMaxServeSlots || p.MaxAttempts != DefaultMaxAttempts {
+		t.Fatalf("normalize: %+v", p)
+	}
+	q := Policy{MaxServeSlots: 9, MaxAttempts: 1}.Normalize()
+	if q.MaxServeSlots != 9 || q.MaxAttempts != 1 {
+		t.Fatalf("normalize clobbered set values: %+v", q)
+	}
+}
+
+func TestIndexConcurrent(t *testing.T) {
+	ix := NewIndex()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node := fmt.Sprintf("node%02d", w)
+			for i := 0; i < 200; i++ {
+				obj := fmt.Sprintf("img-%d", i%10)
+				ix.Announce(obj, node)
+				if src, rel, ok, _ := ix.Acquire(obj, 2, nil); ok {
+					_ = src
+					rel(64)
+				}
+				if i%3 == 0 {
+					ix.Withdraw(obj, node)
+				}
+				ix.SetHoldings(node, []string{"img-0", "img-1"})
+			}
+			ix.Loads()
+			ix.Entries()
+		}()
+	}
+	wg.Wait()
+	for _, l := range ix.Loads() {
+		if l.Active != 0 {
+			t.Fatalf("leaked serve slot: %+v", l)
+		}
+	}
+}
