@@ -29,6 +29,7 @@ examples:
 	$(GO) run ./examples/autoscale
 	$(GO) run ./examples/chaos
 	$(GO) run ./examples/peerboot
+	$(GO) run ./examples/resilver
 
 # Run the experiment benchmarks and record machine-readable results.
 bench:

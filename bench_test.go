@@ -142,3 +142,10 @@ func BenchmarkFigPeerExchange(b *testing.B) {
 	tb := runExperiment(b, "figpeer")
 	b.ReportMetric(lastFloat(tb, -1, 4), "peer-share-%")
 }
+
+func BenchmarkFigScrubResilver(b *testing.B) {
+	tb := runExperiment(b, "figscrub")
+	// Detection coverage at the highest rot rate must be 100.
+	b.ReportMetric(lastFloat(tb, -1, 3), "scrub-detected-%")
+	b.ReportMetric(lastFloat(tb, -1, 5), "resilver-peer-share-%")
+}

@@ -9,6 +9,7 @@
 //	squirrelctl -images 32 -nodes 8 -vms 4
 //	squirrelctl -offline node03          # take one node offline mid-run
 //	squirrelctl -peers                   # peer exchange on; dumps the index
+//	squirrelctl -health                  # crash/rot/scrub/resilver drama + health dump
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/fault"
 	"repro/internal/peer"
 )
 
@@ -32,15 +34,16 @@ func main() {
 		offline = flag.String("offline", "", "node to take offline during registrations")
 		verify  = flag.Bool("verify", true, "verify boot data against image content")
 		peers   = flag.Bool("peers", false, "enable the peer block exchange, drop one replica to force a peer-served cold boot, and dump the content index")
+		health  = flag.Bool("health", false, "after the boot wave: crash a node, rot another, scrub, resilver, restart, and dump per-node health at each step")
 	)
 	flag.Parse()
-	if err := run(*nImages, *nNodes, *vms, *offline, *verify, *peers); err != nil {
+	if err := run(*nImages, *nNodes, *vms, *offline, *verify, *peers, *health); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(nImages, nNodes, vms int, offline string, verify, peers bool) error {
+func run(nImages, nNodes, vms int, offline string, verify, peers, health bool) error {
 	spec := corpus.DefaultSpec().Scale(float64(nImages)/607, 0.25)
 	repo, err := corpus.New(spec)
 	if err != nil {
@@ -157,9 +160,99 @@ func run(nImages, nNodes, vms int, offline string, verify, peers bool) error {
 		}
 	}
 
+	if health {
+		if err := healthDrama(sq, cl, t0); err != nil {
+			return err
+		}
+	}
+
 	n := sq.GarbageCollect(t0.Add(30 * 24 * time.Hour))
 	fmt.Printf("\ngarbage collection destroyed %d old snapshots\n", n)
 	return nil
+}
+
+// healthDrama walks the crash/rot/scrub/resilver lifecycle on a live
+// deployment and dumps the per-node health table after each act — the
+// operator's view of §3.5 robustness plus the at-rest integrity layer.
+func healthDrama(sq *core.Squirrel, cl *cluster.Cluster, t0 time.Time) error {
+	if len(cl.Compute) < 2 {
+		return fmt.Errorf("-health needs at least 2 compute nodes")
+	}
+	crashed, rotten := cl.Compute[0].ID, cl.Compute[1].ID
+
+	// A rot-only plan: nothing in the registration path fires, but
+	// InjectRot has deterministic at-rest damage to plant.
+	inj, err := fault.New(fault.Plan{Seed: 99, Rot: 0.4})
+	if err != nil {
+		return err
+	}
+	sq.SetFaults(inj)
+
+	fmt.Printf("\n--- health drama: crash %s, rot %s ---\n", crashed, rotten)
+	if err := sq.CrashNode(crashed, t0.Add(time.Hour)); err != nil {
+		return err
+	}
+	refs, err := sq.InjectRot(rotten)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s crashed; %d blocks silently rotted on %s (latent — still undetected)\n",
+		crashed, len(refs), rotten)
+	printHealth(sq)
+
+	fmt.Printf("\nscrubbing all replicas...\n")
+	for id, rep := range sq.ScrubAll(t0.Add(2 * time.Hour)) {
+		if rep.CorruptBlocks+rep.MissingBlocks > 0 {
+			fmt.Printf("  %s: %d/%d blocks failed verification — quarantined and withdrawn\n",
+				id, rep.CorruptBlocks+rep.MissingBlocks, rep.Blocks)
+		}
+	}
+	printHealth(sq)
+
+	fmt.Printf("\nresilvering damaged replicas...\n")
+	rres, err := sq.ResilverAll(t0.Add(3 * time.Hour))
+	if err != nil {
+		return err
+	}
+	for _, r := range rres {
+		fmt.Printf("  %s: repaired %d/%d (peer %d blocks/%d B, pfs %d blocks/%d B) in %.3fs\n",
+			r.NodeID, r.Repaired, r.Blocks, r.PeerBlocks, r.PeerBytes, r.PFSBlocks, r.PFSBytes, r.XferSec)
+	}
+	rec, err := sq.RestartNode(crashed, t0.Add(4*time.Hour))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %s restarted after %s down: rolled back=%v, scrub %d blocks clean=%v\n",
+		rec.NodeID, rec.Downtime, rec.RolledBack, rec.Scrub.Blocks, rec.Damaged == 0)
+	if sq.Stats().LaggingNodes > 0 {
+		if _, err := sq.SyncNode(crashed); err != nil {
+			return err
+		}
+		fmt.Printf("  %s healed via SyncNode\n", crashed)
+	}
+	printHealth(sq)
+	return nil
+}
+
+// printHealth dumps the per-node health table.
+func printHealth(sq *core.Squirrel) {
+	fmt.Printf("\n  %-8s  %-11s  %-7s  %-9s  %-10s  %s\n",
+		"node", "state", "corrupt", "withdrawn", "last scrub", "snapshot")
+	for _, st := range sq.Health() {
+		scrub, down := "never", ""
+		if !st.LastScrub.IsZero() {
+			scrub = st.LastScrub.Format("15:04:05")
+		}
+		if !st.DownSince.IsZero() {
+			down = "  down since " + st.DownSince.Format("15:04:05")
+		}
+		snap := st.Snapshot
+		if snap == "" {
+			snap = "-"
+		}
+		fmt.Printf("  %-8s  %-11s  %-7d  %-9v  %-10s  %s%s\n",
+			st.NodeID, st.State, st.CorruptBlocks, st.Withdrawn, scrub, snap, down)
+	}
 }
 
 func mb(b int64) float64 { return float64(b) / (1 << 20) }

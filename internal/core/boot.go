@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -61,6 +62,18 @@ func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
 		if _, err := s.syncNodeLocked(nodeID); err != nil {
 			s.mu.Unlock()
 			return BootReport{}, fmt.Errorf("core: healing lagging node %s: %w", nodeID, err)
+		}
+		healed = true
+	}
+	// Quarantined damage is resilvered before the boot touches the
+	// replica, like lagging is synced: landing a VM on a node is exactly
+	// when its replica should be made whole. A resilver that cannot fully
+	// repair (every source down) is fine — read-time checksums route the
+	// still-damaged ranges to peers or the PFS below.
+	if len(s.damaged[nodeID]) > 0 {
+		if _, err := s.resilverLocked(nodeID, s.lastScrub[nodeID]); err != nil {
+			s.mu.Unlock()
+			return BootReport{}, fmt.Errorf("core: resilvering node %s: %w", nodeID, err)
 		}
 		healed = true
 	}
@@ -216,15 +229,22 @@ func newChainBackend(s *Squirrel, im *corpus.Image, ccv *zvol.Volume, node *clus
 	}
 	if ccv != nil && ccv.HasObject(im.ID) {
 		data, err := ccv.ReadObject(im.ID)
-		if err != nil {
+		switch {
+		case errors.Is(err, zvol.ErrCorrupt):
+			// Undetected (or unrepaired) rot in the local replica: the
+			// checksum fails the read instead of serving bad bytes, and the
+			// boot falls back to the peer/PFS chain as if the replica were
+			// absent. The damage is left for the next scrub to quarantine.
+			s.peers.Counters().Add("boot.corrupt_local", 1)
+		case err != nil:
 			return nil, err
-		}
-		if base != int64(len(data)) {
+		case base != int64(len(data)):
 			return nil, fmt.Errorf("core: cache object %s is %d bytes, extents say %d",
 				im.ID, len(data), base)
+		default:
+			cb.local = true
+			cb.cacheData = data
 		}
-		cb.local = true
-		cb.cacheData = data
 	}
 	return cb, nil
 }

@@ -138,6 +138,11 @@ type Squirrel struct {
 	lagging map[string]bool // exhausted repair budget; heal via SyncNode
 	images  map[string]*corpus.Image
 	snapSeq int
+
+	// Node lifecycle state (crash/restart, scrub, resilver).
+	downSince map[string]time.Time      // when an offline node went down
+	damaged   map[string][]zvol.BlockRef // known-damaged blocks per node
+	lastScrub map[string]time.Time      // most recent scrub per node
 }
 
 // Errors.
@@ -167,6 +172,9 @@ func New(cfg Config, cl *cluster.Cluster, pfs *cluster.PFS) (*Squirrel, error) {
 		online:    make(map[string]bool),
 		lagging:   make(map[string]bool),
 		images:    make(map[string]*corpus.Image),
+		downSince: make(map[string]time.Time),
+		damaged:   make(map[string][]zvol.BlockRef),
+		lastScrub: make(map[string]time.Time),
 	}
 	for _, n := range cl.Compute {
 		v, err := zvol.New(cfg.Volume)
@@ -204,9 +212,19 @@ func (s *Squirrel) SetFaults(inj *fault.Injector) {
 // may still physically hold a deregistered object until the next
 // snapshot removes it, but such objects are no longer servable).
 // Callers hold s.mu.
+//
+// A node with known-damaged blocks never announces: whatever it holds
+// may be rotten, so it stays withdrawn from the index until a resilver
+// (or full re-replication) proves it clean again. This is the index
+// half of the "never serve a corrupt byte" invariant; the other half is
+// the read-time checksum on every block.
 func (s *Squirrel) announceHoldingsLocked(nodeID string) {
 	ccv := s.cc[nodeID]
 	if ccv == nil {
+		return
+	}
+	if len(s.damaged[nodeID]) > 0 {
+		s.peers.WithdrawNode(nodeID)
 		return
 	}
 	var held []string
@@ -244,6 +262,16 @@ func (s *Squirrel) SetOnline(nodeID string, up bool) error {
 	// withdrawn; on the way back up the node re-announces what it still
 	// physically holds (possibly a stale-but-valid subset).
 	if up {
+		// A torn apply must be rolled back before the replica serves
+		// anything: with the journal open, the object table shows the
+		// half-applied state. Rolling back means the node missed that
+		// registration, so it comes up lagging.
+		if v := s.cc[nodeID]; v.NeedsRecovery() {
+			v.Recover()
+			s.lagging[nodeID] = true
+			s.cfg.Faults.Counters().Add("recover.rollback", 1)
+		}
+		delete(s.downSince, nodeID)
 		s.announceHoldingsLocked(nodeID)
 	} else {
 		s.peers.WithdrawNode(nodeID)
@@ -292,6 +320,7 @@ type RegisterReport struct {
 	RepairSec   float64  // simulated repair transfer + backoff time
 	Lagging     []string // replicas left lagging after the retry budget
 	Crashed     []string // replicas that crashed mid-transfer
+	Torn        []string // replicas that crashed mid-APPLY (open journal)
 }
 
 // Register runs the paper's registration workflow (Fig 6) for a VMI that
@@ -404,7 +433,11 @@ func (s *Squirrel) registerLocked(im *corpus.Image, at time.Time) (RegisterRepor
 			rep.Faults++
 		}
 		if dv.Fault == fault.Crash {
-			s.crashReplica(dv.Node.ID, &rep)
+			s.crashReplica(dv.Node.ID, at, &rep)
+			continue
+		}
+		if dv.Fault == fault.Torn {
+			s.tornReplica(op, dv.Node.ID, stream, at, &rep)
 			continue
 		}
 		if s.applyDelivery(dv, stream) {
@@ -412,7 +445,7 @@ func (s *Squirrel) registerLocked(im *corpus.Image, at time.Time) (RegisterRepor
 			synced = append(synced, dv.Node.ID)
 			continue
 		}
-		if s.repairReplica(op, dv.Node, stream, wire, &rep) {
+		if s.repairReplica(op, dv.Node, stream, wire, at, &rep) {
 			rep.Nodes++
 			synced = append(synced, dv.Node.ID)
 		} else if s.online[dv.Node.ID] {
@@ -451,19 +484,38 @@ func (s *Squirrel) applyDelivery(dv cluster.Delivery, st *zvol.Stream) bool {
 
 // crashReplica records a mid-transfer node crash: the node drops offline
 // and is marked lagging so its first boot after recovery heals it.
-func (s *Squirrel) crashReplica(nodeID string, rep *RegisterReport) {
+func (s *Squirrel) crashReplica(nodeID string, at time.Time, rep *RegisterReport) {
 	s.online[nodeID] = false
 	s.lagging[nodeID] = true
+	s.downSince[nodeID] = at
 	s.peers.WithdrawNode(nodeID)
 	rep.Crashed = append(rep.Crashed, nodeID)
 	s.cfg.Faults.Counters().Add("repair.crashed", 1)
+}
+
+// tornReplica records a torn apply: the replica received the stream
+// intact but the node crashed partway through `zfs recv`. The injected
+// crash offset is a pure function of (seed, op, node), so a chaos run
+// tears the same replicas at the same step every time. The node goes
+// down with its receive journal open; the restart audit (or SyncNode)
+// rolls it back.
+func (s *Squirrel) tornReplica(op, nodeID string, st *zvol.Stream, at time.Time, rep *RegisterReport) {
+	ccv := s.cc[nodeID]
+	ccv.SetReceiveCrashPoint(s.cfg.Faults.TornStep(op, nodeID, st.ApplySteps()))
+	_ = ccv.Receive(st) // dies mid-apply: ErrTorn, journal left open
+	s.online[nodeID] = false
+	s.lagging[nodeID] = true
+	s.downSince[nodeID] = at
+	s.peers.WithdrawNode(nodeID)
+	rep.Torn = append(rep.Torn, nodeID)
+	s.cfg.Faults.Counters().Add("repair.torn", 1)
 }
 
 // repairReplica retries one failed replica over unicast with bounded
 // exponential backoff — the NACK path of reliable multicast. Backoff is
 // simulated into the report, never slept. Returns true once the replica
 // holds the snapshot; false when the node crashed or the budget ran out.
-func (s *Squirrel) repairReplica(op string, node *cluster.Node, st *zvol.Stream, wire []byte, rep *RegisterReport) bool {
+func (s *Squirrel) repairReplica(op string, node *cluster.Node, st *zvol.Stream, wire []byte, at time.Time, rep *RegisterReport) bool {
 	ccv := s.cc[node.ID]
 	pol := s.cfg.Repair
 	if pol.MaxAttempts <= 0 {
@@ -484,7 +536,11 @@ func (s *Squirrel) repairReplica(op string, node *cluster.Node, st *zvol.Stream,
 			rep.Faults++
 		}
 		if kind == fault.Crash {
-			s.crashReplica(node.ID, rep)
+			s.crashReplica(node.ID, at, rep)
+			return false
+		}
+		if kind == fault.Torn {
+			s.tornReplica(op, node.ID, st, at, rep)
 			return false
 		}
 		src.Send(int64(len(wire))) // the source retransmits in full

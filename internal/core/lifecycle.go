@@ -1,0 +1,461 @@
+// Node crash/restart lifecycle, at-rest bit-rot, background scrub, and
+// peer-assisted resilver. The paper leans on ZFS for on-disk integrity
+// (§2.2: checksummed blocks, scrub, resilvering); this file is the
+// deployment-level half of that substitution:
+//
+//	CrashNode     whole-node failure: the node drops offline mid-whatever
+//	              (possibly with a torn zfs-recv journal) and is withdrawn
+//	              from the peer index.
+//	RestartNode   the recovery audit every node runs on the way back up:
+//	              roll back a torn receive journal, scrub the replica,
+//	              quarantine any damage, and decide whether the node is
+//	              lagging (missed registrations while down).
+//	InjectRot     seeds latent at-rest corruption from the deterministic
+//	              fault plan — flipped bytes that sit silently until a
+//	              read or a scrub finds them.
+//	ScrubNode     the background integrity pass: verify every stored
+//	              block, quarantine damage, withdraw damaged nodes.
+//	ResilverNode  repair quarantined blocks from the cheapest healthy
+//	              source — a peer replica first (verified reads), the PFS
+//	              as fallback — then prove the replica clean and
+//	              re-announce it.
+//	Health        the per-node state dump an operator would watch.
+//
+// The standing invariant: a corrupt byte is never served. Read-time
+// checksums fail damaged reads everywhere; on top of that, a node with
+// *known* damage is withdrawn from the peer index entirely until a
+// resilver (or full re-replication) proves it clean.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/corpus"
+	"repro/internal/fault"
+	"repro/internal/zvol"
+)
+
+// CrashNode fails a whole compute node at time at: it drops offline,
+// its peer-index announcements are withdrawn, and — unlike a polite
+// SetOnline(false) — nothing about its replica is assumed. If the crash
+// interrupted a receive, the open journal stays open until RestartNode
+// (or SyncNode) rolls it back. Whether the node comes back lagging is
+// decided by the restart audit, not here.
+func (s *Squirrel) CrashNode(nodeID string, at time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cc[nodeID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
+	}
+	s.online[nodeID] = false
+	s.downSince[nodeID] = at
+	s.peers.WithdrawNode(nodeID)
+	s.cfg.Faults.Counters().Add("life.crash", 1)
+	return nil
+}
+
+// RecoveryReport is the result of one restart-time audit.
+type RecoveryReport struct {
+	NodeID   string
+	Downtime time.Duration // how long the node was down (0 if unknown)
+
+	// Journal audit (torn zfs-recv rollback).
+	RolledBack     bool
+	RolledBackSnap string // snapshot the torn stream was carrying
+
+	// Integrity audit.
+	Scrub   zvol.ScrubReport
+	Damaged int // corrupt+missing blocks quarantined (== len of damage set)
+
+	// Lagging is true when the node must SyncNode before serving new
+	// snapshots: it rolled back a receive or missed registrations while
+	// down. Its first boot heals it, as ever.
+	Lagging bool
+}
+
+// RestartNode brings a crashed (or stopped) node back up at time at,
+// running the recovery audit first: an open receive journal is rolled
+// back (the torn snapshot simply never happened on this node), the
+// replica is scrubbed, any damage is quarantined and keeps the node
+// withdrawn from the peer index, and staleness against the scVolume
+// marks it lagging. A clean, current node re-announces its holdings and
+// is immediately eligible to serve peers again.
+func (s *Squirrel) RestartNode(nodeID string, at time.Time) (RecoveryReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ccv, ok := s.cc[nodeID]
+	if !ok {
+		return RecoveryReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
+	}
+	rep := RecoveryReport{NodeID: nodeID}
+	if down, ok := s.downSince[nodeID]; ok && at.After(down) {
+		rep.Downtime = at.Sub(down)
+	}
+	if rr := ccv.Recover(); rr.RolledBack {
+		rep.RolledBack = true
+		rep.RolledBackSnap = rr.Snapshot
+		s.lagging[nodeID] = true
+		s.cfg.Faults.Counters().Add("recover.rollback", 1)
+	}
+	rep.Scrub = s.scrubLocked(nodeID, at)
+	rep.Damaged = len(s.damaged[nodeID])
+	// Staleness check: missed registrations while down mean SyncNode.
+	if latest := s.sc.LatestSnapshot(); latest != nil {
+		local := ccv.LatestSnapshot()
+		if local == nil || local.Name != latest.Name {
+			s.lagging[nodeID] = true
+		}
+	}
+	rep.Lagging = s.lagging[nodeID]
+	s.online[nodeID] = true
+	delete(s.downSince, nodeID)
+	s.announceHoldingsLocked(nodeID) // no-op withdrawal if damaged
+	s.cfg.Faults.Counters().Add("life.restart", 1)
+	return rep, nil
+}
+
+// InjectRot seeds latent at-rest corruption on one node's replica from
+// the deployment's fault plan: each stored block rots independently
+// with probability Plan.Rot, at a byte offset and with a flip mask that
+// are pure functions of (seed, node, object, block). Nothing is
+// detected or demoted here — the damage sits silently until a read
+// fails it or a scrub finds it, exactly like real bit-rot. Returns the
+// refs of the blocks rotted (a scrub must report at least these; dedup
+// aliases of a rotted payload surface additionally).
+func (s *Squirrel) InjectRot(nodeID string) ([]zvol.BlockRef, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ccv, ok := s.cc[nodeID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
+	}
+	inj := s.cfg.Faults
+	var rotted []zvol.BlockRef
+	for _, obj := range ccv.Objects() {
+		infos, err := ccv.BlockInfos(obj)
+		if err != nil {
+			return rotted, err
+		}
+		for idx, bi := range infos {
+			if bi.Zero || !inj.RotBlock(nodeID, obj, idx) {
+				continue
+			}
+			off, xor := inj.RotMutation(nodeID, obj, idx, int(bi.PhysLen))
+			if err := ccv.CorruptStoredBlock(obj, idx, int64(off), xor); err != nil {
+				return rotted, err
+			}
+			rotted = append(rotted, zvol.BlockRef{Object: obj, Index: idx})
+		}
+	}
+	return rotted, nil
+}
+
+// ScrubNode runs an integrity pass over one node's replica at time at.
+// Damage is quarantined in the deployment's damage set and the node is
+// withdrawn from the peer index until a resilver clears it.
+func (s *Squirrel) ScrubNode(nodeID string, at time.Time) (zvol.ScrubReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cc[nodeID]; !ok {
+		return zvol.ScrubReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
+	}
+	return s.scrubLocked(nodeID, at), nil
+}
+
+// ScrubAll scrubs every compute node (the nightly cron pass), returning
+// reports keyed by node ID.
+func (s *Squirrel) ScrubAll(at time.Time) map[string]zvol.ScrubReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]zvol.ScrubReport, len(s.cc))
+	for id := range s.cc {
+		out[id] = s.scrubLocked(id, at)
+	}
+	return out
+}
+
+// scrubLocked scrubs one replica, updates the damage set, and keeps the
+// peer index honest. Caller holds s.mu.
+func (s *Squirrel) scrubLocked(nodeID string, at time.Time) zvol.ScrubReport {
+	rep := s.cc[nodeID].Scrub()
+	if !at.IsZero() {
+		s.lastScrub[nodeID] = at
+	}
+	ctr := s.cfg.Faults.Counters()
+	ctr.Add("scrub.runs", 1)
+	ctr.Add("scrub.blocks", int64(rep.Blocks))
+	ctr.Add("scrub.corrupt", int64(rep.CorruptBlocks))
+	ctr.Add("scrub.missing", int64(rep.MissingBlocks))
+	if rep.Clean() {
+		delete(s.damaged, nodeID)
+	} else {
+		s.damaged[nodeID] = append([]zvol.BlockRef(nil), rep.Damaged...)
+		// A rotten node must not serve peers until resilvered.
+		s.peers.WithdrawNode(nodeID)
+	}
+	return rep
+}
+
+// ResilverReport accounts one resilver pass over a node's damage set.
+type ResilverReport struct {
+	NodeID string
+	Blocks int // damaged blocks targeted
+
+	Repaired int
+	Failed   int // no source could produce verified bytes
+
+	// Source breakdown: the resilver prefers healthy peer replicas
+	// (cheap, scattered) and falls back to the PFS.
+	PeerBlocks int
+	PFSBlocks  int
+	PeerBytes  int64
+	PFSBytes   int64
+	XferSec    float64 // simulated transfer time across all repairs
+
+	Clean bool // the closing scrub found the replica spotless
+}
+
+// ResilverNode repairs every quarantined block on nodeID from the
+// cheapest healthy source, using the same source ladder as a cold boot:
+// a peer replica holding the object (read-verified on the source, so a
+// rotten peer can never donate bad bytes) first, the PFS otherwise.
+// Each repair is checksum-verified before it is written — RepairBlock
+// rejects a payload that does not hash to the block pointer — and a
+// closing scrub decides whether the node is clean enough to re-announce
+// to the peer index.
+func (s *Squirrel) ResilverNode(nodeID string, at time.Time) (ResilverReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cc[nodeID]; !ok {
+		return ResilverReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
+	}
+	return s.resilverLocked(nodeID, at)
+}
+
+// ResilverAll resilvers every node with a non-empty damage set (the
+// background repair pass that follows a scrub cycle), in node order.
+func (s *Squirrel) ResilverAll(at time.Time) ([]ResilverReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.damaged))
+	for id := range s.damaged {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]ResilverReport, 0, len(ids))
+	for _, id := range ids {
+		rep, err := s.resilverLocked(id, at)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+func (s *Squirrel) resilverLocked(nodeID string, at time.Time) (ResilverReport, error) {
+	ccv := s.cc[nodeID]
+	node, err := s.computeNode(nodeID)
+	if err != nil {
+		return ResilverReport{}, err
+	}
+	// A torn journal would make block indexes ambiguous; roll back first.
+	if ccv.NeedsRecovery() {
+		ccv.Recover()
+		s.lagging[nodeID] = true
+		s.cfg.Faults.Counters().Add("recover.rollback", 1)
+	}
+	// Rescrub for the authoritative damage list (the quarantined set may
+	// predate deletes, GC, or a partial earlier resilver).
+	scrub := s.scrubLocked(nodeID, at)
+	rep := ResilverReport{NodeID: nodeID, Blocks: len(scrub.Damaged)}
+	ctr := s.cfg.Faults.Counters()
+	seq := 0
+	for _, ref := range scrub.Damaged {
+		data, viaPeer := s.fetchTrueBlock(nodeID, node, ccv, ref, &seq, &rep)
+		if data == nil {
+			rep.Failed++
+			ctr.Add("resilver.failed", 1)
+			continue
+		}
+		if err := ccv.RepairBlock(ref.Object, ref.Index, data); err != nil {
+			// Verified fetch + deterministic re-encode should never be
+			// refused; treat a refusal as a failed block, not a fatal error.
+			rep.Failed++
+			ctr.Add("resilver.failed", 1)
+			continue
+		}
+		rep.Repaired++
+		ctr.Add("resilver.repaired", 1)
+		if viaPeer {
+			rep.PeerBlocks++
+			rep.PeerBytes += int64(len(data))
+			ctr.Add("resilver.peer_bytes", int64(len(data)))
+		} else {
+			rep.PFSBlocks++
+			rep.PFSBytes += int64(len(data))
+			ctr.Add("resilver.pfs_bytes", int64(len(data)))
+		}
+	}
+	// Closing scrub: only a spotless replica rejoins the peer exchange.
+	closing := s.scrubLocked(nodeID, at)
+	rep.Clean = closing.Clean()
+	if rep.Clean && s.online[nodeID] {
+		s.announceHoldingsLocked(nodeID)
+	}
+	return rep, nil
+}
+
+// fetchTrueBlock obtains the verified content of one damaged block,
+// trying healthy peer replicas first and the PFS second. Returns nil
+// when no source could produce verified bytes. Caller holds s.mu.
+func (s *Squirrel) fetchTrueBlock(nodeID string, node *cluster.Node, ccv *zvol.Volume,
+	ref zvol.BlockRef, seq *int, rep *ResilverReport) (data []byte, viaPeer bool) {
+	op := "resilver:" + ref.Object + ":" + nodeID
+	// Peer ladder: sorted holders, minus self, offline, lagging, and
+	// damaged nodes. The source read is checksum-verified on the source
+	// volume, so a latently rotten peer fails the read instead of
+	// donating rot.
+	for _, id := range s.peers.Holders(ref.Object) {
+		if id == nodeID || !s.online[id] || s.lagging[id] || len(s.damaged[id]) > 0 {
+			continue
+		}
+		srcv := s.cc[id]
+		if srcv == nil || !srcv.HasObject(ref.Object) {
+			continue
+		}
+		good, _, _, err := srcv.ReadBlock(ref.Object, ref.Index)
+		if err != nil {
+			continue // rotten or missing on the peer too
+		}
+		*seq++
+		kind, got := s.cfg.Faults.Strike(op, id, *seq, good)
+		srcNode, err := s.computeNode(id)
+		if err != nil {
+			continue
+		}
+		if kind == fault.Crash || kind == fault.Torn {
+			s.online[id] = false
+			s.lagging[id] = true
+			s.peers.WithdrawNode(id)
+			s.cfg.Faults.Counters().Add("repair.crashed", 1)
+			continue
+		}
+		if len(got) > 0 {
+			srcNode.Send(int64(len(got)))
+			node.Recv(int64(len(got)))
+			rep.XferSec += s.cl.Fabric.TransferSec(int64(len(got)))
+		}
+		if kind != fault.None {
+			continue // dropped/truncated/corrupted transfer: next candidate
+		}
+		return got, true
+	}
+	// PFS fallback: map the block's cache-object range back to image
+	// offsets through the cache-extent layout and read the base VMI.
+	im := s.images[ref.Object]
+	if im == nil {
+		return nil, false // deregistered while quarantined: unrepairable
+	}
+	infos, err := ccv.BlockInfos(ref.Object)
+	if err != nil || ref.Index >= len(infos) {
+		return nil, false
+	}
+	bs := int64(s.cfg.Volume.BlockSize)
+	lo := int64(ref.Index) * bs
+	hi := lo + int64(infos[ref.Index].LogLen)
+	got, err := s.pfsCacheRange(im, node, lo, hi)
+	if err != nil {
+		return nil, false
+	}
+	rep.XferSec += s.cl.Fabric.TransferSec(hi - lo)
+	return got, false
+}
+
+// pfsCacheRange reads [lo, hi) of an image's cache object out of the
+// PFS-hosted base VMI: cache extents are concatenated in offset order,
+// so each covered extent slice maps linearly back to an image range.
+func (s *Squirrel) pfsCacheRange(im *corpus.Image, node *cluster.Node, lo, hi int64) ([]byte, error) {
+	out := make([]byte, hi-lo)
+	var base int64
+	for _, e := range im.CacheExtentsSorted() {
+		elo, ehi := base, base+e.Len
+		base = ehi
+		if ehi <= lo || elo >= hi {
+			continue
+		}
+		clo, chi := max(lo, elo), min(hi, ehi)
+		if _, err := s.pfs.ReadAt(node, im.ID, out[clo-lo:chi-lo], e.Off+(clo-elo)); err != nil && err != io.EOF {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// NodeState is the coarse per-node condition shown by Health.
+type NodeState string
+
+// Node states, worst first.
+const (
+	StateDown        NodeState = "down"        // offline (crashed or stopped)
+	StateResilvering NodeState = "resilvering" // quarantined damage awaiting repair
+	StateLagging     NodeState = "lagging"     // missed registrations; SyncNode heals
+	StateHealthy     NodeState = "healthy"
+)
+
+// NodeStatus is one row of the deployment health dump.
+type NodeStatus struct {
+	NodeID string
+	State  NodeState
+
+	Online  bool
+	Lagging bool
+
+	CorruptBlocks int       // quarantined damage (corrupt + missing)
+	LastScrub     time.Time // zero if never scrubbed
+	DownSince     time.Time // zero unless currently down
+
+	// Withdrawn reports the node has no peer-index announcements: it is
+	// invisible to the peer exchange (down, damaged, or empty).
+	Withdrawn bool
+	Snapshot  string // latest local snapshot ("" if none)
+}
+
+// Health reports per-node lifecycle state, sorted by node ID — what
+// `squirrelctl -health` prints and what the chaos soak asserts on.
+func (s *Squirrel) Health() []NodeStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]NodeStatus, 0, len(s.cc))
+	for id, v := range s.cc {
+		st := NodeStatus{
+			NodeID:        id,
+			Online:        s.online[id],
+			Lagging:       s.lagging[id],
+			CorruptBlocks: len(s.damaged[id]),
+			LastScrub:     s.lastScrub[id],
+			DownSince:     s.downSince[id],
+			Withdrawn:     s.peers.AnnouncedBy(id) == 0,
+		}
+		if snap := v.LatestSnapshot(); snap != nil {
+			st.Snapshot = snap.Name
+		}
+		switch {
+		case !st.Online:
+			st.State = StateDown
+		case st.CorruptBlocks > 0:
+			st.State = StateResilvering
+		case st.Lagging:
+			st.State = StateLagging
+		default:
+			st.State = StateHealthy
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].NodeID < out[j].NodeID })
+	return out
+}

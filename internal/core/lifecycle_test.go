@@ -1,0 +1,485 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/corpus"
+	"repro/internal/fault"
+	"repro/internal/peer"
+	"repro/internal/zvol"
+)
+
+// lifecycleDeployment is chaosDeployment with the peer exchange enabled:
+// the resilver's source ladder and the withdrawal invariant need it.
+func lifecycleDeployment(t testing.TB, computeNodes int, plan fault.Plan) (*Squirrel, *cluster.Cluster, *corpus.Repository, *fault.Injector) {
+	t.Helper()
+	inj, err := fault.New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.GigE, 4, computeNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfs, err := cluster.NewPFS(cl, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ClusterSize = 4096
+	cfg.Volume.BlockSize = 4096
+	cfg.Faults = inj
+	cfg.Peer = peer.DefaultPolicy()
+	sq, err := New(cfg, cl, pfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := corpus.New(corpus.TestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sq, cl, repo, inj
+}
+
+func nodeStatus(t *testing.T, sq *Squirrel, nodeID string) NodeStatus {
+	t.Helper()
+	for _, st := range sq.Health() {
+		if st.NodeID == nodeID {
+			return st
+		}
+	}
+	t.Fatalf("node %s missing from Health()", nodeID)
+	return NodeStatus{}
+}
+
+func TestCrashRestartLifecycle(t *testing.T) {
+	sq, _, repo, _ := lifecycleDeployment(t, 3, fault.Plan{Seed: 1})
+	for i := 0; i < 2; i++ {
+		if _, err := sq.Register(repo.Images[i], day(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sq.CrashNode("node01", day(2)); err != nil {
+		t.Fatal(err)
+	}
+	st := nodeStatus(t, sq, "node01")
+	if st.State != StateDown || !st.Withdrawn || st.DownSince != day(2) {
+		t.Fatalf("crashed node health: %+v", st)
+	}
+	if _, err := sq.Boot(repo.Images[0].ID, "node01", false); !errors.Is(err, ErrNodeOffline) {
+		t.Fatalf("crashed node accepted a boot: %v", err)
+	}
+	// A registration while the node is down skips it entirely.
+	rep, err := sq.Register(repo.Images[2], day(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 2 || rep.Faults != 0 {
+		t.Fatalf("down node not skipped: %+v", rep)
+	}
+	// Restart: the audit finds a clean but stale replica.
+	rec, err := sq.RestartNode("node01", day(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Downtime != 24*time.Hour {
+		t.Fatalf("downtime %v, want 24h", rec.Downtime)
+	}
+	if rec.RolledBack || rec.Damaged != 0 || !rec.Scrub.Clean() {
+		t.Fatalf("clean crash audited dirty: %+v", rec)
+	}
+	if !rec.Lagging {
+		t.Fatal("node missed a registration while down; audit must flag lagging")
+	}
+	if st := nodeStatus(t, sq, "node01"); st.State != StateLagging || st.LastScrub != day(3) {
+		t.Fatalf("restarted node health: %+v", st)
+	}
+	// First boot heals, as for any lagging node.
+	br, err := sq.Boot(repo.Images[2].ID, "node01", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !br.Healed || !br.Warm {
+		t.Fatalf("restart boot should heal and go warm: %+v", br)
+	}
+	if st := nodeStatus(t, sq, "node01"); st.State != StateHealthy || st.Withdrawn {
+		t.Fatalf("healed node health: %+v", st)
+	}
+}
+
+func TestTornRegistrationRollsBackOnRestart(t *testing.T) {
+	// Bring the deployment up clean, then make the fabric tear exactly one
+	// apply (Torn shares the crash budget).
+	sq, _, repo, _ := lifecycleDeployment(t, 3, fault.Plan{Seed: 4})
+	if _, err := sq.Register(repo.Images[0], day(0)); err != nil {
+		t.Fatal(err)
+	}
+	firstSnap := sq.SCVolume().LatestSnapshot().Name
+	hostile, err := fault.New(fault.Plan{Seed: 4, Torn: 1, MaxCrashes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq.SetFaults(hostile)
+	rep, err := sq.Register(repo.Images[1], day(1))
+	if err != nil {
+		t.Fatalf("torn replicas must not fail the registration: %v", err)
+	}
+	if len(rep.Torn) != 1 {
+		t.Fatalf("want exactly one torn apply, got %+v", rep)
+	}
+	torn := rep.Torn[0]
+	ccv, _ := sq.CCVolume(torn)
+	if !ccv.NeedsRecovery() {
+		t.Fatal("torn node has no open receive journal")
+	}
+	if st := nodeStatus(t, sq, torn); st.State != StateDown || !st.Withdrawn {
+		t.Fatalf("torn node health: %+v", st)
+	}
+	// The restart audit rolls the half-applied stream back: the replica is
+	// bit-identical to before the registration (old snapshot, old objects,
+	// clean scrub) and flagged lagging so sync re-delivers the stream.
+	rec, err := sq.RestartNode(torn, day(1).Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.RolledBack || rec.RolledBackSnap != rep.Snapshot {
+		t.Fatalf("audit did not roll back the torn stream: %+v", rec)
+	}
+	if !rec.Scrub.Clean() {
+		t.Fatalf("rolled-back replica scrubbed dirty: %+v", rec.Scrub)
+	}
+	if snap := ccv.LatestSnapshot(); snap == nil || snap.Name != firstSnap {
+		t.Fatalf("rollback should leave the node at %s", firstSnap)
+	}
+	if ccv.HasObject(repo.Images[1].ID) {
+		t.Fatal("half-applied object survived the rollback")
+	}
+	// Healing delivers the registration it missed; the boot verifies every
+	// byte end to end.
+	br, err := sq.Boot(repo.Images[1].ID, torn, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !br.Healed || !br.Warm {
+		t.Fatalf("torn node should heal on first boot: %+v", br)
+	}
+}
+
+func TestInjectRotIsDeterministicAndScrubDetectsAll(t *testing.T) {
+	plan := fault.Plan{Seed: 42, Rot: 0.4}
+	mk := func() (*Squirrel, []zvol.BlockRef) {
+		sq, _, repo, _ := lifecycleDeployment(t, 3, plan)
+		for i := 0; i < 3; i++ {
+			if _, err := sq.Register(repo.Images[i], day(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		refs, err := sq.InjectRot("node01")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sq, refs
+	}
+	sq, refs := mk()
+	if len(refs) == 0 {
+		t.Fatal("rot plan injected nothing")
+	}
+	// Same plan, same history ⇒ identical rot set on a twin deployment.
+	_, refs2 := mk()
+	if len(refs) != len(refs2) {
+		t.Fatalf("rot not deterministic: %d vs %d blocks", len(refs), len(refs2))
+	}
+	for i := range refs {
+		if refs[i] != refs2[i] {
+			t.Fatalf("rot not deterministic at %d: %+v vs %+v", i, refs[i], refs2[i])
+		}
+	}
+	// 100% detection: the scrub reports every injected ref (dedup aliases
+	// of a rotted payload may appear in addition).
+	rep, err := sq.ScrubNode("node01", day(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("scrub missed all injected rot")
+	}
+	found := map[zvol.BlockRef]bool{}
+	for _, r := range rep.Damaged {
+		found[r] = true
+	}
+	for _, r := range refs {
+		if !found[r] {
+			t.Fatalf("scrub missed injected corruption at %+v", r)
+		}
+	}
+	// The damaged node is quarantined: withdrawn from the peer index and
+	// reported resilvering; other nodes are untouched.
+	if st := nodeStatus(t, sq, "node01"); st.State != StateResilvering || !st.Withdrawn ||
+		st.CorruptBlocks != len(rep.Damaged) {
+		t.Fatalf("rotten node health: %+v", st)
+	}
+	if st := nodeStatus(t, sq, "node02"); st.State != StateHealthy || st.Withdrawn {
+		t.Fatalf("healthy node health: %+v", st)
+	}
+	if ds := sq.Stats(); ds.DamagedNodes != 1 {
+		t.Fatalf("stats damaged nodes: %+v", ds.DamagedNodes)
+	}
+}
+
+func TestResilverPrefersPeersOverPFS(t *testing.T) {
+	sq, cl, repo, _ := lifecycleDeployment(t, 4, fault.Plan{Seed: 7, Rot: 0.4})
+	im := repo.Images[0]
+	if _, err := sq.Register(im, day(0)); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := sq.InjectRot("node02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) == 0 {
+		t.Fatal("rot plan injected nothing")
+	}
+	pfsTx := storageTx(cl)
+	rep, err := sq.ResilverNode("node02", day(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean || rep.Failed != 0 || rep.Repaired != rep.Blocks || rep.Blocks == 0 {
+		t.Fatalf("resilver did not fully repair: %+v", rep)
+	}
+	// Healthy replicas exist on three other nodes: every repair must come
+	// from a peer, none from the PFS.
+	if rep.PFSBlocks != 0 || rep.PeerBlocks != rep.Repaired || rep.PeerBytes == 0 {
+		t.Fatalf("resilver ignored healthy peers: %+v", rep)
+	}
+	if tx := storageTx(cl); tx != pfsTx {
+		t.Fatalf("peer-sourced resilver moved %d bytes off storage nodes", tx-pfsTx)
+	}
+	// The repaired node rejoins the exchange and boots warm and verified.
+	if !sq.PeerIndex().Holds(im.ID, "node02") {
+		t.Fatal("clean node not re-announced")
+	}
+	br, err := sq.Boot(im.ID, "node02", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !br.Warm {
+		t.Fatalf("repaired replica should boot warm: %+v", br)
+	}
+}
+
+func TestResilverFallsBackToPFSWhenNoHealthyPeer(t *testing.T) {
+	// Two compute nodes, both rotten: the first resilver has no healthy
+	// peer and must repair from the PFS; the second then has a healthy
+	// peer again and must prefer it.
+	sq, _, repo, _ := lifecycleDeployment(t, 2, fault.Plan{Seed: 11, Rot: 0.6})
+	im := repo.Images[0]
+	if _, err := sq.Register(im, day(0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"node00", "node01"} {
+		refs, err := sq.InjectRot(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(refs) == 0 {
+			t.Fatalf("rot plan injected nothing on %s", n)
+		}
+		if _, err := sq.ScrubNode(n, day(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep0, err := sq.ResilverNode("node00", day(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep0.Clean || rep0.PeerBlocks != 0 || rep0.PFSBlocks != rep0.Repaired || rep0.Repaired == 0 {
+		t.Fatalf("with every peer damaged the PFS must repair: %+v", rep0)
+	}
+	rep1, err := sq.ResilverNode("node01", day(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep1.Clean || rep1.PFSBlocks != 0 || rep1.PeerBlocks != rep1.Repaired || rep1.Repaired == 0 {
+		t.Fatalf("freshly-repaired peer should serve the second resilver: %+v", rep1)
+	}
+	if ds := sq.Stats(); ds.DamagedNodes != 0 {
+		t.Fatalf("damage survived resilvering: %+v", ds)
+	}
+}
+
+func TestRottenPeerNeverServesBadBytes(t *testing.T) {
+	// Latent (unscrubbed) rot on the only peer holder: the peer read fails
+	// its checksum at the source, the fetch falls back to the PFS, and the
+	// verified boot proves not one corrupt byte reached the VM.
+	sq, _, repo, _ := lifecycleDeployment(t, 2, fault.Plan{Seed: 13, Rot: 0.5})
+	im := repo.Images[0]
+	if _, err := sq.Register(im, day(0)); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := sq.InjectRot("node01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) == 0 {
+		t.Fatal("rot plan injected nothing")
+	}
+	if err := sq.DropReplica("node00", im.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !sq.PeerIndex().Holds(im.ID, "node01") {
+		t.Fatal("latent rot must not be withdrawn yet (nothing detected it)")
+	}
+	br, err := sq.Boot(im.ID, "node00", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.PeerBytes != 0 {
+		t.Fatalf("rotten peer served %d bytes", br.PeerBytes)
+	}
+	if br.NetworkBytes == 0 {
+		t.Fatal("boot should have fallen back to the PFS")
+	}
+	if c := sq.PeerIndex().Counters().Snapshot(); c["peer.stale"] == 0 {
+		t.Fatalf("source-side checksum failure not accounted: %v", c)
+	}
+}
+
+func TestBootAutoResilversDamagedNode(t *testing.T) {
+	sq, _, repo, _ := lifecycleDeployment(t, 3, fault.Plan{Seed: 17, Rot: 0.4})
+	im := repo.Images[0]
+	if _, err := sq.Register(im, day(0)); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := sq.InjectRot("node01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) == 0 {
+		t.Fatal("rot plan injected nothing")
+	}
+	if _, err := sq.ScrubNode("node01", day(1)); err != nil {
+		t.Fatal(err)
+	}
+	br, err := sq.Boot(im.ID, "node01", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !br.Healed {
+		t.Fatalf("boot on a quarantined node should resilver first: %+v", br)
+	}
+	if !br.Warm {
+		t.Fatalf("resilvered replica should serve the boot warm: %+v", br)
+	}
+	if st := nodeStatus(t, sq, "node01"); st.State != StateHealthy || st.Withdrawn {
+		t.Fatalf("node still quarantined after boot: %+v", st)
+	}
+}
+
+// TestLifecycleChaosSoak is the seeded end-to-end soak the CI chaos
+// matrix runs across several seeds (SQUIRREL_CHAOS_SEED overrides the
+// default). Its assertions are seed-agnostic invariants: registrations
+// never error, scrubs detect every injected rot block, verified boots
+// never see a corrupt byte, and the deployment converges to
+// all-healthy once faults stop firing.
+func TestLifecycleChaosSoak(t *testing.T) {
+	seed := int64(1337)
+	if env := os.Getenv("SQUIRREL_CHAOS_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad SQUIRREL_CHAOS_SEED %q: %v", env, err)
+		}
+		seed = v
+	}
+	plan := fault.Plan{
+		Seed: seed, Drop: 0.15, Truncate: 0.05, Corrupt: 0.08,
+		Crash: 0.04, Torn: 0.06, MaxCrashes: 3, Rot: 0.03,
+	}
+	sq, cl, repo, inj := lifecycleDeployment(t, 8, plan)
+
+	const regs = 8
+	for i := 0; i < regs; i++ {
+		if _, err := sq.Register(repo.Images[i], day(i)); err != nil {
+			t.Fatalf("seed %d: registration %d failed: %v", seed, i, err)
+		}
+	}
+	// Latent rot lands everywhere, then the nightly lifecycle pass runs:
+	// restart whatever is down, scrub everything, resilver the damage.
+	injected := map[string][]zvol.BlockRef{}
+	for _, n := range cl.Compute {
+		refs, err := sq.InjectRot(n.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		injected[n.ID] = refs
+	}
+	for _, st := range sq.Health() {
+		if !st.Online {
+			if _, err := sq.RestartNode(st.NodeID, day(regs)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	scrubs := sq.ScrubAll(day(regs))
+	for _, n := range cl.Compute {
+		found := map[zvol.BlockRef]bool{}
+		for _, r := range scrubs[n.ID].Damaged {
+			found[r] = true
+		}
+		for _, r := range injected[n.ID] {
+			if !found[r] {
+				t.Fatalf("seed %d: scrub on %s missed injected rot at %+v", seed, n.ID, r)
+			}
+		}
+	}
+	if _, err := sq.ResilverAll(day(regs)); err != nil {
+		t.Fatal(err)
+	}
+	// Verified boots everywhere, restarting any node a leftover fault
+	// takes down. The crash budget is finite, so this converges.
+	latest := repo.Images[regs-1]
+	for round := 0; round < 4; round++ {
+		for _, st := range sq.Health() {
+			if !st.Online {
+				if _, err := sq.RestartNode(st.NodeID, day(regs+1+round)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for _, n := range cl.Compute {
+			if _, err := sq.Boot(latest.ID, n.ID, true); err != nil {
+				t.Fatalf("seed %d: verified boot on %s: %v", seed, n.ID, err)
+			}
+		}
+		healthy := true
+		for _, st := range sq.Health() {
+			if st.State != StateHealthy {
+				healthy = false
+			}
+		}
+		if healthy {
+			break
+		}
+	}
+	for _, st := range sq.Health() {
+		if st.State != StateHealthy || st.Withdrawn {
+			t.Fatalf("seed %d: node not healthy after soak: %+v", seed, st)
+		}
+	}
+	want := sq.SCVolume().LatestSnapshot().Name
+	for _, n := range cl.Compute {
+		ccv, _ := sq.CCVolume(n.ID)
+		if snap := ccv.LatestSnapshot(); snap == nil || snap.Name != want {
+			t.Fatalf("seed %d: %s did not converge to %s", seed, n.ID, want)
+		}
+	}
+	if ds := sq.Stats(); ds.LaggingNodes != 0 || ds.DamagedNodes != 0 || ds.StaleReplicas != 0 {
+		t.Fatalf("seed %d: deployment not converged: %+v", seed, ds)
+	}
+	_ = inj
+}

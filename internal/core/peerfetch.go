@@ -94,7 +94,8 @@ func (f *peerFetcher) acquire(tried map[string]bool) (string, func(int64), bool,
 	s.mu.Lock()
 	eligible := make(map[string]bool)
 	for _, id := range s.peers.Holders(f.imageID) {
-		if tried[id] || id == f.bootNode.ID || !s.online[id] || s.lagging[id] {
+		if tried[id] || id == f.bootNode.ID || !s.online[id] || s.lagging[id] ||
+			len(s.damaged[id]) > 0 {
 			continue
 		}
 		if ccv := s.cc[id]; ccv != nil && ccv.HasObject(f.imageID) {
@@ -134,9 +135,10 @@ func (f *peerFetcher) transfer(src string, dst []byte, base int64, release func(
 	if err != nil {
 		return done(0, false)
 	}
-	if kind == fault.Crash {
-		// The source dies mid-serve: it drops offline, its announcements
-		// are withdrawn, and its next boot heals it like any crash.
+	if kind == fault.Crash || kind == fault.Torn {
+		// The source dies mid-serve (for a one-way peer read a torn apply
+		// and a plain crash are the same event): it drops offline, its
+		// announcements are withdrawn, and its next boot heals it.
 		s.mu.Lock()
 		s.online[src] = false
 		s.lagging[src] = true

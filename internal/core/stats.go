@@ -25,6 +25,9 @@ type DeploymentStats struct {
 	// LaggingNodes counts replicas that exhausted their registration
 	// repair budget (or crashed mid-transfer) and await healing.
 	LaggingNodes int
+	// DamagedNodes counts replicas with quarantined (scrub-detected)
+	// corrupt or missing blocks awaiting resilver.
+	DamagedNodes int
 
 	// PeerIndexObjects / PeerIndexEntries size the peer block exchange's
 	// content index: distinct cache objects announced, and total
@@ -44,6 +47,7 @@ func (s *Squirrel) Stats() DeploymentStats {
 		RegisteredImages: len(s.images),
 		ComputeNodes:     len(s.cc),
 		LaggingNodes:     len(s.lagging),
+		DamagedNodes:     len(s.damaged),
 		SCVolume:         s.sc.Stats(),
 		PeerIndexObjects: s.peers.Objects(),
 		PeerIndexEntries: s.peers.Entries(),

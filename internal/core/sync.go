@@ -58,6 +58,13 @@ func (s *Squirrel) syncNodeLocked(nodeID string) (SyncReport, error) {
 	if !ok {
 		return SyncReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
+	// A torn apply is rolled back before anything else: sync cannot stack
+	// a new receive on an open journal, and the rolled-back replica simply
+	// looks like it missed the registration this sync now delivers.
+	if ccv.NeedsRecovery() {
+		ccv.Recover()
+		s.cfg.Faults.Counters().Add("recover.rollback", 1)
+	}
 	wasLagging := s.lagging[nodeID]
 	heal := func(rep SyncReport) SyncReport {
 		if wasLagging {
@@ -66,7 +73,9 @@ func (s *Squirrel) syncNodeLocked(nodeID string) (SyncReport, error) {
 			s.cfg.Faults.Counters().Add("repair.healed", 1)
 		}
 		// A synced node's holdings are authoritative again: (re)announce
-		// them so the peer exchange can route misses here.
+		// them so the peer exchange can route misses here. (If the node
+		// still has damaged blocks, announceHoldingsLocked keeps it
+		// withdrawn — sync fixes staleness, resilver fixes rot.)
 		if s.online[nodeID] {
 			s.announceHoldingsLocked(nodeID)
 		}
@@ -120,6 +129,9 @@ func (s *Squirrel) syncNodeLocked(nodeID string) (SyncReport, error) {
 		return SyncReport{}, fmt.Errorf("core: full sync on %s: %w", nodeID, err)
 	}
 	s.cc[nodeID] = fresh
+	// The damaged replica was thrown away wholesale; the fresh one is
+	// clean by construction (Receive verified every block).
+	delete(s.damaged, nodeID)
 	rep.Mode = SyncFull
 	rep.Bytes = stream.SizeBytes()
 	rep.XferSec = s.cl.Unicast(s.cl.Storage[0], node, stream.SizeBytes())

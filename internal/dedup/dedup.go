@@ -34,6 +34,7 @@ type Entry struct {
 	PhysLen    int32  // stored (possibly compressed) length
 	LogLen     int32  // original length
 	Compressed bool   // whether the payload at Addr is compressed
+	PhysHash   block.Hash // checksum of the stored payload bytes at Addr
 }
 
 // Table is a thread-safe refcounted DDT.
@@ -62,7 +63,7 @@ func (t *Table) Lookup(h block.Hash) *Entry {
 // the caller must not store a new copy. Otherwise a new entry with one
 // reference is created from the provided location and (entry, false) is
 // returned.
-func (t *Table) Reference(h block.Hash, addr uint64, physLen, logLen int32, compressed bool) (*Entry, bool) {
+func (t *Table) Reference(h block.Hash, addr uint64, physLen, logLen int32, compressed bool, physHash block.Hash) (*Entry, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if e, ok := t.entries[h]; ok {
@@ -70,7 +71,8 @@ func (t *Table) Reference(h block.Hash, addr uint64, physLen, logLen int32, comp
 		t.hits++
 		return e, true
 	}
-	e := &Entry{Hash: h, Refs: 1, Addr: addr, PhysLen: physLen, LogLen: logLen, Compressed: compressed}
+	e := &Entry{Hash: h, Refs: 1, Addr: addr, PhysLen: physLen, LogLen: logLen,
+		Compressed: compressed, PhysHash: physHash}
 	t.entries[h] = e
 	t.misses++
 	return e, false

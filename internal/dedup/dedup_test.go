@@ -15,14 +15,14 @@ func h(b byte) block.Hash {
 
 func TestReferenceNewAndDup(t *testing.T) {
 	tab := NewTable()
-	e, dup := tab.Reference(h(1), 100, 10, 20, true)
+	e, dup := tab.Reference(h(1), 100, 10, 20, true, block.Hash{})
 	if dup {
 		t.Fatal("first reference must not be a dup")
 	}
 	if e.Refs != 1 || e.Addr != 100 {
 		t.Fatalf("bad entry %+v", e)
 	}
-	e2, dup := tab.Reference(h(1), 999, 99, 99, false)
+	e2, dup := tab.Reference(h(1), 999, 99, 99, false, block.Hash{})
 	if !dup {
 		t.Fatal("second reference must dedup")
 	}
@@ -33,8 +33,8 @@ func TestReferenceNewAndDup(t *testing.T) {
 
 func TestReleaseLifecycle(t *testing.T) {
 	tab := NewTable()
-	tab.Reference(h(1), 0, 8, 8, false)
-	tab.Reference(h(1), 0, 8, 8, false)
+	tab.Reference(h(1), 0, 8, 8, false, block.Hash{})
+	tab.Reference(h(1), 0, 8, 8, false, block.Hash{})
 	if _, freed, err := tab.Release(h(1)); err != nil || freed {
 		t.Fatalf("first release: freed=%v err=%v", freed, err)
 	}
@@ -58,7 +58,7 @@ func TestAddRefUnknown(t *testing.T) {
 	if err := tab.AddRef(h(7)); err == nil {
 		t.Fatal("AddRef on unknown hash must error")
 	}
-	tab.Reference(h(7), 0, 1, 1, false)
+	tab.Reference(h(7), 0, 1, 1, false, block.Hash{})
 	if err := tab.AddRef(h(7)); err != nil {
 		t.Fatal(err)
 	}
@@ -69,9 +69,9 @@ func TestAddRefUnknown(t *testing.T) {
 
 func TestStatsAccounting(t *testing.T) {
 	tab := NewTable()
-	tab.Reference(h(1), 0, 10, 64, true)  // unique
-	tab.Reference(h(2), 10, 20, 64, true) // unique
-	tab.Reference(h(1), 0, 10, 64, true)  // dup
+	tab.Reference(h(1), 0, 10, 64, true, block.Hash{})  // unique
+	tab.Reference(h(2), 10, 20, 64, true, block.Hash{}) // unique
+	tab.Reference(h(1), 0, 10, 64, true, block.Hash{})  // dup
 	s := tab.Stats()
 	if s.Entries != 2 || s.References != 3 {
 		t.Fatalf("entries=%d refs=%d", s.Entries, s.References)
@@ -109,7 +109,7 @@ func TestRefcountInvariantQuick(t *testing.T) {
 		for _, op := range ops {
 			key := op & 0x0F
 			if op&0x10 == 0 || refs[key] == 0 {
-				tab.Reference(h(key), uint64(key), 4, 8, false)
+				tab.Reference(h(key), uint64(key), 4, 8, false, block.Hash{})
 				refs[key]++
 			} else {
 				if _, _, err := tab.Release(h(key)); err != nil {
@@ -144,7 +144,7 @@ func TestConcurrentReferences(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < perG; i++ {
-				tab.Reference(h(byte(rng.Intn(32))), 0, 4, 8, false)
+				tab.Reference(h(byte(rng.Intn(32))), 0, 4, 8, false, block.Hash{})
 			}
 		}(int64(g))
 	}
@@ -161,7 +161,7 @@ func TestConcurrentReferences(t *testing.T) {
 func TestForEach(t *testing.T) {
 	tab := NewTable()
 	for i := byte(0); i < 10; i++ {
-		tab.Reference(h(i), uint64(i), 4, 8, false)
+		tab.Reference(h(i), uint64(i), 4, 8, false, block.Hash{})
 	}
 	n := 0
 	tab.ForEach(func(e *Entry) { n++ })
@@ -175,16 +175,16 @@ func BenchmarkReferenceMiss(b *testing.B) {
 	var buf [8]byte
 	for i := 0; i < b.N; i++ {
 		buf[0], buf[1], buf[2], buf[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
-		tab.Reference(block.HashOf(buf[:]), uint64(i), 4, 8, false)
+		tab.Reference(block.HashOf(buf[:]), uint64(i), 4, 8, false, block.Hash{})
 	}
 }
 
 func BenchmarkReferenceHit(b *testing.B) {
 	tab := NewTable()
 	hh := h(1)
-	tab.Reference(hh, 0, 4, 8, false)
+	tab.Reference(hh, 0, 4, 8, false, block.Hash{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tab.Reference(hh, 0, 4, 8, false)
+		tab.Reference(hh, 0, 4, 8, false, block.Hash{})
 	}
 }

@@ -1,0 +1,48 @@
+package fault
+
+// At-rest fault lanes. The transfer lanes in Decide/Strike model a lossy
+// fabric; the lanes here model the disk itself misbehaving: latent block
+// bit-rot discovered only by a scrub, and a node crashing partway through
+// applying a received stream. Both are pure functions of the plan seed
+// and their coordinates, so a chaos run's on-disk damage is reproducible
+// from the seed alone, independent of when (or from which goroutine) the
+// lane is struck.
+
+// RotBlock decides whether the given stored block of obj on node has
+// silently rotted at rest. The decision is a pure function of
+// (seed, node, obj, idx) against Plan.Rot, so the corrupt-block set of a
+// chaos run is fixed by the seed regardless of scan order.
+func (in *Injector) RotBlock(node, obj string, idx int) bool {
+	if in == nil || in.plan.Rot <= 0 {
+		return false
+	}
+	if uniform(in.roll("rot:"+obj, node, idx, 0)) >= in.plan.Rot {
+		return false
+	}
+	in.counters.Add("fault.rot", 1)
+	return true
+}
+
+// RotMutation picks the deterministic damage for one rotted block: a byte
+// offset within a stored payload of the given size and a nonzero XOR
+// mask, so applying the mutation always changes the payload. size must be
+// positive.
+func (in *Injector) RotMutation(node, obj string, idx, size int) (off int, xor byte) {
+	if in == nil || size <= 0 {
+		return 0, 1
+	}
+	off = int(in.roll("rot:"+obj, node, idx, 1) % uint64(size))
+	xor = byte(1 + in.roll("rot:"+obj, node, idx, 2)%255)
+	return off, xor
+}
+
+// TornStep picks where inside a torn zvol.Receive the destination dies:
+// the number of staged apply steps completed before the crash, in
+// [0, steps] (0 = nothing staged, steps = everything staged but not
+// committed). Deterministic in (seed, op, dst).
+func (in *Injector) TornStep(op, dst string, steps int) int {
+	if in == nil || steps <= 0 {
+		return 0
+	}
+	return int(in.roll(op, dst, 0, 3) % uint64(steps+1))
+}

@@ -39,6 +39,11 @@ const (
 	Corrupt
 	// Crash: the destination node dies mid-transfer and drops offline.
 	Crash
+	// Torn: the stream arrives intact but the destination crashes midway
+	// through applying it, leaving a partially-applied dataset behind
+	// (torn zvol.Receive). The receive journal detects and rolls this
+	// back on restart.
+	Torn
 )
 
 // String renders the kind for reports and counter names.
@@ -54,6 +59,8 @@ func (k Kind) String() string {
 		return "corrupt"
 	case Crash:
 		return "crash"
+	case Torn:
+		return "torn"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -67,19 +74,31 @@ type Plan struct {
 	Truncate float64 // P(stream cut short)
 	Corrupt  float64 // P(wire bytes flipped)
 	Crash    float64 // P(destination crashes mid-transfer)
-	// MaxCrashes caps Crash decisions over the injector's lifetime; once
-	// spent, would-be crashes degrade to Drop. Zero means no crashes.
+	// Torn is P(destination crashes mid-apply): the stream arrives
+	// intact but the node dies partway through zvol.Receive, leaving a
+	// torn dataset its receive journal must roll back on restart.
+	Torn float64
+	// MaxCrashes caps Crash and Torn decisions over the injector's
+	// lifetime; once spent, would-be crashes degrade to Drop. Zero means
+	// no crashes.
 	MaxCrashes int
+
+	// Rot is the at-rest lane: P(one stored block has silently rotted)
+	// per (node, object, block) when the lane is struck via RotBlock.
+	// Unlike the transfer lanes above it is not part of the per-attempt
+	// kind distribution — rot happens to data sitting on disk, not to
+	// streams in flight.
+	Rot float64
 }
 
 // Validate rejects nonsensical plans.
 func (p Plan) Validate() error {
-	for _, pr := range []float64{p.Drop, p.Truncate, p.Corrupt, p.Crash} {
+	for _, pr := range []float64{p.Drop, p.Truncate, p.Corrupt, p.Crash, p.Torn, p.Rot} {
 		if pr < 0 || pr > 1 {
 			return fmt.Errorf("fault: probability %v out of [0,1]", pr)
 		}
 	}
-	if s := p.Drop + p.Truncate + p.Corrupt + p.Crash; s > 1 {
+	if s := p.Drop + p.Truncate + p.Corrupt + p.Crash + p.Torn; s > 1 {
 		return fmt.Errorf("fault: probabilities sum to %v > 1", s)
 	}
 	if p.MaxCrashes < 0 {
@@ -179,14 +198,18 @@ func (in *Injector) Decide(op, dst string, attempt int) Kind {
 	switch {
 	case u < p.Crash:
 		k = Crash
-	case u < p.Crash+p.Drop:
+	case u < p.Crash+p.Torn:
+		k = Torn
+	case u < p.Crash+p.Torn+p.Drop:
 		k = Drop
-	case u < p.Crash+p.Drop+p.Truncate:
+	case u < p.Crash+p.Torn+p.Drop+p.Truncate:
 		k = Truncate
-	case u < p.Crash+p.Drop+p.Truncate+p.Corrupt:
+	case u < p.Crash+p.Torn+p.Drop+p.Truncate+p.Corrupt:
 		k = Corrupt
 	}
-	if k == Crash {
+	if k == Crash || k == Torn {
+		// Torn is a crash too (mid-apply instead of mid-transfer), so it
+		// draws from the same budget.
 		in.mu.Lock()
 		if in.crashes >= p.MaxCrashes {
 			k = Drop
@@ -205,7 +228,7 @@ func (in *Injector) Decide(op, dst string, attempt int) Kind {
 // Strike decides the fault for one transfer attempt and applies it to the
 // wire bytes, returning the bytes the destination actually sees:
 //
-//	None            wire unchanged (same slice)
+//	None, Torn      wire unchanged (same slice); Torn dies during apply
 //	Drop, Crash     nil — nothing arrives
 //	Truncate        a strict prefix copy of wire
 //	Corrupt         a same-length copy with a few bytes flipped
@@ -216,7 +239,7 @@ func (in *Injector) Decide(op, dst string, attempt int) Kind {
 func (in *Injector) Strike(op, dst string, attempt int, wire []byte) (Kind, []byte) {
 	k := in.Decide(op, dst, attempt)
 	switch k {
-	case None:
+	case None, Torn:
 		return k, wire
 	case Drop, Crash:
 		return k, nil

@@ -219,6 +219,21 @@ func (ix *Index) Holds(obj, node string) bool {
 	return held
 }
 
+// AnnouncedBy returns how many objects node currently announces. Zero
+// means the node is fully withdrawn from the exchange (down, damaged,
+// or simply holding nothing) — the health dump surfaces this.
+func (ix *Index) AnnouncedBy(node string) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	n := 0
+	for _, set := range ix.holders {
+		if _, held := set[node]; held {
+			n++
+		}
+	}
+	return n
+}
+
 // Objects returns the number of distinct objects indexed.
 func (ix *Index) Objects() int {
 	ix.mu.Lock()

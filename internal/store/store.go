@@ -80,6 +80,45 @@ func (s *Store) Read(addr uint64) ([]byte, error) {
 	return b, nil
 }
 
+// Corrupt flips one byte of the payload at addr in place — the at-rest
+// bit-rot hook. The store itself keeps no checksums (the cVolume's block
+// pointers do), so the damage is latent until a scrub walks the volume.
+func (s *Store) Corrupt(addr uint64, off int64, xor byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blocks[addr]
+	if !ok {
+		return fmt.Errorf("store: corrupt of unallocated address %d", addr)
+	}
+	if off < 0 || off >= int64(len(b)) {
+		return fmt.Errorf("store: corrupt offset %d outside payload of %d bytes", off, len(b))
+	}
+	if xor == 0 {
+		return fmt.Errorf("store: zero XOR mask would not corrupt")
+	}
+	b[off] ^= xor
+	return nil
+}
+
+// Rewrite replaces the payload at addr with one of identical length — the
+// resilver hook that heals a rotted block in place without disturbing the
+// volume's physical layout. Length-changing rewrites are refused: repair
+// data is re-encoded exactly as the original was, so a size mismatch
+// means the repair data is wrong.
+func (s *Store) Rewrite(addr uint64, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blocks[addr]
+	if !ok {
+		return fmt.Errorf("store: rewrite of unallocated address %d", addr)
+	}
+	if len(b) != len(payload) {
+		return fmt.Errorf("store: rewrite length %d != stored %d", len(payload), len(b))
+	}
+	copy(b, payload)
+	return nil
+}
+
 // Free releases the payload at addr, making its extent reusable.
 func (s *Store) Free(addr uint64) error {
 	s.mu.Lock()

@@ -199,3 +199,123 @@ func TestReceiveReplaceReleasesAfterUpserts(t *testing.T) {
 		t.Fatal("delete not applied")
 	}
 }
+
+// tornFixture builds a dst replica holding snapshot s1 (objects a, b, c)
+// and an incremental s1→s2 stream carrying two upserts (one dedup-heavy)
+// and one delete — enough staged steps to probe every torn-apply offset.
+func tornFixture(t *testing.T) (*Volume, *Stream) {
+	t.Helper()
+	src, dst := pair(t)
+	for i, name := range []string{"a", "b", "c"} {
+		if _, err := src.WriteObject(name, bytes.NewReader(mkData(int64(20+i), 48*1024))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := src.Snapshot("s1", day(0)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := src.Send("", "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Receive(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.DeleteObject("a"); err != nil {
+		t.Fatal(err)
+	}
+	// d is fresh content; e shares b's bytes so its stream record is
+	// hash-only and the torn apply exercises the dedup-reference path.
+	if _, err := src.WriteObject("d", bytes.NewReader(mkData(77, 32*1024))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.WriteObject("e", bytes.NewReader(mkData(21, 48*1024))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Snapshot("s2", day(1)); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := src.Send("s1", "s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.ApplySteps() < 3 {
+		t.Fatalf("fixture too small: %d apply steps", inc.ApplySteps())
+	}
+	return dst, inc
+}
+
+// TestTornReceiveRecoversAtEveryOffset is the crash-consistency property
+// test: a crash injected after ANY number of staged apply steps — from
+// right after the intent record to everything-staged-but-uncommitted —
+// must leave the dataset bit-identical to its pre-receive state after
+// Recover, and the very same stream must then apply cleanly.
+func TestTornReceiveRecoversAtEveryOffset(t *testing.T) {
+	dst, inc := tornFixture(t)
+	before := snapshotState(t, dst)
+	beforeStats := dst.Stats()
+	for off := 0; off <= inc.ApplySteps(); off++ {
+		dst.SetReceiveCrashPoint(off)
+		if err := dst.Receive(inc); !errors.Is(err, ErrTorn) {
+			t.Fatalf("offset %d: receive returned %v, want ErrTorn", off, err)
+		}
+		if !dst.NeedsRecovery() {
+			t.Fatalf("offset %d: torn apply left no open journal", off)
+		}
+		// A replica with an open journal refuses further receives until
+		// recovered — a restart must not stack a new apply on torn state.
+		if err := dst.Receive(inc); !errors.Is(err, ErrNeedsRecovery) {
+			t.Fatalf("offset %d: receive on torn replica returned %v", off, err)
+		}
+		rep := dst.Recover()
+		if !rep.RolledBack || rep.Snapshot != "s2" {
+			t.Fatalf("offset %d: recover report %+v", off, rep)
+		}
+		if rep.UndoneUpserts+rep.UndoneDeletes > off {
+			t.Fatalf("offset %d: undid %d steps, staged at most %d",
+				off, rep.UndoneUpserts+rep.UndoneDeletes, off)
+		}
+		if dst.NeedsRecovery() {
+			t.Fatalf("offset %d: journal still open after recover", off)
+		}
+		if !sameState(before, snapshotState(t, dst)) {
+			t.Fatalf("offset %d: dataset not bit-identical after rollback", off)
+		}
+		if s := dst.Stats(); s != beforeStats {
+			t.Fatalf("offset %d: accounting drifted: %+v != %+v", off, s, beforeStats)
+		}
+	}
+	// Recover on a consistent replica is a no-op.
+	if rep := dst.Recover(); rep.RolledBack {
+		t.Fatalf("no-op recover rolled back: %+v", rep)
+	}
+	// After the last rollback the same stream applies cleanly end to end.
+	if err := dst.Receive(inc); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"d", "e"} {
+		if _, err := dst.ReadObject(name); err != nil {
+			t.Fatalf("post-recovery receive lost %s: %v", name, err)
+		}
+	}
+	if dst.HasObject("a") {
+		t.Fatal("post-recovery receive missed the delete")
+	}
+	if rep := dst.Scrub(); !rep.Clean() {
+		t.Fatalf("replica dirty after torn/recover/receive cycle: %+v", rep)
+	}
+}
+
+// TestTornReceiveCrashPointIsOneShot checks the injection arms exactly
+// one receive: the next attempt after a torn apply + recover runs clean.
+func TestTornReceiveCrashPointIsOneShot(t *testing.T) {
+	dst, inc := tornFixture(t)
+	dst.SetReceiveCrashPoint(0)
+	if err := dst.Receive(inc); !errors.Is(err, ErrTorn) {
+		t.Fatalf("armed receive returned %v", err)
+	}
+	dst.Recover()
+	if err := dst.Receive(inc); err != nil {
+		t.Fatalf("crash point fired twice: %v", err)
+	}
+}

@@ -145,59 +145,106 @@ func (v *Volume) Send(fromSnap, toSnap string) (*Stream, error) {
 // and hash-only references resolvable through the local DDT — before the
 // replica is mutated, so a corrupted or truncated stream can never leave
 // a half-applied ccVolume behind.
+//
+// The apply itself is journaled against crashes (see journal.go): an
+// intent record opens before the first mutation, each staged upsert or
+// delete appends its undo record, and releases + snapshot creation form
+// one atomic commit that also clears the journal. An injected crash
+// (SetReceiveCrashPoint, the torn-apply fault lane) returns ErrTorn with
+// the journal open; Recover rolls the volume back to its exact
+// pre-receive state. A volume with an open journal refuses further
+// receives until recovered.
 func (v *Volume) Receive(st *Stream) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	// Consume the one-shot crash point whether or not verification
+	// passes: the "crash" is armed for this receive attempt only.
+	crashAt, armed := v.crashPoint, v.armed
+	v.crashPoint, v.armed = 0, false
+	if v.journal != nil {
+		return ErrNeedsRecovery
+	}
 	if err := v.verifyStreamLocked(st); err != nil {
 		return err
 	}
-	// Apply. Verification guarantees nothing below can fail. Upserts land
-	// before any release, so a hash-only pointer that resolved during
-	// verification cannot watch its block vanish when this same stream
-	// replaces or deletes the object that held it.
+	// Intent record: from here until commit, a crash leaves the journal
+	// open for Recover to roll back.
+	j := &receiveJournal{fromSnap: st.FromSnap, toSnap: st.ToSnap}
+	v.journal = j
+	crashed := func() bool { return armed && j.steps >= crashAt }
+	if crashed() {
+		return ErrTorn
+	}
+	// Stage the apply. Verification guarantees nothing below can fail.
+	// Upserts land before any release, so a hash-only pointer that
+	// resolved during verification cannot watch its block vanish when
+	// this same stream replaces or deletes the object that held it.
 	var release [][]blockPtr
 	for _, so := range st.Upserts {
+		rec := undoRec{upsert: true, name: so.Name}
 		obj := &Object{Name: so.Name, Size: so.Size, ptrs: make([]blockPtr, 0, len(so.Ptrs))}
 		for _, sp := range so.Ptrs {
 			switch {
 			case sp.Zero:
 				obj.ptrs = append(obj.ptrs, blockPtr{zero: true, logLen: sp.LogLen})
 				v.zeroBytes += int64(sp.LogLen)
+				rec.zeros += int64(sp.LogLen)
 			case sp.Payload >= 0:
 				obj.ptrs = append(obj.ptrs, v.writeBlock(st.Blocks[sp.Payload]))
 			default:
 				e := v.ddt.Lookup(sp.Hash)
 				v.ddt.AddRef(sp.Hash)
 				obj.ptrs = append(obj.ptrs, blockPtr{hash: sp.Hash, addr: e.Addr,
-					physLen: e.PhysLen, logLen: sp.LogLen, compressed: e.Compressed})
+					physLen: e.PhysLen, logLen: sp.LogLen, compressed: e.Compressed,
+					physHash: e.PhysHash})
 			}
 			v.logicalWritten += int64(sp.LogLen)
+			rec.logical += int64(sp.LogLen)
 		}
 		if old, ok := v.objects[so.Name]; ok {
 			// Replace (idempotent receive): the old object's references go
-			// only after every upsert is in.
+			// only at commit, after every upsert is in.
 			release = append(release, old.ptrs)
+			rec.old = old
 		}
+		rec.newPtrs = obj.ptrs
 		v.objects[so.Name] = obj
+		j.undo = append(j.undo, rec)
+		j.steps++
+		if crashed() {
+			return ErrTorn
+		}
 	}
 	for _, name := range st.Deletes {
 		if obj, ok := v.objects[name]; ok {
 			delete(v.objects, name)
 			release = append(release, obj.ptrs)
+			j.undo = append(j.undo, undoRec{name: name, old: obj})
+		}
+		j.steps++
+		if crashed() {
+			return ErrTorn
 		}
 	}
+	// Commit: releases, snapshot, journal clear — atomic (no crash
+	// points; a real implementation orders this behind one journal
+	// commit-mark write).
 	for _, ptrs := range release {
 		v.releasePtrsLocked(ptrs)
 	}
-	// Finally, snapshot the resulting state under the stream's name.
 	objs := make(map[string]*Object, len(v.objects))
 	for n, o := range v.objects {
 		objs[n] = o
 		v.addRefsLocked(o.ptrs)
 	}
 	v.snaps = append(v.snaps, &Snapshot{Name: st.ToSnap, Created: st.Created, objects: objs})
+	v.journal = nil
 	return nil
 }
+
+// ApplySteps returns the number of staged apply steps Receive would run
+// for st — the valid range of torn-apply crash offsets is [0, ApplySteps].
+func (st *Stream) ApplySteps() int { return len(st.Upserts) + len(st.Deletes) }
 
 // verifyStreamLocked checks a stream end to end without touching the
 // volume. Everything Receive's apply phase relies on is proven here:

@@ -54,6 +54,12 @@ type blockPtr struct {
 	logLen     int32
 	zero       bool
 	compressed bool
+	// physHash checksums the stored payload bytes themselves (the
+	// possibly-compressed on-disk form), like a ZFS blkptr. hash covers
+	// the logical content and drives dedup; physHash is what a scrub
+	// verifies, so even a flip in a codec header byte that decodes to the
+	// same content is caught.
+	physHash block.Hash
 }
 
 // Object is a named block sequence stored in a volume.
@@ -96,6 +102,13 @@ type Volume struct {
 
 	logicalWritten int64 // bytes accepted by WriteObject (incl. zeros)
 	zeroBytes      int64 // bytes suppressed as holes
+
+	// journal is the open receive journal of a torn apply, nil when
+	// consistent. crashPoint/armed arm a one-shot injected crash for the
+	// next Receive (see SetReceiveCrashPoint).
+	journal    *receiveJournal
+	crashPoint int
+	armed      bool
 }
 
 // New creates an empty volume. It returns an error for invalid block sizes
@@ -131,6 +144,22 @@ var (
 	ErrSnapExists  = errors.New("zvol: snapshot already exists")
 	ErrNotAncestor = errors.New("zvol: incremental source snapshot not present")
 	ErrBadStream   = errors.New("zvol: stream failed verification")
+	// ErrCorrupt marks a stored block whose payload no longer matches its
+	// block pointer's checksum (at-rest bit-rot). Reads fail rather than
+	// return damaged bytes; Scrub enumerates the damage and RepairBlock
+	// heals it.
+	ErrCorrupt = errors.New("zvol: block failed checksum")
+	// ErrTorn is returned by Receive when the (injected) node crash fires
+	// mid-apply: the volume is left with a partially-applied stream and an
+	// open receive journal that Recover must roll back.
+	ErrTorn = errors.New("zvol: receive torn by crash")
+	// ErrNeedsRecovery refuses new receives while a torn receive's
+	// journal is still open.
+	ErrNeedsRecovery = errors.New("zvol: open receive journal, run Recover first")
+	// ErrBadRepair rejects repair data that does not match the damaged
+	// block's recorded checksum — a rotten source must never be written
+	// into a replica.
+	ErrBadRepair = errors.New("zvol: repair data failed verification")
 )
 
 // WriteObject stores the stream r as a new object. Writing over an
@@ -176,7 +205,7 @@ func (v *Volume) writeBlock(data []byte) blockPtr {
 		if e := v.ddt.Lookup(h); e != nil {
 			v.ddt.AddRef(h)
 			return blockPtr{hash: h, addr: e.Addr, physLen: e.PhysLen,
-				logLen: int32(len(data)), compressed: e.Compressed}
+				logLen: int32(len(data)), compressed: e.Compressed, physHash: e.PhysHash}
 		}
 	}
 	payload := data
@@ -191,9 +220,9 @@ func (v *Volume) writeBlock(data []byte) blockPtr {
 	}
 	addr := v.store.Alloc(payload)
 	ptr := blockPtr{hash: h, addr: addr, physLen: int32(len(payload)),
-		logLen: int32(len(data)), compressed: isCompressed}
+		logLen: int32(len(data)), compressed: isCompressed, physHash: block.HashOf(payload)}
 	if v.cfg.Dedup {
-		v.ddt.Reference(h, addr, ptr.physLen, ptr.logLen, isCompressed)
+		v.ddt.Reference(h, addr, ptr.physLen, ptr.logLen, isCompressed, ptr.physHash)
 	}
 	return ptr
 }
@@ -244,24 +273,32 @@ func (v *Volume) materialize(obj *Object) ([]byte, error) {
 	return out, nil
 }
 
-// readBlockPtr fetches and decodes one block.
+// readBlockPtr fetches, decodes, and checksum-verifies one block. Every
+// read is end-to-end verified against the block pointer's stored hash
+// (ZFS-style): a rotted payload surfaces as ErrCorrupt instead of
+// corrupt bytes, so damage can never be served to a boot or a peer.
 func (v *Volume) readBlockPtr(p blockPtr) ([]byte, error) {
 	payload, err := v.store.Read(p.addr)
 	if err != nil {
 		return nil, err
 	}
-	if !p.compressed {
-		if int32(len(payload)) != p.logLen {
-			return nil, fmt.Errorf("zvol: raw block length %d != %d", len(payload), p.logLen)
-		}
-		return payload, nil
+	if block.HashOf(payload) != p.physHash {
+		return nil, ErrCorrupt
 	}
-	data, err := v.codec.Decompress(payload, int(p.logLen))
-	if err != nil {
-		return nil, err
+	data := payload
+	if p.compressed {
+		data, err = v.codec.Decompress(payload, int(p.logLen))
+		if err != nil {
+			// A rotted compressed payload typically fails to decode at
+			// all; classify that as corruption, not an I/O error.
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
 	}
 	if int32(len(data)) != p.logLen {
-		return nil, fmt.Errorf("zvol: decompressed length %d != %d", len(data), p.logLen)
+		return nil, fmt.Errorf("%w: length %d != %d", ErrCorrupt, len(data), p.logLen)
+	}
+	if block.HashOf(data) != p.hash {
+		return nil, ErrCorrupt
 	}
 	return data, nil
 }
