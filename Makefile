@@ -31,7 +31,10 @@ examples:
 	$(GO) run ./examples/peerboot
 	$(GO) run ./examples/resilver
 
-# Run the experiment benchmarks and record machine-readable results.
+# Run the benchmarks (experiment regeneration at the repo root, counter
+# and traced-vs-untraced boot-wave benches in internal packages) and
+# record machine-readable results, including the synthetic
+# BootWaveTracingOverhead delta benchjson derives from the pair.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchjson > BENCH.json
+	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH.json
 	@echo wrote BENCH.json

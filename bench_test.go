@@ -149,3 +149,10 @@ func BenchmarkFigScrubResilver(b *testing.B) {
 	b.ReportMetric(lastFloat(tb, -1, 3), "scrub-detected-%")
 	b.ReportMetric(lastFloat(tb, -1, 5), "resilver-peer-share-%")
 }
+
+func BenchmarkFigTraceBootBreakdown(b *testing.B) {
+	tb := runExperiment(b, "figtrace")
+	// Row 1 is the peer-exchange lane; column 2 its byte share. The
+	// experiment itself errors if span and report accounting diverge.
+	b.ReportMetric(lastFloat(tb, 1, 2), "peer-byte-share-%")
+}

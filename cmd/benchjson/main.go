@@ -8,6 +8,11 @@
 // allocs/op, plus any custom b.ReportMetric units). Non-benchmark lines
 // are ignored, so the full `go test` stream can be piped through
 // unfiltered.
+//
+// Benchmark pairs named <Base>Traced / <Base>Untraced additionally
+// produce a synthetic <Base>TracingOverhead result whose "overhead-%"
+// metric is the relative ns/op cost of tracing — the number the
+// telemetry acceptance bar (< 5%) is checked against.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -40,12 +46,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	results = append(results, overheadPairs(results)...)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// overheadPairs derives synthetic overhead results from Traced/Untraced
+// benchmark pairs. Multiple samples of a pair (from -count) are averaged
+// before the delta is taken.
+func overheadPairs(results []result) []result {
+	mean := make(map[string][]float64) // name → ns/op samples
+	for _, r := range results {
+		if v, ok := r.Metrics["ns/op"]; ok {
+			mean[r.Name] = append(mean[r.Name], v)
+		}
+	}
+	avg := func(vs []float64) float64 {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		return s / float64(len(vs))
+	}
+	var out []result
+	for name, traced := range mean {
+		base, ok := strings.CutSuffix(name, "Traced")
+		if !ok || strings.HasSuffix(name, "Untraced") {
+			continue
+		}
+		untraced, ok := mean[base+"Untraced"]
+		if !ok {
+			continue
+		}
+		t, u := avg(traced), avg(untraced)
+		if u <= 0 {
+			continue
+		}
+		out = append(out, result{
+			Name:       base + "TracingOverhead",
+			Procs:      1,
+			Iterations: int64(len(traced)),
+			Metrics:    map[string]float64{"overhead-%": 100 * (t - u) / u},
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // parseLine parses one "BenchmarkName-8  10  123 ns/op  4 extra/op" line.

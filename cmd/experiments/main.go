@@ -6,12 +6,16 @@
 //	experiments -list
 //	experiments -run fig11
 //	experiments -run all -count 0.1 -size 0.25
+//	experiments -run figtrace -json figtrace.json
 //
 // Output is one aligned text table per experiment, with the paper's
-// qualitative expectation in the trailing comment line.
+// qualitative expectation in the trailing comment line. -json
+// additionally writes the structured tables (id, title, header, rows)
+// to a file, for CI artifacts and downstream tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,10 +26,11 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment id (fig2..fig18, tab1..tab4) or 'all'")
-		list  = flag.Bool("list", false, "list available experiments")
-		count = flag.Float64("count", 0.1, "image-count scale factor (1.0 = documented default)")
-		size  = flag.Float64("size", 0.25, "image-size scale factor (1.0 = documented default)")
+		run      = flag.String("run", "", "experiment id (fig2..fig18, tab1..tab4) or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		count    = flag.Float64("count", 0.1, "image-count scale factor (1.0 = documented default)")
+		size     = flag.Float64("size", 0.25, "image-size scale factor (1.0 = documented default)")
+		jsonPath = flag.String("json", "", "also write the structured tables as JSON to this file")
 	)
 	flag.Parse()
 
@@ -52,6 +57,14 @@ func main() {
 		}
 		todo = []experiments.Experiment{e}
 	}
+	type jsonTable struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Header  []string   `json:"header"`
+		Rows    [][]string `json:"rows"`
+		Comment string     `json:"comment,omitempty"`
+	}
+	var results []jsonTable
 	for _, e := range todo {
 		start := time.Now()
 		tb, err := e.Run(scale)
@@ -61,5 +74,18 @@ func main() {
 		}
 		fmt.Print(tb.Render())
 		fmt.Printf("   [%s took %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		results = append(results, jsonTable{ID: e.ID, Title: tb.Title, Header: tb.Header, Rows: tb.Rows, Comment: tb.Comment})
+	}
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d table(s) to %s\n", len(results), *jsonPath)
 	}
 }

@@ -10,6 +10,8 @@
 //	squirrelctl -offline node03          # take one node offline mid-run
 //	squirrelctl -peers                   # peer exchange on; dumps the index
 //	squirrelctl -health                  # crash/rot/scrub/resilver drama + health dump
+//	squirrelctl -telemetry               # traced run; dumps the telemetry snapshot (JSON + Prometheus)
+//	squirrelctl -trace boot              # traced run; renders the slowest boot's span tree
 package main
 
 import (
@@ -23,27 +25,35 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/peer"
 )
 
 func main() {
 	var (
-		nImages = flag.Int("images", 16, "images to register")
-		nNodes  = flag.Int("nodes", 8, "compute nodes")
-		vms     = flag.Int("vms", 2, "VMs booted per node")
-		offline = flag.String("offline", "", "node to take offline during registrations")
-		verify  = flag.Bool("verify", true, "verify boot data against image content")
-		peers   = flag.Bool("peers", false, "enable the peer block exchange, drop one replica to force a peer-served cold boot, and dump the content index")
-		health  = flag.Bool("health", false, "after the boot wave: crash a node, rot another, scrub, resilver, restart, and dump per-node health at each step")
+		nImages   = flag.Int("images", 16, "images to register")
+		nNodes    = flag.Int("nodes", 8, "compute nodes")
+		vms       = flag.Int("vms", 2, "VMs booted per node")
+		offline   = flag.String("offline", "", "node to take offline during registrations")
+		verify    = flag.Bool("verify", true, "verify boot data against image content")
+		peers     = flag.Bool("peers", false, "enable the peer block exchange, drop one replica to force a peer-served cold boot, and dump the content index")
+		health    = flag.Bool("health", false, "after the boot wave: crash a node, rot another, scrub, resilver, restart, and dump per-node health at each step")
+		telemetry = flag.Bool("telemetry", false, "trace the whole run (implies -peers -health) and dump the unified telemetry snapshot as JSON and Prometheus text")
+		trace     = flag.String("trace", "", "trace the whole run and render the span tree of the slowest operation of this kind (register, boot, scrub, resilver, sync, gc, restart)")
 	)
 	flag.Parse()
-	if err := run(*nImages, *nNodes, *vms, *offline, *verify, *peers, *health); err != nil {
+	if *telemetry || *trace != "" {
+		// The snapshot (and the trace ring) is most interesting when
+		// every op kind fires.
+		*peers, *health = true, true
+	}
+	if err := run(*nImages, *nNodes, *vms, *offline, *verify, *peers, *health, *telemetry, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(nImages, nNodes, vms int, offline string, verify, peers, health bool) error {
+func run(nImages, nNodes, vms int, offline string, verify, peers, health bool, telemetry bool, trace string) error {
 	spec := corpus.DefaultSpec().Scale(float64(nImages)/607, 0.25)
 	repo, err := corpus.New(spec)
 	if err != nil {
@@ -63,6 +73,9 @@ func run(nImages, nNodes, vms int, offline string, verify, peers, health bool) e
 	cfg := core.DefaultConfig()
 	if peers {
 		cfg.Peer = peer.DefaultPolicy()
+	}
+	if telemetry || trace != "" {
+		cfg.Obs = obs.New(0)
 	}
 	sq, err := core.New(cfg, cl, pfs)
 	if err != nil {
@@ -168,6 +181,19 @@ func run(nImages, nNodes, vms int, offline string, verify, peers, health bool) e
 
 	n := sq.GarbageCollect(t0.Add(30 * 24 * time.Hour))
 	fmt.Printf("\ngarbage collection destroyed %d old snapshots\n", n)
+
+	if telemetry {
+		snap := sq.Telemetry().Snapshot()
+		fmt.Printf("\n--- telemetry snapshot (JSON) ---\n%s\n", snap.JSON())
+		fmt.Printf("\n--- telemetry snapshot (Prometheus text) ---\n%s", snap.Prometheus())
+	}
+	if trace != "" {
+		sp := sq.Telemetry().SlowestRoot(trace)
+		if sp == nil {
+			return fmt.Errorf("no completed %q operation in the trace ring (kinds: register, boot, scrub, resilver, sync, gc, restart)", trace)
+		}
+		fmt.Printf("\n--- slowest %q operation ---\n%s", trace, obs.RenderTree(sp))
+	}
 	return nil
 }
 

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// benchBootWave registers a few images once, then times warm boot waves
+// across the whole cluster. Run with traced=true and traced=false to
+// measure what span recording costs on the hottest operator-facing
+// path; cmd/benchjson pairs the two results into an overhead metric,
+// and the acceptance bar is under 5%.
+func benchBootWave(b *testing.B, traced bool) {
+	sq, cl, repo := obsScriptDeployment(b, 8, fault.Plan{Seed: 7}, traced)
+	const images = 4
+	for i := 0; i < images; i++ {
+		if _, err := sq.Register(repo.Images[i], day(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	boots := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for img := 0; img < images; img++ {
+			for _, n := range cl.Compute {
+				if _, err := sq.Boot(repo.Images[img].ID, n.ID, false); err != nil {
+					b.Fatal(err)
+				}
+				boots++
+			}
+		}
+	}
+	b.ReportMetric(float64(boots)/float64(b.N), "boots/op")
+}
+
+func BenchmarkBootWaveTraced(b *testing.B)   { benchBootWave(b, true) }
+func BenchmarkBootWaveUntraced(b *testing.B) { benchBootWave(b, false) }

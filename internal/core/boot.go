@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/corpus"
+	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/qcow"
 	"repro/internal/zvol"
 )
@@ -57,11 +59,17 @@ func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
 		s.mu.Unlock()
 		return BootReport{}, fmt.Errorf("%w: %s", ErrNodeOffline, nodeID)
 	}
+	sp := s.tr.StartOp(obs.OpBoot, nodeID, id)
+	fail := func(err error) (BootReport, error) {
+		sp.Fail(err)
+		sp.Finish()
+		return BootReport{}, err
+	}
 	healed := false
 	if s.lagging[nodeID] {
-		if _, err := s.syncNodeLocked(nodeID); err != nil {
+		if _, err := s.syncNodeLocked(sp, nodeID); err != nil {
 			s.mu.Unlock()
-			return BootReport{}, fmt.Errorf("core: healing lagging node %s: %w", nodeID, err)
+			return fail(fmt.Errorf("core: healing lagging node %s: %w", nodeID, err))
 		}
 		healed = true
 	}
@@ -71,9 +79,9 @@ func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
 	// repair (every source down) is fine — read-time checksums route the
 	// still-damaged ranges to peers or the PFS below.
 	if len(s.damaged[nodeID]) > 0 {
-		if _, err := s.resilverLocked(nodeID, s.lastScrub[nodeID]); err != nil {
+		if _, err := s.resilverLocked(sp, nodeID, s.lastScrub[nodeID]); err != nil {
 			s.mu.Unlock()
-			return BootReport{}, fmt.Errorf("core: resilvering node %s: %w", nodeID, err)
+			return fail(fmt.Errorf("core: resilvering node %s: %w", nodeID, err))
 		}
 		healed = true
 	}
@@ -82,16 +90,17 @@ func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
 
 	cb, err := newChainBackend(s, im, ccv, node)
 	if err != nil {
-		return BootReport{}, err
+		return fail(err)
 	}
 	// A cold miss (no local replica) may be served by the peer exchange
 	// before falling back to the PFS.
 	if s.cfg.Peer.Enabled && !cb.local {
 		cb.fetch = s.newPeerFetcher(im, node)
+		cb.fetch.sp = sp
 	}
 	cow, err := qcow.NewOverlay(cb, s.cfg.ClusterSize, false)
 	if err != nil {
-		return BootReport{}, err
+		return fail(err)
 	}
 
 	rep := BootReport{ImageID: id, NodeID: nodeID, Healed: healed}
@@ -106,17 +115,17 @@ func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
 		}
 		b := buf[:e.Len]
 		if _, err := cow.ReadAt(b, e.Off); err != nil && err != io.EOF {
-			return BootReport{}, fmt.Errorf("core: boot read at %d: %w", e.Off, err)
+			return fail(fmt.Errorf("core: boot read at %d: %w", e.Off, err))
 		}
 		rep.ReadBytes += e.Len
 		s.bootReads.Observe(e.Len)
 		if verify {
 			want := make([]byte, e.Len)
 			if _, err := gen.ReadAt(want, e.Off); err != nil && err != io.EOF {
-				return BootReport{}, err
+				return fail(err)
 			}
 			if !bytes.Equal(b, want) {
-				return BootReport{}, fmt.Errorf("core: boot data mismatch at %d (+%d)", e.Off, e.Len)
+				return fail(fmt.Errorf("core: boot data mismatch at %d (+%d)", e.Off, e.Len))
 			}
 		}
 	}
@@ -128,7 +137,38 @@ func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
 		rep.PeerFallbacks = cb.fetch.fallbacks
 	}
 	rep.Warm = cb.networkBytes == 0 && cb.peerBytes == 0
+	s.recordBootLanes(sp, cb)
+	sp.AddBytes(rep.ReadBytes)
+	sp.Finish()
 	return rep, nil
+}
+
+// recordBootLanes summarizes one boot's byte provenance as per-lane
+// child spans (peerFetch children are recorded per-transfer by the
+// fetcher itself): cacheRead for locally served bytes with a DAS-4 disk
+// read-time model, pfsRead for bytes pulled over the network with the
+// fabric's transfer-time model. The pfsRead span splits its bytes into
+// indexed_bytes (ranges inside cache extents that fell back to the PFS)
+// and gap_bytes (ranges only the PFS holds) — the split figtrace and the
+// trace-based tests assert on.
+func (s *Squirrel) recordBootLanes(sp *obs.Span, cb *chainBackend) {
+	if sp == nil {
+		return
+	}
+	if cb.cacheBytes > 0 {
+		c := sp.Child(obs.OpCacheRead, cb.node.ID, cb.id)
+		c.AddBytes(cb.cacheBytes)
+		c.AddSim(float64(cb.cacheBytes) / disk.DAS4Model().ReadBps)
+		c.Finish()
+	}
+	if cb.networkBytes > 0 {
+		c := sp.Child(obs.OpPFSRead, cb.node.ID, cb.id)
+		c.AddBytes(cb.networkBytes)
+		c.AddSim(s.cl.Fabric.TransferSec(cb.networkBytes))
+		c.Annotate("indexed_bytes", cb.pfsIndexed)
+		c.Annotate("gap_bytes", cb.networkBytes-cb.pfsIndexed)
+		c.Finish()
+	}
 }
 
 // BootWithoutCache starts a VM with the caching layer bypassed: the CoW
@@ -152,13 +192,20 @@ func (s *Squirrel) BootWithoutCache(id, nodeID string) (BootReport, error) {
 		return BootReport{}, fmt.Errorf("%w: %s", ErrNodeOffline, nodeID)
 	}
 	s.mu.Unlock()
+	sp := s.tr.StartOp(obs.OpBoot, nodeID, id)
+	sp.Annotate("uncached", 1)
+	fail := func(err error) (BootReport, error) {
+		sp.Fail(err)
+		sp.Finish()
+		return BootReport{}, err
+	}
 	cb, err := newChainBackend(s, im, nil, node)
 	if err != nil {
-		return BootReport{}, err
+		return fail(err)
 	}
 	cow, err := qcow.NewOverlay(cb, s.cfg.ClusterSize, false)
 	if err != nil {
-		return BootReport{}, err
+		return fail(err)
 	}
 	rep := BootReport{ImageID: id, NodeID: nodeID}
 	buf := make([]byte, 0, 64<<10)
@@ -167,13 +214,16 @@ func (s *Squirrel) BootWithoutCache(id, nodeID string) (BootReport, error) {
 			buf = make([]byte, e.Len)
 		}
 		if _, err := cow.ReadAt(buf[:e.Len], e.Off); err != nil && err != io.EOF {
-			return BootReport{}, fmt.Errorf("core: uncached boot read at %d: %w", e.Off, err)
+			return fail(fmt.Errorf("core: uncached boot read at %d: %w", e.Off, err))
 		}
 		rep.ReadBytes += e.Len
 		s.bootReads.Observe(e.Len)
 	}
 	rep.NetworkBytes = cb.networkBytes
 	rep.Warm = false
+	s.recordBootLanes(sp, cb)
+	sp.AddBytes(rep.ReadBytes)
+	sp.Finish()
 	return rep, nil
 }
 
@@ -212,6 +262,7 @@ type chainBackend struct {
 	networkBytes int64 // pulled from the PFS
 	cacheBytes   int64 // served from the local replica
 	peerBytes    int64 // served by neighboring compute nodes
+	pfsIndexed   int64 // PFS bytes inside cache extents (peer-servable ranges that fell through)
 }
 
 // pfsReader is the slice of the PFS API the backend needs.
@@ -271,6 +322,9 @@ func (cb *chainBackend) ReadAt(p []byte, off int64) (int, error) {
 				return total, err
 			}
 			cb.networkBytes += int64(read)
+			if ext >= 0 {
+				cb.pfsIndexed += int64(read)
+			}
 			if int64(read) != n {
 				return total + read, io.EOF
 			}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/peer"
 	"repro/internal/qcow"
 	"repro/internal/zvol"
@@ -71,6 +72,12 @@ type Config struct {
 	// falling back to the PFS. The index is always maintained;
 	// Peer.Enabled gates only the fetch path.
 	Peer peer.Policy
+	// Obs enables operation tracing and unified telemetry: every
+	// long-running operation records a span tree, per-op-kind and
+	// per-node aggregates accumulate, and the peer index, fault injector,
+	// and zvol volumes account into one shared counter registry. nil
+	// (the default) disables all of it with zero behavioral difference.
+	Obs *obs.Telemetry
 }
 
 // RepairPolicy bounds per-replica registration repair.
@@ -128,6 +135,11 @@ type Squirrel struct {
 	peers *peer.Index
 	// bootReads records the size of every boot-trace read.
 	bootReads *metrics.Histogram
+	// tel/tr are the observability layer (cfg.Obs); both nil when
+	// disabled, and every use is nil-safe. Set once in New, never
+	// mutated, so they are read without s.mu.
+	tel *obs.Telemetry
+	tr  *obs.Tracer
 
 	// mu guards the mutable deployment state below. Register and SyncNode
 	// serialize under it; Boot drops it before replaying the trace so
@@ -168,6 +180,8 @@ func New(cfg Config, cl *cluster.Cluster, pfs *cluster.PFS) (*Squirrel, error) {
 		sc:        sc,
 		peers:     peer.NewIndex(),
 		bootReads: metrics.MustHistogram(metrics.ByteBuckets()...),
+		tel:       cfg.Obs,
+		tr:        cfg.Obs.Tracer(),
 		cc:        make(map[string]*zvol.Volume),
 		online:    make(map[string]bool),
 		lagging:   make(map[string]bool),
@@ -176,10 +190,21 @@ func New(cfg Config, cl *cluster.Cluster, pfs *cluster.PFS) (*Squirrel, error) {
 		damaged:   make(map[string][]zvol.BlockRef),
 		lastScrub: make(map[string]time.Time),
 	}
+	if s.tel != nil {
+		// One registry: the peer index, the fault injector, and every
+		// volume account into the telemetry counter set instead of
+		// bespoke per-subsystem sets.
+		s.peers.SetCounters(s.tel.Counters())
+		s.cfg.Faults.SetCounters(s.tel.Counters())
+		s.sc.SetCounters(s.tel.Counters())
+	}
 	for _, n := range cl.Compute {
 		v, err := zvol.New(cfg.Volume)
 		if err != nil {
 			return nil, err
+		}
+		if s.tel != nil {
+			v.SetCounters(s.tel.Counters())
 		}
 		s.cc[n.ID] = v
 		s.online[n.ID] = true
@@ -203,9 +228,17 @@ func (s *Squirrel) BootReadSizes() *metrics.Histogram { return s.bootReads }
 // hostile for the phase under test.
 func (s *Squirrel) SetFaults(inj *fault.Injector) {
 	s.mu.Lock()
+	if s.tel != nil {
+		inj.SetCounters(s.tel.Counters())
+	}
 	s.cfg.Faults = inj
 	s.mu.Unlock()
 }
+
+// Telemetry exposes the deployment's observability state (nil when
+// tracing is disabled); squirrelctl, experiments, and trace-based tests
+// read snapshots and span trees through it.
+func (s *Squirrel) Telemetry() *obs.Telemetry { return s.tel }
 
 // announceHoldingsLocked reconciles the peer index with what nodeID's
 // ccVolume actually holds, restricted to registered images (a replica
@@ -339,10 +372,31 @@ type RegisterReport struct {
 func (s *Squirrel) Register(im *corpus.Image, at time.Time) (RegisterReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.registerLocked(im, at)
+	if _, dup := s.images[im.ID]; dup {
+		return RegisterReport{}, fmt.Errorf("%w: %s", ErrRegistered, im.ID)
+	}
+	sp := s.tr.StartOp(obs.OpRegister, "", im.ID)
+	rep, err := s.registerLocked(sp, im, at)
+	sp.AddBytes(rep.DiffBytes)
+	sp.AddSim(rep.XferSec + rep.RepairSec)
+	if rep.Faults > 0 {
+		sp.Annotate("faults", int64(rep.Faults))
+	}
+	if rep.Retries > 0 {
+		sp.Annotate("retries", int64(rep.Retries))
+	}
+	if n := len(rep.Lagging); n > 0 {
+		sp.Annotate("lagging", int64(n))
+	}
+	if n := len(rep.Crashed) + len(rep.Torn); n > 0 {
+		sp.Annotate("crashed", int64(n))
+	}
+	sp.Fail(err)
+	sp.Finish()
+	return rep, err
 }
 
-func (s *Squirrel) registerLocked(im *corpus.Image, at time.Time) (RegisterReport, error) {
+func (s *Squirrel) registerLocked(sp *obs.Span, im *corpus.Image, at time.Time) (RegisterReport, error) {
 	if _, dup := s.images[im.ID]; dup {
 		return RegisterReport{}, fmt.Errorf("%w: %s", ErrRegistered, im.ID)
 	}
@@ -429,30 +483,38 @@ func (s *Squirrel) registerLocked(im *corpus.Image, at time.Time) (RegisterRepor
 	}
 	var synced []string
 	for _, dv := range deliv {
+		dsp := sp.Child(obs.OpPropagate, dv.Node.ID, im.ID)
 		if !dv.OK() {
 			rep.Faults++
+			dsp.Annotate("fault."+dv.Fault.String(), 1)
 		}
 		if dv.Fault == fault.Crash {
 			s.crashReplica(dv.Node.ID, at, &rep)
+			dsp.Finish()
 			continue
 		}
 		if dv.Fault == fault.Torn {
 			s.tornReplica(op, dv.Node.ID, stream, at, &rep)
+			dsp.Finish()
 			continue
 		}
-		if s.applyDelivery(dv, stream) {
+		if s.applyDelivery(dsp, dv, stream) {
+			dsp.AddBytes(int64(len(wire)))
 			rep.Nodes++
 			synced = append(synced, dv.Node.ID)
+			dsp.Finish()
 			continue
 		}
-		if s.repairReplica(op, dv.Node, stream, wire, at, &rep) {
+		if s.repairReplica(dsp, op, dv.Node, stream, wire, at, &rep) {
 			rep.Nodes++
 			synced = append(synced, dv.Node.ID)
 		} else if s.online[dv.Node.ID] {
 			s.lagging[dv.Node.ID] = true
 			rep.Lagging = append(rep.Lagging, dv.Node.ID)
 			s.cfg.Faults.Counters().Add("repair.lagging", 1)
+			dsp.Annotate("exhausted", 1)
 		}
+		dsp.Finish()
 	}
 	s.images[im.ID] = im
 	// Replicas that applied the snapshot announce their (updated) holdings
@@ -467,7 +529,7 @@ func (s *Squirrel) registerLocked(im *corpus.Image, at time.Time) (RegisterRepor
 // delivery applies the already-decoded stream; a damaged one is decoded
 // from its wire bytes, which the stream CRC and Receive's per-block
 // checksums almost always reject.
-func (s *Squirrel) applyDelivery(dv cluster.Delivery, st *zvol.Stream) bool {
+func (s *Squirrel) applyDelivery(parent *obs.Span, dv cluster.Delivery, st *zvol.Stream) bool {
 	rst := st
 	if dv.Fault != fault.None {
 		if len(dv.Wire) == 0 {
@@ -479,7 +541,15 @@ func (s *Squirrel) applyDelivery(dv cluster.Delivery, st *zvol.Stream) bool {
 		}
 		rst = decoded
 	}
-	return s.cc[dv.Node.ID].Receive(rst) == nil
+	rsp := parent.Child(obs.OpReceive, dv.Node.ID, "")
+	ok := s.cc[dv.Node.ID].Receive(rst) == nil
+	if ok {
+		rsp.AddBytes(rst.SizeBytes())
+	} else {
+		rsp.Annotate("rejected", 1)
+	}
+	rsp.Finish()
+	return ok
 }
 
 // crashReplica records a mid-transfer node crash: the node drops offline
@@ -515,7 +585,9 @@ func (s *Squirrel) tornReplica(op, nodeID string, st *zvol.Stream, at time.Time,
 // exponential backoff — the NACK path of reliable multicast. Backoff is
 // simulated into the report, never slept. Returns true once the replica
 // holds the snapshot; false when the node crashed or the budget ran out.
-func (s *Squirrel) repairReplica(op string, node *cluster.Node, st *zvol.Stream, wire []byte, at time.Time, rep *RegisterReport) bool {
+func (s *Squirrel) repairReplica(parent *obs.Span, op string, node *cluster.Node, st *zvol.Stream, wire []byte, at time.Time, rep *RegisterReport) bool {
+	rsp := parent.Child(obs.OpRepair, node.ID, "")
+	defer rsp.Finish()
 	ccv := s.cc[node.ID]
 	pol := s.cfg.Repair
 	if pol.MaxAttempts <= 0 {
@@ -529,11 +601,14 @@ func (s *Squirrel) repairReplica(op string, node *cluster.Node, st *zvol.Stream,
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
 		rep.Retries++
 		rep.RepairSec += backoff.Seconds()
+		rsp.Annotate("attempts", 1)
+		rsp.AddSim(backoff.Seconds())
 		backoff *= 2
 		s.cfg.Faults.Counters().Add("repair.retries", 1)
 		kind, got := s.cfg.Faults.Strike(op, node.ID, attempt, wire)
 		if kind != fault.None {
 			rep.Faults++
+			rsp.Annotate("fault."+kind.String(), 1)
 		}
 		if kind == fault.Crash {
 			s.crashReplica(node.ID, at, rep)
@@ -550,6 +625,8 @@ func (s *Squirrel) repairReplica(op string, node *cluster.Node, st *zvol.Stream,
 		node.Recv(int64(len(got)))
 		rep.RepairBytes += int64(len(got))
 		rep.RepairSec += s.cl.Fabric.TransferSec(int64(len(got)))
+		rsp.AddBytes(int64(len(got)))
+		rsp.AddSim(s.cl.Fabric.TransferSec(int64(len(got))))
 		s.cfg.Faults.Counters().Add("repair.bytes", int64(len(got)))
 		rst := st
 		if kind != fault.None {
@@ -564,6 +641,7 @@ func (s *Squirrel) repairReplica(op string, node *cluster.Node, st *zvol.Stream,
 		}
 		return true
 	}
+	rsp.Annotate("exhausted", 1)
 	return false
 }
 
@@ -593,6 +671,7 @@ func (s *Squirrel) Deregister(id string) error {
 func (s *Squirrel) GarbageCollect(now time.Time) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sp := s.tr.StartOp(obs.OpGC, "", "")
 	window := time.Duration(s.cfg.RetentionDays) * 24 * time.Hour
 	n := len(s.sc.GarbageCollect(now, window))
 	for id, v := range s.cc {
@@ -603,6 +682,8 @@ func (s *Squirrel) GarbageCollect(now time.Time) int {
 			s.announceHoldingsLocked(id)
 		}
 	}
+	sp.Annotate("destroyed", int64(n))
+	sp.Finish()
 	return n
 }
 

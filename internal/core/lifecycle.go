@@ -36,6 +36,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/zvol"
 )
 
@@ -91,6 +92,8 @@ func (s *Squirrel) RestartNode(nodeID string, at time.Time) (RecoveryReport, err
 	if !ok {
 		return RecoveryReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
+	sp := s.tr.StartOp(obs.OpRestart, nodeID, "")
+	defer sp.Finish()
 	rep := RecoveryReport{NodeID: nodeID}
 	if down, ok := s.downSince[nodeID]; ok && at.After(down) {
 		rep.Downtime = at.Sub(down)
@@ -100,8 +103,9 @@ func (s *Squirrel) RestartNode(nodeID string, at time.Time) (RecoveryReport, err
 		rep.RolledBackSnap = rr.Snapshot
 		s.lagging[nodeID] = true
 		s.cfg.Faults.Counters().Add("recover.rollback", 1)
+		sp.Annotate("rolled_back", 1)
 	}
-	rep.Scrub = s.scrubLocked(nodeID, at)
+	rep.Scrub = s.scrubLocked(sp, nodeID, at)
 	rep.Damaged = len(s.damaged[nodeID])
 	// Staleness check: missed registrations while down mean SyncNode.
 	if latest := s.sc.LatestSnapshot(); latest != nil {
@@ -111,6 +115,9 @@ func (s *Squirrel) RestartNode(nodeID string, at time.Time) (RecoveryReport, err
 		}
 	}
 	rep.Lagging = s.lagging[nodeID]
+	if rep.Lagging {
+		sp.Annotate("lagging", 1)
+	}
 	s.online[nodeID] = true
 	delete(s.downSince, nodeID)
 	s.announceHoldingsLocked(nodeID) // no-op withdrawal if damaged
@@ -163,7 +170,7 @@ func (s *Squirrel) ScrubNode(nodeID string, at time.Time) (zvol.ScrubReport, err
 	if _, ok := s.cc[nodeID]; !ok {
 		return zvol.ScrubReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
-	return s.scrubLocked(nodeID, at), nil
+	return s.scrubLocked(nil, nodeID, at), nil
 }
 
 // ScrubAll scrubs every compute node (the nightly cron pass), returning
@@ -173,14 +180,17 @@ func (s *Squirrel) ScrubAll(at time.Time) map[string]zvol.ScrubReport {
 	defer s.mu.Unlock()
 	out := make(map[string]zvol.ScrubReport, len(s.cc))
 	for id := range s.cc {
-		out[id] = s.scrubLocked(id, at)
+		out[id] = s.scrubLocked(nil, id, at)
 	}
 	return out
 }
 
 // scrubLocked scrubs one replica, updates the damage set, and keeps the
-// peer index honest. Caller holds s.mu.
-func (s *Squirrel) scrubLocked(nodeID string, at time.Time) zvol.ScrubReport {
+// peer index honest. The span roots when parent is nil (a direct or
+// cron scrub) and nests otherwise (restart audit, resilver rescrub).
+// Caller holds s.mu.
+func (s *Squirrel) scrubLocked(parent *obs.Span, nodeID string, at time.Time) zvol.ScrubReport {
+	sp := s.tr.Op(parent, obs.OpScrub, nodeID, "")
 	rep := s.cc[nodeID].Scrub()
 	if !at.IsZero() {
 		s.lastScrub[nodeID] = at
@@ -197,6 +207,12 @@ func (s *Squirrel) scrubLocked(nodeID string, at time.Time) zvol.ScrubReport {
 		// A rotten node must not serve peers until resilvered.
 		s.peers.WithdrawNode(nodeID)
 	}
+	sp.AddBytes(int64(rep.Blocks) * int64(s.cfg.Volume.BlockSize))
+	sp.Annotate("blocks", int64(rep.Blocks))
+	if n := rep.CorruptBlocks + rep.MissingBlocks; n > 0 {
+		sp.Annotate("damaged", int64(n))
+	}
+	sp.Finish()
 	return rep
 }
 
@@ -233,7 +249,7 @@ func (s *Squirrel) ResilverNode(nodeID string, at time.Time) (ResilverReport, er
 	if _, ok := s.cc[nodeID]; !ok {
 		return ResilverReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
-	return s.resilverLocked(nodeID, at)
+	return s.resilverLocked(nil, nodeID, at)
 }
 
 // ResilverAll resilvers every node with a non-empty damage set (the
@@ -248,7 +264,7 @@ func (s *Squirrel) ResilverAll(at time.Time) ([]ResilverReport, error) {
 	sort.Strings(ids)
 	out := make([]ResilverReport, 0, len(ids))
 	for _, id := range ids {
-		rep, err := s.resilverLocked(id, at)
+		rep, err := s.resilverLocked(nil, id, at)
 		if err != nil {
 			return out, err
 		}
@@ -257,7 +273,32 @@ func (s *Squirrel) ResilverAll(at time.Time) ([]ResilverReport, error) {
 	return out, nil
 }
 
-func (s *Squirrel) resilverLocked(nodeID string, at time.Time) (ResilverReport, error) {
+// resilverLocked wraps the resilver body in a span: a root "resilver"
+// when run directly or by the background pass, a child of the boot that
+// triggered it otherwise. Caller holds s.mu.
+func (s *Squirrel) resilverLocked(parent *obs.Span, nodeID string, at time.Time) (ResilverReport, error) {
+	sp := s.tr.Op(parent, obs.OpResilver, nodeID, "")
+	rep, err := s.resilver(sp, nodeID, at)
+	sp.AddBytes(rep.PeerBytes + rep.PFSBytes)
+	sp.AddSim(rep.XferSec)
+	if rep.Repaired > 0 {
+		sp.Annotate("repaired", int64(rep.Repaired))
+	}
+	if rep.Failed > 0 {
+		sp.Annotate("unrepaired", int64(rep.Failed))
+	}
+	if rep.PeerBlocks > 0 {
+		sp.Annotate("peer_blocks", int64(rep.PeerBlocks))
+	}
+	if rep.PFSBlocks > 0 {
+		sp.Annotate("pfs_blocks", int64(rep.PFSBlocks))
+	}
+	sp.Fail(err)
+	sp.Finish()
+	return rep, err
+}
+
+func (s *Squirrel) resilver(sp *obs.Span, nodeID string, at time.Time) (ResilverReport, error) {
 	ccv := s.cc[nodeID]
 	node, err := s.computeNode(nodeID)
 	if err != nil {
@@ -271,7 +312,7 @@ func (s *Squirrel) resilverLocked(nodeID string, at time.Time) (ResilverReport, 
 	}
 	// Rescrub for the authoritative damage list (the quarantined set may
 	// predate deletes, GC, or a partial earlier resilver).
-	scrub := s.scrubLocked(nodeID, at)
+	scrub := s.scrubLocked(sp, nodeID, at)
 	rep := ResilverReport{NodeID: nodeID, Blocks: len(scrub.Damaged)}
 	ctr := s.cfg.Faults.Counters()
 	seq := 0
@@ -302,7 +343,7 @@ func (s *Squirrel) resilverLocked(nodeID string, at time.Time) (ResilverReport, 
 		}
 	}
 	// Closing scrub: only a spotless replica rejoins the peer exchange.
-	closing := s.scrubLocked(nodeID, at)
+	closing := s.scrubLocked(sp, nodeID, at)
 	rep.Clean = closing.Clean()
 	if rep.Clean && s.online[nodeID] {
 		s.announceHoldingsLocked(nodeID)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/peer"
 	"repro/internal/zvol"
 )
@@ -35,6 +36,9 @@ func lifecycleDeployment(t testing.TB, computeNodes int, plan fault.Plan) (*Squi
 	cfg.Volume.BlockSize = 4096
 	cfg.Faults = inj
 	cfg.Peer = peer.DefaultPolicy()
+	// Telemetry rides along on every lifecycle scenario: the chaos soak
+	// asserts no traced operation ends in an unrecovered error state.
+	cfg.Obs = obs.New(0)
 	sq, err := New(cfg, cl, pfs)
 	if err != nil {
 		t.Fatal(err)
@@ -480,6 +484,20 @@ func TestLifecycleChaosSoak(t *testing.T) {
 	}
 	if ds := sq.Stats(); ds.LaggingNodes != 0 || ds.DamagedNodes != 0 || ds.StaleReplicas != 0 {
 		t.Fatalf("seed %d: deployment not converged: %+v", seed, ds)
+	}
+	// Telemetry invariants: replica-side faults degrade and heal, they
+	// never fail an operation outright — so no root span may end in an
+	// error state — and every exercised op kind must aggregate.
+	tel := sq.Telemetry()
+	if failed := tel.FailedRoots(); len(failed) != 0 {
+		t.Fatalf("seed %d: %d operations ended in an error state; first:\n%s",
+			seed, len(failed), obs.RenderTree(failed[0]))
+	}
+	snap := tel.Snapshot()
+	for _, kind := range []string{obs.OpRegister, obs.OpBoot, obs.OpScrub, obs.OpResilver, obs.OpRestart} {
+		if op, ok := snap.Op(kind); !ok || op.Count == 0 {
+			t.Fatalf("seed %d: telemetry missing op kind %q", seed, kind)
+		}
 	}
 	_ = inj
 }

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/corpus"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/peer"
+	"repro/internal/zvol"
+)
+
+// obsScriptDeployment is lifecycleDeployment with tracing switchable,
+// for the traced-vs-untraced boundary test.
+func obsScriptDeployment(t testing.TB, computeNodes int, plan fault.Plan, traced bool) (*Squirrel, *cluster.Cluster, *corpus.Repository) {
+	t.Helper()
+	inj, err := fault.New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.GigE, 4, computeNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfs, err := cluster.NewPFS(cl, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ClusterSize = 4096
+	cfg.Volume.BlockSize = 4096
+	cfg.Faults = inj
+	cfg.Peer = peer.DefaultPolicy()
+	if traced {
+		cfg.Obs = obs.New(0)
+	}
+	sq, err := New(cfg, cl, pfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := corpus.New(corpus.TestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sq, cl, repo
+}
+
+// TestTraceColdBootPeerExchange is the trace-based acceptance check: a
+// cold boot under the peer exchange must show a peerFetch span that
+// served bytes, and its pfsRead lane must carry zero indexed bytes —
+// every range inside the cache extents came from peers, the PFS saw
+// only the gaps.
+func TestTraceColdBootPeerExchange(t *testing.T) {
+	sq, cl, repo, _ := lifecycleDeployment(t, 6, fault.Plan{Seed: 1})
+	tel := sq.Telemetry()
+	im := repo.Images[0]
+	if _, err := sq.Register(im, day(0)); err != nil {
+		t.Fatal(err)
+	}
+	cold := cl.Compute[len(cl.Compute)-1].ID
+	if err := sq.DropReplica(cold, im.ID); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sq.Boot(im.ID, cold, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeerBytes == 0 || rep.PeerFallbacks != 0 {
+		t.Fatalf("cold boot did not ride the peer exchange: %+v", rep)
+	}
+
+	boots := tel.RootsOf(obs.OpBoot)
+	if len(boots) == 0 {
+		t.Fatal("no boot span recorded")
+	}
+	sp := boots[len(boots)-1]
+	if sp.Node() != cold || sp.Image() != im.ID || sp.Err() != "" {
+		t.Fatalf("boot span wrong: %s", obs.RenderTree(sp))
+	}
+	var peerSpanBytes, indexedPFS int64
+	var peerSpans int
+	for _, c := range sp.ChildrenOf(obs.OpPeerFetch) {
+		peerSpans++
+		peerSpanBytes += c.Bytes()
+		if c.Node() == "" || c.Node() == cold {
+			t.Fatalf("peerFetch span has bad source %q:\n%s", c.Node(), obs.RenderTree(sp))
+		}
+	}
+	for _, c := range sp.ChildrenOf(obs.OpPFSRead) {
+		indexedPFS += c.Annotation("indexed_bytes")
+	}
+	if peerSpans == 0 || peerSpanBytes != rep.PeerBytes {
+		t.Fatalf("peerFetch spans %d bytes %d, report says %d:\n%s",
+			peerSpans, peerSpanBytes, rep.PeerBytes, obs.RenderTree(sp))
+	}
+	if indexedPFS != 0 {
+		t.Fatalf("cold boot read %d indexed bytes from the PFS, want 0:\n%s",
+			indexedPFS, obs.RenderTree(sp))
+	}
+	// Lane spans must reconcile with the report's byte accounting.
+	var cacheSpanBytes, pfsSpanBytes int64
+	for _, c := range sp.ChildrenOf(obs.OpCacheRead) {
+		cacheSpanBytes += c.Bytes()
+	}
+	for _, c := range sp.ChildrenOf(obs.OpPFSRead) {
+		pfsSpanBytes += c.Bytes()
+	}
+	if cacheSpanBytes != rep.CacheBytes || pfsSpanBytes != rep.NetworkBytes {
+		t.Fatalf("lane spans cache=%d pfs=%d, report cache=%d pfs=%d",
+			cacheSpanBytes, pfsSpanBytes, rep.CacheBytes, rep.NetworkBytes)
+	}
+
+	// The unified registry aggregates both ops and the shared counters.
+	snap := tel.Snapshot()
+	for _, kind := range []string{obs.OpRegister, obs.OpBoot, obs.OpPeerFetch, obs.OpPropagate} {
+		op, ok := snap.Op(kind)
+		if !ok || op.Count == 0 {
+			t.Fatalf("snapshot missing op kind %q:\n%s", kind, snap.JSON())
+		}
+	}
+	if snap.Counters["peer.hit"] == 0 {
+		t.Fatalf("peer.hit counter not unified into telemetry: %v", snap.Counters)
+	}
+}
+
+// scriptResult collects every report a scripted lifecycle run produces;
+// the boundary test requires traced and untraced runs to be deeply equal.
+type scriptResult struct {
+	Regs      []RegisterReport
+	Rot       map[string][]zvol.BlockRef
+	Restarts  []RecoveryReport
+	Scrubs    map[string]zvol.ScrubReport
+	Resilvers []ResilverReport
+	Boots     []BootReport
+	Destroyed int
+	Health    []NodeStatus
+	Stats     DeploymentStats
+}
+
+// runLifecycleScript drives one deployment through a fixed fault-seeded
+// scenario: registrations under chaos, rot, restart, scrub, resilver,
+// verified boots, GC.
+func runLifecycleScript(t *testing.T, sq *Squirrel, cl *cluster.Cluster, repo *corpus.Repository) scriptResult {
+	t.Helper()
+	res := scriptResult{Rot: map[string][]zvol.BlockRef{}}
+	const regs = 4
+	for i := 0; i < regs; i++ {
+		rep, err := sq.Register(repo.Images[i], day(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Regs = append(res.Regs, rep)
+	}
+	for _, n := range cl.Compute {
+		refs, err := sq.InjectRot(n.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Rot[n.ID] = refs
+	}
+	for _, st := range sq.Health() {
+		if !st.Online {
+			rep, err := sq.RestartNode(st.NodeID, day(regs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.Restarts = append(res.Restarts, rep)
+		}
+	}
+	res.Scrubs = sq.ScrubAll(day(regs))
+	rs, err := sq.ResilverAll(day(regs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Resilvers = rs
+	latest := repo.Images[regs-1]
+	for _, st := range sq.Health() {
+		if !st.Online {
+			continue
+		}
+		rep, err := sq.Boot(latest.ID, st.NodeID, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Boots = append(res.Boots, rep)
+	}
+	res.Destroyed = sq.GarbageCollect(day(regs + 20))
+	res.Health = sq.Health()
+	res.Stats = sq.Stats()
+	return res
+}
+
+// TestNilTracerLeavesBehaviorIdentical runs the same seeded chaos script
+// on a traced and an untraced deployment: every report, health row, and
+// stat must be byte-identical. A disabled tracer is a pure no-op.
+func TestNilTracerLeavesBehaviorIdentical(t *testing.T) {
+	plan := fault.Plan{
+		Seed: 4242, Drop: 0.2, Truncate: 0.05, Corrupt: 0.1,
+		Crash: 0.04, Torn: 0.05, MaxCrashes: 2, Rot: 0.04,
+	}
+	sqT, clT, repoT := obsScriptDeployment(t, 6, plan, true)
+	sqU, clU, repoU := obsScriptDeployment(t, 6, plan, false)
+	traced := runLifecycleScript(t, sqT, clT, repoT)
+	untraced := runLifecycleScript(t, sqU, clU, repoU)
+	if !reflect.DeepEqual(traced, untraced) {
+		t.Fatalf("traced and untraced runs diverged:\ntraced:   %+v\nuntraced: %+v", traced, untraced)
+	}
+	if sqU.Telemetry() != nil {
+		t.Fatal("untraced deployment must have nil telemetry")
+	}
+	if sqT.Telemetry().Snapshot().SpansRecorded == 0 {
+		t.Fatal("traced deployment recorded no spans")
+	}
+}
+
+// TestTelemetrySnapshotRace hammers Snapshot/Prometheus/JSON/RenderTree
+// from one goroutine while registers, boots, and scrub waves run from
+// others. The race detector is the oracle.
+func TestTelemetrySnapshotRace(t *testing.T) {
+	plan := fault.Plan{Seed: 99, Drop: 0.1, Corrupt: 0.05}
+	sq, cl, repo, _ := lifecycleDeployment(t, 6, plan)
+	tel := sq.Telemetry()
+	// Seed a couple of images so boots have something to read.
+	for i := 0; i < 2; i++ {
+		if _, err := sq.Register(repo.Images[i], day(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := tel.Snapshot()
+			_ = snap.Prometheus()
+			_ = snap.JSON()
+			for _, r := range tel.Roots() {
+				_ = obs.RenderTree(r)
+			}
+			_ = tel.SlowestRoot(obs.OpBoot)
+		}
+	}()
+	var work sync.WaitGroup
+	work.Add(3)
+	go func() {
+		defer work.Done()
+		for i := 2; i < 6; i++ {
+			_, _ = sq.Register(repo.Images[i], day(i))
+		}
+	}()
+	go func() {
+		defer work.Done()
+		for round := 0; round < 3; round++ {
+			for _, n := range cl.Compute {
+				_, _ = sq.Boot(repo.Images[0].ID, n.ID, false)
+			}
+		}
+	}()
+	go func() {
+		defer work.Done()
+		for round := 0; round < 3; round++ {
+			sq.ScrubAll(day(7).Add(time.Duration(round) * time.Hour))
+		}
+	}()
+	work.Wait()
+	close(stop)
+	reader.Wait()
+	snap := tel.Snapshot()
+	if op, ok := snap.Op(obs.OpBoot); !ok || op.Count == 0 {
+		t.Fatalf("no boots aggregated: %s", snap.JSON())
+	}
+	if op, ok := snap.Op(obs.OpScrub); !ok || op.Count == 0 {
+		t.Fatalf("no scrubs aggregated: %s", snap.JSON())
+	}
+}

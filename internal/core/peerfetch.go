@@ -4,6 +4,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/peer"
 )
 
@@ -28,6 +29,7 @@ type peerFetcher struct {
 	policy   peer.Policy
 	faults   *fault.Injector // captured at boot start (SetFaults may swap mid-run)
 	op       string
+	sp       *obs.Span // the owning boot span; each fetch records a peerFetch child
 
 	seq       int               // transfer attempts so far (fault lane)
 	data      map[string][]byte // materialized cache object per source
@@ -57,30 +59,41 @@ func (s *Squirrel) newPeerFetcher(im *corpus.Image, node *cluster.Node) *peerFet
 // PFS.
 func (f *peerFetcher) fetch(dst []byte, base int64) bool {
 	ctr := f.s.peers.Counters()
+	fsp := f.sp.Child(obs.OpPeerFetch, "", f.imageID)
 	tried := make(map[string]bool)
 	for attempt := 0; attempt < f.policy.MaxAttempts; attempt++ {
 		src, release, ok, busy := f.acquire(tried)
 		if !ok {
 			if busy {
 				ctr.Add("peer.busy", 1)
+				fsp.Annotate("busy", 1)
 			} else if attempt == 0 {
 				// No holder anywhere: a pure index miss, not a fallback
 				// after failed transfers.
 				ctr.Add("peer.miss", 1)
+				fsp.Annotate("miss", 1)
+				fsp.Finish()
 				return false
 			}
 			break
 		}
 		tried[src] = true
+		fsp.Annotate("attempts", 1)
 		if f.transfer(src, dst, base, release) {
 			ctr.Add("peer.hit", 1)
 			ctr.Add("peer.bytes", int64(len(dst)))
 			f.served[src] += int64(len(dst))
+			fsp.SetNode(src)
+			fsp.AddBytes(int64(len(dst)))
+			fsp.AddSim(f.s.cl.Fabric.TransferSec(int64(len(dst))))
+			fsp.Finish()
 			return true
 		}
 	}
 	f.fallbacks++
 	ctr.Add("peer.fallback", 1)
+	fsp.Annotate("fallback", 1)
+	fsp.Finish()
 	return false
 }
 

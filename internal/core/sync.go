@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/zvol"
 )
 
@@ -50,14 +51,31 @@ type SyncReport struct {
 func (s *Squirrel) SyncNode(nodeID string) (SyncReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.syncNodeLocked(nodeID)
+	return s.syncNodeLocked(nil, nodeID)
 }
 
-func (s *Squirrel) syncNodeLocked(nodeID string) (SyncReport, error) {
+// syncNodeLocked wraps the sync body in a span: a root "sync" operation
+// when called directly, a child of the boot that triggered the heal
+// otherwise. Caller holds s.mu.
+func (s *Squirrel) syncNodeLocked(parent *obs.Span, nodeID string) (SyncReport, error) {
 	ccv, ok := s.cc[nodeID]
 	if !ok {
 		return SyncReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
+	sp := s.tr.Op(parent, obs.OpSync, nodeID, "")
+	rep, err := s.syncLocked(ccv, nodeID)
+	sp.AddBytes(rep.Bytes)
+	sp.AddSim(rep.XferSec)
+	sp.Annotate("mode."+rep.Mode.String(), 1)
+	if rep.Healed {
+		sp.Annotate("healed", 1)
+	}
+	sp.Fail(err)
+	sp.Finish()
+	return rep, err
+}
+
+func (s *Squirrel) syncLocked(ccv *zvol.Volume, nodeID string) (SyncReport, error) {
 	// A torn apply is rolled back before anything else: sync cannot stack
 	// a new receive on an open journal, and the rolled-back replica simply
 	// looks like it missed the registration this sync now delivers.
@@ -120,6 +138,9 @@ func (s *Squirrel) syncNodeLocked(nodeID string) (SyncReport, error) {
 	fresh, err := zvol.New(s.cfg.Volume)
 	if err != nil {
 		return SyncReport{}, err
+	}
+	if s.tel != nil {
+		fresh.SetCounters(s.tel.Counters())
 	}
 	stream, err := s.sc.Send("", latest.Name)
 	if err != nil {

@@ -5,21 +5,51 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // CounterSet is a small thread-safe named-counter registry. The fault
-// injector and the repair path use one to account chaos events (faults
-// injected by kind, retries, repair bytes, lagging transitions) without
-// threading bespoke structs through every layer; an operator dashboard
-// would scrape exactly this.
+// injector, the peer exchange, the zvol receive path, and the repair
+// machinery all account into one (chaos events, retries, repair bytes,
+// lagging transitions) without threading bespoke structs through every
+// layer; the telemetry exporter scrapes exactly this.
+//
+// The design exploits that counter cardinality is tiny and stops
+// growing after warmup (a few dozen names for a whole deployment): the
+// name→cell map is immutable once published, so the hot path is one
+// atomic pointer load plus one map lookup plus the cell's atomic add —
+// no locks, no hashing beyond the map's own. First touch of a new name
+// clones the map under a mutex and republishes it.
 type CounterSet struct {
-	mu sync.Mutex
-	m  map[string]int64
+	live atomic.Pointer[map[string]*atomic.Int64]
+	mu   sync.Mutex // serializes copy-on-write publishes
 }
 
 // NewCounterSet returns an empty counter set.
 func NewCounterSet() *CounterSet {
-	return &CounterSet{m: make(map[string]int64)}
+	c := &CounterSet{}
+	m := make(map[string]*atomic.Int64)
+	c.live.Store(&m)
+	return c
+}
+
+// counter resolves the cell for a name not yet in the live map, cloning
+// and republishing the map if the name is genuinely new.
+func (c *CounterSet) counter(name string) *atomic.Int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := *c.live.Load()
+	if v := old[name]; v != nil {
+		return v
+	}
+	next := make(map[string]*atomic.Int64, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	v := new(atomic.Int64)
+	next[name] = v
+	c.live.Store(&next)
+	return v
 }
 
 // Add increments the named counter by delta. Nil-safe: a nil set drops
@@ -28,9 +58,11 @@ func (c *CounterSet) Add(name string, delta int64) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	c.m[name] += delta
-	c.mu.Unlock()
+	if v := (*c.live.Load())[name]; v != nil {
+		v.Add(delta)
+		return
+	}
+	c.counter(name).Add(delta)
 }
 
 // Get returns the named counter's current value (0 if never touched).
@@ -38,21 +70,21 @@ func (c *CounterSet) Get(name string) int64 {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.m[name]
+	if v := (*c.live.Load())[name]; v != nil {
+		return v.Load()
+	}
+	return 0
 }
 
-// Snapshot copies all counters at once.
+// Snapshot copies all counters at once. Counters being incremented
+// concurrently land with whichever value the atomic load observes.
 func (c *CounterSet) Snapshot() map[string]int64 {
 	out := make(map[string]int64)
 	if c == nil {
 		return out
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for k, v := range c.m {
-		out[k] = v
+	for k, v := range *c.live.Load() {
+		out[k] = v.Load()
 	}
 	return out
 }

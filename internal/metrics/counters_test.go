@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -48,5 +49,35 @@ func TestCounterSetConcurrent(t *testing.T) {
 	wg.Wait()
 	if c.Get("n") != 8000 {
 		t.Fatalf("lost updates: %d", c.Get("n"))
+	}
+}
+
+// TestCounterSetShardedConcurrentMixed hammers many distinct names from
+// many goroutines (first-touch creation racing hot-path adds) and checks
+// no update is lost anywhere.
+func TestCounterSetShardedConcurrentMixed(t *testing.T) {
+	c := NewCounterSet()
+	const workers, names, per = 8, 64, 250
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Add(fmt.Sprintf("name-%02d", j%names), 1)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	var total int64
+	for _, v := range snap {
+		total += v
+	}
+	if total != workers*per {
+		t.Fatalf("lost updates: total %d want %d", total, workers*per)
+	}
+	if len(snap) != names {
+		t.Fatalf("names %d want %d", len(snap), names)
 	}
 }

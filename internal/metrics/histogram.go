@@ -29,6 +29,18 @@ func ByteBuckets() []int64 {
 	return []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
 }
 
+// LatencyBuckets is a 1-2-5 ladder of nanosecond bounds from 1 µs to
+// 10 s — the layout the telemetry registry uses for per-operation wall
+// latency, dense enough that p50/p95/p99 land in distinct buckets for
+// sub-millisecond simulated operations.
+func LatencyBuckets() []int64 {
+	var out []int64
+	for decade := int64(1_000); decade <= 10_000_000_000; decade *= 10 {
+		out = append(out, decade, 2*decade, 5*decade)
+	}
+	return out[:len(out)-2] // stop at 1e10 exactly
+}
+
 // NewHistogram builds a histogram over the given inclusive upper bounds.
 // Bounds must be non-empty and strictly ascending; the bucket layout is
 // fixed for the histogram's lifetime.
@@ -113,6 +125,92 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Max:    h.max,
 	}
 	return s
+}
+
+// Merge folds other's observations into h without re-observation: bucket
+// counts, count, and sum add; min/max combine. Both histograms must share
+// the same bucket layout (cluster-wide rollups merge per-node histograms
+// built from the same bucket ladder). Nil-safe on both sides: merging a
+// nil or empty histogram is a no-op, merging into a nil histogram drops
+// the observations.
+func (h *Histogram) Merge(other *Histogram) error {
+	if h == nil || other == nil {
+		return nil
+	}
+	o := other.Snapshot() // consistent copy; also avoids lock-order issues
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(o.Bounds) != len(h.bounds) {
+		return fmt.Errorf("metrics: merge of mismatched histogram layouts (%d vs %d buckets)",
+			len(o.Bounds), len(h.bounds))
+	}
+	for i, b := range h.bounds {
+		if o.Bounds[i] != b {
+			return fmt.Errorf("metrics: merge of mismatched histogram bound %d vs %d", o.Bounds[i], b)
+		}
+	}
+	if o.Count == 0 {
+		return nil
+	}
+	for i, c := range o.Counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.Min < h.min {
+		h.min = o.Min
+	}
+	if h.count == 0 || o.Max > h.max {
+		h.max = o.Max
+	}
+	h.count += o.Count
+	h.sum += o.Sum
+	return nil
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) of the observations by
+// exact rank selection over the bucket counts: the result is the
+// inclusive upper bound of the bucket containing the ⌈q·count⌉-th
+// smallest observation, clamped to [Min, Max] so a histogram whose
+// observations all share one bucket reports tight quantiles. An empty
+// (or nil) histogram returns 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile is the snapshot form of Histogram.Quantile, so one Snapshot
+// can serve several quantile extractions consistently.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation in sorted order.
+	rank := int64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) {
+		rank++ // ceil for non-integer products
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			v := s.Max
+			if i < len(s.Bounds) {
+				v = s.Bounds[i]
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			if v < s.Min {
+				v = s.Min
+			}
+			return v
+		}
+	}
+	return s.Max
 }
 
 // Count returns the number of observations so far.

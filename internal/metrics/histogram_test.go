@@ -104,3 +104,144 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Fatalf("bucket counts sum to %d want %d", total, workers*per)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := MustHistogram(10, 20, 30, 40)
+	// 100 observations: 50 in ≤10, 40 in ≤20, 5 in ≤30, 4 in ≤40, 1 overflow.
+	for i := 0; i < 50; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(15)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(25)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(35)
+	}
+	h.Observe(99)
+	// Exact rank selection: rank ⌈q·100⌉ against cumulative counts
+	// 50/90/95/99/100.
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.5, 10},  // rank 50 → first bucket
+		{0.51, 20}, // rank 51 → second bucket
+		{0.9, 20},  // rank 90
+		{0.95, 30}, // rank 95
+		{0.99, 40}, // rank 99
+		{1.0, 99},  // rank 100 → overflow, clamped to Max
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Fatalf("q=%v: got %d want %d", c.q, got, c.want)
+		}
+	}
+	if h.Quantile(0) != 0 {
+		t.Fatal("q=0 should be 0")
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile should be 0")
+	}
+}
+
+func TestHistogramQuantileClamped(t *testing.T) {
+	// All observations share one bucket: quantiles clamp to [Min, Max]
+	// instead of reporting the loose bucket bound.
+	h := MustHistogram(1000)
+	h.Observe(7)
+	h.Observe(9)
+	if got := h.Quantile(0.5); got != 9 {
+		t.Fatalf("clamped p50 = %d want 9 (max)", got)
+	}
+	lo := MustHistogram(1000)
+	lo.Observe(3)
+	if got := lo.Quantile(0.01); got != 3 {
+		t.Fatalf("clamped low quantile = %d want 3", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := MustHistogram(10, 20)
+	b := MustHistogram(10, 20)
+	a.Observe(5)
+	a.Observe(15)
+	b.Observe(25)
+	b.Observe(3)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Snapshot()
+	if s.Count != 4 || s.Sum != 5+15+25+3 {
+		t.Fatalf("merged snapshot %+v", s)
+	}
+	if s.Min != 3 || s.Max != 25 {
+		t.Fatalf("merged min/max %d/%d", s.Min, s.Max)
+	}
+	want := []int64{2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("merged bucket %d = %d want %d", i, s.Counts[i], w)
+		}
+	}
+	// b is untouched.
+	if b.Count() != 2 {
+		t.Fatalf("merge mutated source: %d", b.Count())
+	}
+	// Quantiles over the merged histogram match re-observation semantics.
+	if got := a.Quantile(0.5); got != 10 {
+		t.Fatalf("merged p50 = %d want 10", got)
+	}
+}
+
+func TestHistogramMergeMismatch(t *testing.T) {
+	a := MustHistogram(10, 20)
+	if err := a.Merge(MustHistogram(10)); err == nil {
+		t.Fatal("bucket-count mismatch accepted")
+	}
+	if err := a.Merge(MustHistogram(10, 30)); err == nil {
+		t.Fatal("bound mismatch accepted")
+	}
+	if a.Count() != 0 {
+		t.Fatal("failed merge mutated destination")
+	}
+}
+
+func TestHistogramMergeNilAndEmpty(t *testing.T) {
+	var nilH *Histogram
+	if err := nilH.Merge(MustHistogram(10)); err != nil {
+		t.Fatal(err)
+	}
+	a := MustHistogram(10)
+	if err := a.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(MustHistogram(10)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 0 {
+		t.Fatal("empty merges observed something")
+	}
+	// Merging into an empty histogram adopts min/max.
+	b := MustHistogram(10)
+	b.Observe(4)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if s := a.Snapshot(); s.Min != 4 || s.Max != 4 {
+		t.Fatalf("empty-destination merge min/max: %+v", s)
+	}
+}
+
+func TestLatencyBuckets(t *testing.T) {
+	bs := LatencyBuckets()
+	if len(bs) == 0 || bs[0] != 1_000 || bs[len(bs)-1] != 10_000_000_000 {
+		t.Fatalf("latency ladder %v", bs)
+	}
+	if _, err := NewHistogram(bs...); err != nil {
+		t.Fatalf("latency ladder invalid: %v", err)
+	}
+}

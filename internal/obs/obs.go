@@ -1,0 +1,142 @@
+// Package obs is Squirrel's observability layer: hierarchical operation
+// spans, a bounded lock-free ring of completed operation trees, per-op
+// and per-node aggregation, and a unified telemetry export surface
+// (JSON + Prometheus-style text).
+//
+// The paper's evaluation (§5) is entirely about where time and bytes go
+// — cold-boot CDFs, network transfer breakdowns, gain-factor
+// extrapolation — so the reproduction makes operation provenance
+// first-class: every long-running operation (Register → per-node
+// propagate → zvol.receive; Boot → cacheRead/peerFetch/pfsRead; Scrub,
+// Resilver, Sync, GC) records a span tree carrying op kind, node,
+// image, byte counts, fault/retry annotations, and simulated network
+// time alongside wall time.
+//
+// Everything is nil-safe in the style of metrics.CounterSet: a nil
+// *Telemetry, *Tracer, or *Span no-ops every method, so instrumented
+// code paths never branch on "is tracing on". The hot path of a running
+// deployment costs one atomic ring append per completed operation plus
+// a handful of short mutex sections for aggregation; disabled tracing
+// costs a nil check.
+package obs
+
+import (
+	"repro/internal/metrics"
+)
+
+// Operation kinds used by the core deployment. Children of an operation
+// use the same vocabulary, so per-kind aggregates cover both roots
+// (register, boot, scrub, …) and hot sub-operations (peerFetch,
+// pfsRead, zvol.receive).
+const (
+	OpRegister  = "register"
+	OpBoot      = "boot"
+	OpScrub     = "scrub"
+	OpResilver  = "resilver"
+	OpSync      = "sync"
+	OpGC        = "gc"
+	OpRestart   = "restart"
+	OpPropagate = "propagate"
+	OpReceive   = "zvol.receive"
+	OpRepair    = "repair"
+	OpPeerFetch = "peerFetch"
+	OpCacheRead = "cacheRead"
+	OpPFSRead   = "pfsRead"
+)
+
+// DefaultRingSize bounds the completed-operation ring when New is given
+// a non-positive size. Retained span trees are live heap the garbage
+// collector rescans every cycle, so the default stays modest: large
+// enough to hold every root op of a chaos soak, small enough that a
+// traced boot wave benchmarks within noise of an untraced one.
+const DefaultRingSize = 512
+
+// Telemetry is one deployment's observability state: a tracer feeding a
+// registry of per-kind/per-node aggregates, a bounded ring of completed
+// root spans, and the deployment-wide counter set that the fault
+// injector, peer index, and zvol volumes share when observability is
+// enabled (the "one registry" replacing bespoke counter threading).
+type Telemetry struct {
+	tracer   *Tracer
+	counters *metrics.CounterSet
+}
+
+// New builds a Telemetry whose ring keeps the last ringSize completed
+// root operations (DefaultRingSize when ringSize <= 0).
+func New(ringSize int) *Telemetry {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Telemetry{
+		tracer:   &Tracer{reg: newRegistry(), ring: newRing(ringSize)},
+		counters: metrics.NewCounterSet(),
+	}
+}
+
+// Tracer returns the span tracer. Nil-safe: a nil Telemetry yields a
+// nil Tracer, which in turn yields nil no-op spans.
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// Counters is the deployment-wide counter registry. Nil-safe: a nil
+// Telemetry yields a nil (drop-everything) CounterSet.
+func (t *Telemetry) Counters() *metrics.CounterSet {
+	if t == nil {
+		return nil
+	}
+	return t.counters
+}
+
+// Roots returns the completed root spans currently held by the ring,
+// oldest first. Spans are immutable once completed; the slice is fresh.
+func (t *Telemetry) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	return t.tracer.ring.snapshot()
+}
+
+// RootsOf returns the ring's completed root spans of one kind, oldest
+// first.
+func (t *Telemetry) RootsOf(kind string) []*Span {
+	var out []*Span
+	for _, s := range t.Roots() {
+		if s.Kind() == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FailedRoots returns the ring's root spans that ended in an error
+// state, oldest first.
+func (t *Telemetry) FailedRoots() []*Span {
+	var out []*Span
+	for _, s := range t.Roots() {
+		if s.Err() != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SlowestRoot picks the operation `squirrelctl -trace <kind>` dumps:
+// the first failed root of that kind if any operation failed, otherwise
+// the root with the longest wall duration. Returns nil when the ring
+// holds no such operation.
+func (t *Telemetry) SlowestRoot(kind string) *Span {
+	var slowest *Span
+	for _, s := range t.RootsOf(kind) {
+		if s.Err() != "" {
+			return s
+		}
+		if slowest == nil || s.Wall() > slowest.Wall() {
+			slowest = s
+		}
+	}
+	return slowest
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// ring is the bounded lock-free buffer of completed root spans, in the
+// scatter-hoarding spirit: appenders never coordinate, they just claim
+// the next slot with one atomic increment and overwrite whatever
+// operation aged out. Snapshot readers see a consistent-enough view —
+// each slot holds a fully completed (immutable) span tree or nil.
+type ring struct {
+	slots []atomic.Pointer[Span]
+	next  atomic.Uint64
+}
+
+func newRing(size int) *ring {
+	return &ring{slots: make([]atomic.Pointer[Span], size)}
+}
+
+// add appends a completed root span, claiming a slot with one atomic
+// increment. The claimed sequence number is stamped on the span so
+// snapshots can order survivors oldest-first after wraparound.
+func (r *ring) add(s *Span) {
+	i := r.next.Add(1) - 1
+	s.seq = i
+	r.slots[i%uint64(len(r.slots))].Store(s)
+}
+
+// appended reports how many root spans were ever added (not how many
+// the ring still holds).
+func (r *ring) appended() uint64 {
+	return r.next.Load()
+}
+
+// snapshot collects the spans currently held, oldest first.
+func (r *ring) snapshot() []*Span {
+	out := make([]*Span, 0, len(r.slots))
+	for i := range r.slots {
+		if s := r.slots[i].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	return out
+}

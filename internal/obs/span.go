@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one operation (or sub-operation) in flight or completed. A
+// span carries its op kind, the node and image it concerns, wall-clock
+// start/end, accumulated byte count, simulated network/disk time (the
+// model's seconds, distinct from wall time), fault/retry annotations,
+// an error state, and child spans.
+//
+// Spans are built by the goroutine running the operation; the small
+// internal mutex makes cross-goroutine building safe too. A nil *Span
+// no-ops every method and hands out nil children, so a disabled tracer
+// costs instrumented code only nil checks.
+type Span struct {
+	tr     *Tracer
+	parent *Span
+	seq    uint64 // ring slot ordering, assigned at append time
+
+	kind  string
+	start time.Time
+
+	mu       sync.Mutex
+	node     string
+	image    string
+	end      time.Time
+	bytes    int64
+	simSec   float64
+	err      string
+	annots   map[string]int64
+	children []*Span
+	finished bool
+}
+
+func newSpan(tr *Tracer, parent *Span, kind, node, image string) *Span {
+	return &Span{tr: tr, parent: parent, kind: kind, node: node, image: image, start: time.Now()}
+}
+
+// Child starts a sub-operation span under s. Nil-safe: a nil span hands
+// out a nil child.
+func (s *Span) Child(kind, node, image string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(s.tr, s, kind, node, image)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetNode records (or revises) the node the span concerns — peer
+// fetches learn their source mid-operation.
+func (s *Span) SetNode(node string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.node = node
+	s.mu.Unlock()
+}
+
+// AddBytes accumulates bytes moved or touched by the operation.
+func (s *Span) AddBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.bytes += n
+	s.mu.Unlock()
+}
+
+// AddSim accumulates simulated (modelled) seconds — fabric transfer
+// time, simulated backoff — as opposed to wall time.
+func (s *Span) AddSim(sec float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.simSec += sec
+	s.mu.Unlock()
+}
+
+// Annotate adds delta to a named annotation (fault kinds, retry counts,
+// byte-provenance splits).
+func (s *Span) Annotate(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.annots == nil {
+		s.annots = make(map[string]int64, 4)
+	}
+	s.annots[key] += delta
+	s.mu.Unlock()
+}
+
+// Fail marks the span's error state. A nil error is ignored, so call
+// sites can pass their return error unconditionally.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.err = err.Error()
+	s.mu.Unlock()
+}
+
+// Finish completes the span: it stamps the end time, feeds the
+// per-kind/per-node aggregates, and — for a root span — appends the
+// whole operation tree to the tracer's ring. Finish is idempotent;
+// second and later calls are dropped.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.finished {
+		s.mu.Unlock()
+		return
+	}
+	s.finished = true
+	s.end = time.Now()
+	kind, node := s.kind, s.node
+	bytes, simSec, failed := s.bytes, s.simSec, s.err != ""
+	wall := s.end.Sub(s.start)
+	s.mu.Unlock()
+	if s.tr == nil {
+		return
+	}
+	s.tr.reg.record(kind, node, bytes, simSec, wall, failed)
+	if s.parent == nil {
+		s.tr.ring.add(s)
+	}
+}
+
+// --- accessors (all nil-safe; used by export, experiments, and tests) ---
+
+// Kind returns the op kind.
+func (s *Span) Kind() string {
+	if s == nil {
+		return ""
+	}
+	return s.kind
+}
+
+// Node returns the node the span concerns ("" if none).
+func (s *Span) Node() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.node
+}
+
+// Image returns the image the span concerns ("" if none).
+func (s *Span) Image() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.image
+}
+
+// Bytes returns the accumulated byte count.
+func (s *Span) Bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// SimSec returns the accumulated simulated seconds.
+func (s *Span) SimSec() float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.simSec
+}
+
+// Err returns the span's error state ("" when the operation succeeded).
+func (s *Span) Err() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Annotation returns one named annotation (0 if absent).
+func (s *Span) Annotation(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.annots[key]
+}
+
+// Annotations copies the span's annotation map.
+func (s *Span) Annotations() map[string]int64 {
+	out := make(map[string]int64)
+	if s == nil {
+		return out
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.annots {
+		out[k] = v
+	}
+	return out
+}
+
+// Children copies the span's child list in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// ChildrenOf returns the span's direct children of one kind.
+func (s *Span) ChildrenOf(kind string) []*Span {
+	var out []*Span
+	for _, c := range s.Children() {
+		if c.Kind() == kind {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Wall returns the wall-clock duration (0 for an unfinished span).
+func (s *Span) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return 0
+	}
+	return s.end.Sub(s.start)
+}
+
+// RenderTree renders a completed span tree as indented text, one span
+// per line — the `squirrelctl -trace` dump.
+func RenderTree(s *Span) string {
+	var b strings.Builder
+	renderInto(&b, s, 0)
+	return b.String()
+}
+
+func renderInto(b *strings.Builder, s *Span, depth int) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(b, "%s%s", strings.Repeat("  ", depth), s.Kind())
+	if n := s.Node(); n != "" {
+		fmt.Fprintf(b, " node=%s", n)
+	}
+	if im := s.Image(); im != "" {
+		fmt.Fprintf(b, " image=%s", im)
+	}
+	fmt.Fprintf(b, " wall=%s", s.Wall().Round(time.Microsecond))
+	if sim := s.SimSec(); sim > 0 {
+		fmt.Fprintf(b, " sim=%.4fs", sim)
+	}
+	if n := s.Bytes(); n > 0 {
+		fmt.Fprintf(b, " bytes=%d", n)
+	}
+	annots := s.Annotations()
+	keys := make([]string, 0, len(annots))
+	for k := range annots {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, " %s=%d", k, annots[k])
+	}
+	if e := s.Err(); e != "" {
+		fmt.Fprintf(b, " ERR=%q", e)
+	}
+	b.WriteString("\n")
+	for _, c := range s.Children() {
+		renderInto(b, c, depth+1)
+	}
+}

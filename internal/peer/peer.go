@@ -107,6 +107,21 @@ func (ix *Index) Counters() *metrics.CounterSet {
 	return ix.counters
 }
 
+// SetCounters points the exchange's accounting at a shared counter
+// registry (the telemetry layer's "one registry"). Nil-safe: a nil index
+// ignores the call; a nil set restores the index's private accounting.
+func (ix *Index) SetCounters(c *metrics.CounterSet) {
+	if ix == nil {
+		return
+	}
+	ix.mu.Lock()
+	if c == nil {
+		c = metrics.NewCounterSet()
+	}
+	ix.counters = c
+	ix.mu.Unlock()
+}
+
 // TransferSizes is the histogram of successful peer-transfer sizes.
 func (ix *Index) TransferSizes() *metrics.Histogram {
 	if ix == nil {

@@ -89,5 +89,6 @@ func (v *Volume) Recover() RecoverReport {
 		}
 	}
 	v.journal = nil
+	v.counters.Add("zvol.rollback", 1)
 	return rep
 }

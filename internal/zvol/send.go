@@ -239,6 +239,8 @@ func (v *Volume) Receive(st *Stream) error {
 	}
 	v.snaps = append(v.snaps, &Snapshot{Name: st.ToSnap, Created: st.Created, objects: objs})
 	v.journal = nil
+	v.counters.Add("zvol.recv.streams", 1)
+	v.counters.Add("zvol.recv.bytes", st.SizeBytes())
 	return nil
 }
 

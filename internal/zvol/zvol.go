@@ -23,6 +23,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/compress"
 	"repro/internal/dedup"
+	"repro/internal/metrics"
 	"repro/internal/store"
 )
 
@@ -109,6 +110,23 @@ type Volume struct {
 	journal    *receiveJournal
 	crashPoint int
 	armed      bool
+
+	// counters is the deployment-wide counter registry (nil-safe; nil
+	// drops updates). Receive and Recover account stream applies and
+	// journal rollbacks here when telemetry is enabled.
+	counters *metrics.CounterSet
+}
+
+// SetCounters points the volume's accounting at a shared counter
+// registry. Nil-safe on both sides: a nil volume ignores the call, and a
+// nil set restores drop-everything accounting.
+func (v *Volume) SetCounters(c *metrics.CounterSet) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	v.counters = c
+	v.mu.Unlock()
 }
 
 // New creates an empty volume. It returns an error for invalid block sizes
