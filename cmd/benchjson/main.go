@@ -13,6 +13,11 @@
 // produce a synthetic <Base>TracingOverhead result whose "overhead-%"
 // metric is the relative ns/op cost of tracing — the number the
 // telemetry acceptance bar (< 5%) is checked against.
+//
+// BenchmarkBootStorm/<conc> sub-benchmarks likewise produce a synthetic
+// bootstorm_scaling result whose "speedup-x" metric is serialized ns/op
+// (/1) divided by the 16-way ns/op — the boot-storm scaling bar (≥ 4x)
+// is checked against it.
 package main
 
 import (
@@ -47,6 +52,7 @@ func main() {
 		os.Exit(1)
 	}
 	results = append(results, overheadPairs(results)...)
+	results = append(results, stormScaling(results)...)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
@@ -95,6 +101,40 @@ func overheadPairs(results []result) []result {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// stormScaling derives the bootstorm_scaling result from the
+// BenchmarkBootStorm sub-benchmarks: the serialized baseline (/1) ns/op
+// over the 16-way ns/op, samples averaged as in overheadPairs.
+func stormScaling(results []result) []result {
+	mean := make(map[string][]float64)
+	for _, r := range results {
+		if v, ok := r.Metrics["ns/op"]; ok && strings.HasPrefix(r.Name, "BenchmarkBootStorm/") {
+			mean[r.Name] = append(mean[r.Name], v)
+		}
+	}
+	serial, ok := mean["BenchmarkBootStorm/1"]
+	storm, ok16 := mean["BenchmarkBootStorm/16"]
+	if !ok || !ok16 {
+		return nil
+	}
+	avg := func(vs []float64) float64 {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		return s / float64(len(vs))
+	}
+	s16 := avg(storm)
+	if s16 <= 0 {
+		return nil
+	}
+	return []result{{
+		Name:       "bootstorm_scaling",
+		Procs:      1,
+		Iterations: int64(len(serial)),
+		Metrics:    map[string]float64{"speedup-x": avg(serial) / s16},
+	}}
 }
 
 // parseLine parses one "BenchmarkName-8  10  123 ns/op  4 extra/op" line.

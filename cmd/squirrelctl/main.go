@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +30,29 @@ import (
 	"repro/internal/obs"
 	"repro/internal/peer"
 )
+
+// Exit codes, keyed off the core package's sentinel errors so scripts
+// can tell operator mistakes (bad image/node names) from real failures.
+const (
+	exitFailure      = 1 // generic failure
+	exitUnknownImage = 2
+	exitUnknownNode  = 3
+	exitNodeOffline  = 4
+)
+
+// exitCode maps an error chain onto the ctl's exit codes.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, core.ErrUnknownImage):
+		return exitUnknownImage
+	case errors.Is(err, core.ErrUnknownNode):
+		return exitUnknownNode
+	case errors.Is(err, core.ErrNodeOffline):
+		return exitNodeOffline
+	default:
+		return exitFailure
+	}
+}
 
 func main() {
 	var (
@@ -47,13 +72,13 @@ func main() {
 		// every op kind fires.
 		*peers, *health = true, true
 	}
-	if err := run(*nImages, *nNodes, *vms, *offline, *verify, *peers, *health, *telemetry, *trace); err != nil {
+	if err := run(context.Background(), *nImages, *nNodes, *vms, *offline, *verify, *peers, *health, *telemetry, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
-func run(nImages, nNodes, vms int, offline string, verify, peers, health bool, telemetry bool, trace string) error {
+func run(ctx context.Context, nImages, nNodes, vms int, offline string, verify, peers, health bool, telemetry bool, trace string) error {
 	spec := corpus.DefaultSpec().Scale(float64(nImages)/607, 0.25)
 	repo, err := corpus.New(spec)
 	if err != nil {
@@ -92,7 +117,7 @@ func run(nImages, nNodes, vms int, offline string, verify, peers, health bool, t
 			}
 			fmt.Printf("  %s goes OFFLINE\n", offline)
 		}
-		rep, err := sq.Register(im, t0.Add(time.Duration(i)*time.Minute))
+		rep, err := sq.Register(ctx, core.RegisterRequest{Image: im, At: t0.Add(time.Duration(i) * time.Minute)})
 		if err != nil {
 			return err
 		}
@@ -107,7 +132,7 @@ func run(nImages, nNodes, vms int, offline string, verify, peers, health bool, t
 		if err := sq.SetOnline(offline, true); err != nil {
 			return err
 		}
-		rep, err := sq.SyncNode(offline)
+		rep, err := sq.SyncNode(ctx, offline)
 		if err != nil {
 			return err
 		}
@@ -132,7 +157,7 @@ func run(nImages, nNodes, vms int, offline string, verify, peers, health bool, t
 		for v := 0; v < vms; v++ {
 			im := repo.Images[img%len(repo.Images)]
 			img++
-			rep, err := sq.Boot(im.ID, n.ID, verify)
+			rep, err := sq.Boot(ctx, core.BootRequest{Image: im.ID, Node: n.ID, Verify: verify})
 			if err != nil {
 				return err
 			}
@@ -174,7 +199,7 @@ func run(nImages, nNodes, vms int, offline string, verify, peers, health bool, t
 	}
 
 	if health {
-		if err := healthDrama(sq, cl, t0); err != nil {
+		if err := healthDrama(ctx, sq, cl, t0); err != nil {
 			return err
 		}
 	}
@@ -200,7 +225,7 @@ func run(nImages, nNodes, vms int, offline string, verify, peers, health bool, t
 // healthDrama walks the crash/rot/scrub/resilver lifecycle on a live
 // deployment and dumps the per-node health table after each act — the
 // operator's view of §3.5 robustness plus the at-rest integrity layer.
-func healthDrama(sq *core.Squirrel, cl *cluster.Cluster, t0 time.Time) error {
+func healthDrama(ctx context.Context, sq *core.Squirrel, cl *cluster.Cluster, t0 time.Time) error {
 	if len(cl.Compute) < 2 {
 		return fmt.Errorf("-health needs at least 2 compute nodes")
 	}
@@ -227,7 +252,11 @@ func healthDrama(sq *core.Squirrel, cl *cluster.Cluster, t0 time.Time) error {
 	printHealth(sq)
 
 	fmt.Printf("\nscrubbing all replicas...\n")
-	for id, rep := range sq.ScrubAll(t0.Add(2 * time.Hour)) {
+	scrubs, err := sq.ScrubAll(ctx, t0.Add(2*time.Hour))
+	if err != nil {
+		return err
+	}
+	for id, rep := range scrubs {
 		if rep.CorruptBlocks+rep.MissingBlocks > 0 {
 			fmt.Printf("  %s: %d/%d blocks failed verification — quarantined and withdrawn\n",
 				id, rep.CorruptBlocks+rep.MissingBlocks, rep.Blocks)
@@ -236,7 +265,7 @@ func healthDrama(sq *core.Squirrel, cl *cluster.Cluster, t0 time.Time) error {
 	printHealth(sq)
 
 	fmt.Printf("\nresilvering damaged replicas...\n")
-	rres, err := sq.ResilverAll(t0.Add(3 * time.Hour))
+	rres, err := sq.ResilverAll(ctx, t0.Add(3*time.Hour))
 	if err != nil {
 		return err
 	}
@@ -251,7 +280,7 @@ func healthDrama(sq *core.Squirrel, cl *cluster.Cluster, t0 time.Time) error {
 	fmt.Printf("  %s restarted after %s down: rolled back=%v, scrub %d blocks clean=%v\n",
 		rec.NodeID, rec.Downtime, rec.RolledBack, rec.Scrub.Blocks, rec.Damaged == 0)
 	if sq.Stats().LaggingNodes > 0 {
-		if _, err := sq.SyncNode(crashed); err != nil {
+		if _, err := sq.SyncNode(ctx, crashed); err != nil {
 			return err
 		}
 		fmt.Printf("  %s healed via SyncNode\n", crashed)

@@ -43,7 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sq.Register(im, time.Now()); err != nil {
+	if _, err := sq.RegisterImage(im, time.Now()); err != nil {
 		log.Fatal(err)
 	}
 
@@ -53,7 +53,7 @@ func main() {
 		// With Squirrel: warm replicas everywhere.
 		cl.ResetCounters()
 		for i := 0; i < nodes; i++ {
-			if _, err := sq.Boot(im.ID, cl.Compute[i].ID, false); err != nil {
+			if _, err := sq.BootImage(im.ID, cl.Compute[i].ID, false); err != nil {
 				log.Fatal(err)
 			}
 		}

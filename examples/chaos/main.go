@@ -69,7 +69,7 @@ func main() {
 	const regs = 12
 	for i := 0; i < regs; i++ {
 		im := repo.Images[i]
-		rep, err := sq.Register(im, t0.Add(time.Duration(i)*time.Hour))
+		rep, err := sq.RegisterImage(im, t0.Add(time.Duration(i)*time.Hour))
 		if err != nil {
 			log.Fatalf("registration %s: %v", im.ID, err)
 		}
@@ -102,7 +102,7 @@ func main() {
 	want := sq.SCVolume().LatestSnapshot().Name
 	latest := repo.Images[regs-1]
 	for _, n := range cl.Compute {
-		br, err := sq.Boot(latest.ID, n.ID, true)
+		br, err := sq.BootImage(latest.ID, n.ID, true)
 		if err != nil {
 			log.Fatalf("boot on %s: %v", n.ID, err)
 		}
@@ -128,7 +128,7 @@ func main() {
 	warm := 0
 	for _, n := range cl.Compute {
 		for _, id := range sq.Registered() {
-			br, err := sq.Boot(id, n.ID, true)
+			br, err := sq.BootImage(id, n.ID, true)
 			if err != nil {
 				log.Fatalf("verify boot %s on %s: %v", id, n.ID, err)
 			}

@@ -47,7 +47,7 @@ func main() {
 	t0 := time.Now()
 	var diffTotal int64
 	for i, im := range repo.Images {
-		rep, err := sq.Register(im, t0.Add(time.Duration(i)*time.Minute))
+		rep, err := sq.RegisterImage(im, t0.Add(time.Duration(i)*time.Minute))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,7 +74,7 @@ func main() {
 				if uncached {
 					_, err = sq.BootWithoutCache(im.ID, n.ID)
 				} else {
-					_, err = sq.Boot(im.ID, n.ID, false)
+					_, err = sq.BootImage(im.ID, n.ID, false)
 				}
 				if err != nil {
 					log.Fatal(err)

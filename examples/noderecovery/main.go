@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -49,7 +50,7 @@ func main() {
 
 	// Day 0: first registrations reach all three nodes.
 	for _, im := range repo.Images[:3] {
-		if _, err := sq.Register(im, day(0)); err != nil {
+		if _, err := sq.RegisterImage(im, day(0)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -58,14 +59,14 @@ func main() {
 	// node01 goes down briefly; node02 goes down for a month.
 	sq.SetOnline("node01", false)
 	sq.SetOnline("node02", false)
-	if _, err := sq.Register(repo.Images[3], day(2)); err != nil {
+	if _, err := sq.RegisterImage(repo.Images[3], day(2)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("day 2: registered 1 image while node01 and node02 were down")
 
 	// node01 returns within the window: incremental catch-up.
 	sq.SetOnline("node01", true)
-	rep, err := sq.SyncNode("node01")
+	rep, err := sq.SyncNode(context.Background(), "node01")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func main() {
 
 	// More registrations and a month of daily GC pass.
 	for i, im := range repo.Images[4:8] {
-		if _, err := sq.Register(im, day(4+i)); err != nil {
+		if _, err := sq.RegisterImage(im, day(4+i)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -85,7 +86,7 @@ func main() {
 	// node02 returns after the window: its anchor snapshot is gone, so
 	// the incremental send fails and Squirrel re-replicates everything.
 	sq.SetOnline("node02", true)
-	rep, err = sq.SyncNode("node02")
+	rep, err = sq.SyncNode(context.Background(), "node02")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func main() {
 	for _, nodeID := range []string{"node01", "node02"} {
 		warm := 0
 		for _, id := range sq.Registered() {
-			br, err := sq.Boot(id, nodeID, true)
+			br, err := sq.BootImage(id, nodeID, true)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -52,7 +52,7 @@ func main() {
 
 	t0 := time.Date(2014, 6, 23, 0, 0, 0, 0, time.UTC)
 	im := repo.Images[0]
-	if _, err := sq.Register(im, t0); err != nil {
+	if _, err := sq.RegisterImage(im, t0); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("registered %s on 4 nodes; index holds %d announcements\n",
@@ -64,7 +64,7 @@ func main() {
 		log.Fatal(err)
 	}
 	cl.ResetCounters()
-	rep, err := sq.Boot(im.ID, "node03", true)
+	rep, err := sq.BootImage(im.ID, "node03", true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func main() {
 		log.Fatal(err)
 	}
 	sq.SetFaults(inj)
-	rep, err = sq.Boot(im.ID, "node03", true)
+	rep, err = sq.BootImage(im.ID, "node03", true)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -51,7 +51,7 @@ func main() {
 	// set on a storage node and multicasts the snapshot diff.
 	now := time.Now()
 	for i, im := range repo.Images[:3] {
-		rep, err := sq.Register(im, now.Add(time.Duration(i)*time.Minute))
+		rep, err := sq.RegisterImage(im, now.Add(time.Duration(i)*time.Minute))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,7 +64,7 @@ func main() {
 	cl.ResetCounters()
 	for i, n := range cl.Compute {
 		im := repo.Images[i%3]
-		rep, err := sq.Boot(im.ID, n.ID, true)
+		rep, err := sq.BootImage(im.ID, n.ID, true)
 		if err != nil {
 			log.Fatal(err)
 		}

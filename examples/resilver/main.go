@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -60,7 +61,7 @@ func main() {
 	day := func(n int) time.Time { return t0.Add(time.Duration(n) * 24 * time.Hour) }
 
 	for _, im := range repo.Images[:3] {
-		if _, err := sq.Register(im, day(0)); err != nil {
+		if _, err := sq.RegisterImage(im, day(0)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -82,7 +83,7 @@ func main() {
 	if len(refs) == 0 {
 		log.Fatal("rot plan injected nothing")
 	}
-	br, err := sq.Boot(repo.Images[0].ID, "node01", true)
+	br, err := sq.BootImage(repo.Images[0].ID, "node01", true)
 	if err != nil {
 		log.Fatalf("boot on rotten node must still verify: %v", err)
 	}
@@ -91,7 +92,7 @@ func main() {
 
 	// Act 2: scrub. Detection must be exact, and the damaged node must
 	// vanish from the peer exchange.
-	srep, err := sq.ScrubNode("node01", day(2))
+	srep, err := sq.ScrubNode(context.Background(), "node01", day(2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func main() {
 
 	// Act 3: resilver from the hoard. Healthy peers hold every block, so
 	// not one repair byte should touch the PFS.
-	rrep, err := sq.ResilverNode("node01", day(2))
+	rrep, err := sq.ResilverNode(context.Background(), "node01", day(2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func main() {
 		log.Fatal(err)
 	}
 	sq.SetFaults(inj)
-	reg, err := sq.Register(repo.Images[3], day(3))
+	reg, err := sq.RegisterImage(repo.Images[3], day(3))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func main() {
 	healed := 0
 	for _, s := range sq.Health() {
 		if s.Lagging {
-			if _, err := sq.SyncNode(s.NodeID); err != nil {
+			if _, err := sq.SyncNode(context.Background(), s.NodeID); err != nil {
 				log.Fatal(err)
 			}
 			healed++
@@ -180,7 +181,7 @@ func main() {
 	warm := 0
 	for _, id := range sq.Registered() {
 		for _, n := range cl.Compute {
-			b, err := sq.Boot(id, n.ID, true)
+			b, err := sq.BootImage(id, n.ID, true)
 			if err != nil {
 				log.Fatal(err)
 			}

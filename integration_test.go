@@ -5,6 +5,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -46,7 +47,7 @@ func TestFullLifecycle(t *testing.T) {
 
 	// Register the whole repository.
 	for i, im := range repo.Images {
-		if _, err := sq.Register(im, t0.Add(time.Duration(i)*time.Hour)); err != nil {
+		if _, err := sq.RegisterImage(im, t0.Add(time.Duration(i)*time.Hour)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -59,7 +60,7 @@ func TestFullLifecycle(t *testing.T) {
 	cl.ResetCounters()
 	for _, im := range repo.Images {
 		for _, n := range cl.Compute {
-			rep, err := sq.Boot(im.ID, n.ID, true)
+			rep, err := sq.BootImage(im.ID, n.ID, true)
 			if err != nil {
 				t.Fatalf("boot %s on %s: %v", im.ID, n.ID, err)
 			}
@@ -98,7 +99,7 @@ func TestFullLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sq.Register(repo2.Images[0], t0.Add(1000*time.Hour)); err != nil {
+	if _, err := sq.RegisterImage(repo2.Images[0], t0.Add(1000*time.Hour)); err != nil {
 		t.Fatal(err)
 	}
 	ccv, _ := sq.CCVolume("node00")
@@ -112,7 +113,7 @@ func TestFullLifecycle(t *testing.T) {
 	// the volumes still serve warm boots.
 	sq.GarbageCollect(t0.Add(5000 * time.Hour))
 	for _, im := range repo.Images[len(repo.Images)/2:] {
-		rep, err := sq.Boot(im.ID, "node00", true)
+		rep, err := sq.BootImage(im.ID, "node00", true)
 		if err != nil || !rep.Warm {
 			t.Fatalf("post-GC boot %s: warm=%v err=%v", im.ID, rep.Warm, err)
 		}
@@ -165,23 +166,23 @@ func TestCrashedNodeRecoversAndConverges(t *testing.T) {
 		} else {
 			if !sqOnline(sq, "node02") {
 				sq.SetOnline("node02", true)
-				if _, err := sq.SyncNode("node02"); err != nil {
+				if _, err := sq.SyncNode(context.Background(), "node02"); err != nil {
 					t.Fatal(err)
 				}
 			}
 		}
-		if _, err := sq.Register(im, t0.Add(time.Duration(i)*time.Hour)); err != nil {
+		if _, err := sq.RegisterImage(im, t0.Add(time.Duration(i)*time.Hour)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	sq.SetOnline("node02", true)
-	if _, err := sq.SyncNode("node02"); err != nil {
+	if _, err := sq.SyncNode(context.Background(), "node02"); err != nil {
 		t.Fatal(err)
 	}
 	// After the final sync, node02 boots everything warm.
 	cl.ResetCounters()
 	for _, im := range repo.Images[:8] {
-		rep, err := sq.Boot(im.ID, "node02", true)
+		rep, err := sq.BootImage(im.ID, "node02", true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,7 +198,7 @@ func TestCrashedNodeRecoversAndConverges(t *testing.T) {
 // sqOnline is a test helper peeking at online state via SyncNode-free
 // means: SetOnline errors only for unknown nodes, so track via boot.
 func sqOnline(sq *core.Squirrel, node string) bool {
-	_, err := sq.Boot("definitely-missing-image", node, false)
+	_, err := sq.BootImage("definitely-missing-image", node, false)
 	// ErrNotRegistered means the node path was reachable → online.
 	return err != nil && err.Error() == "core: image not registered: definitely-missing-image"
 }

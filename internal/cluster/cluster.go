@@ -13,7 +13,7 @@ package cluster
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // Fabric describes one interconnect.
@@ -46,43 +46,28 @@ const (
 	Storage
 )
 
-// Node is one machine with NIC counters.
+// Node is one machine with NIC counters. Counters are atomic so
+// concurrent transfers (parallel propagation legs, peer fetches, PFS
+// chunk reads) account bytes without serializing on a per-node mutex.
 type Node struct {
 	ID   string
 	Role Role
 
-	mu sync.Mutex
-	rx int64
-	tx int64
+	rx atomic.Int64
+	tx atomic.Int64
 }
 
 // Recv accounts n received bytes.
-func (n *Node) Recv(b int64) {
-	n.mu.Lock()
-	n.rx += b
-	n.mu.Unlock()
-}
+func (n *Node) Recv(b int64) { n.rx.Add(b) }
 
 // Send accounts n transmitted bytes.
-func (n *Node) Send(b int64) {
-	n.mu.Lock()
-	n.tx += b
-	n.mu.Unlock()
-}
+func (n *Node) Send(b int64) { n.tx.Add(b) }
 
 // RxBytes returns received bytes so far.
-func (n *Node) RxBytes() int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.rx
-}
+func (n *Node) RxBytes() int64 { return n.rx.Load() }
 
 // TxBytes returns transmitted bytes so far.
-func (n *Node) TxBytes() int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.tx
-}
+func (n *Node) TxBytes() int64 { return n.tx.Load() }
 
 // Cluster is a set of storage and compute nodes on one fabric.
 type Cluster struct {
@@ -120,9 +105,8 @@ func (c *Cluster) ComputeRxTotal() int64 {
 // ResetCounters zeroes every NIC counter.
 func (c *Cluster) ResetCounters() {
 	for _, n := range append(append([]*Node{}, c.Storage...), c.Compute...) {
-		n.mu.Lock()
-		n.rx, n.tx = 0, 0
-		n.mu.Unlock()
+		n.rx.Store(0)
+		n.tx.Store(0)
 	}
 }
 

@@ -99,6 +99,11 @@ func (p *PFS) serverFor(name string, chunk int64) *Node {
 
 // ReadAt serves a read issued by compute node client, accounting NIC
 // traffic on both ends. Returns bytes read.
+//
+// The file-table lock covers only the handle lookup: chunk routing,
+// content generation, and NIC accounting all run outside it (pfsFile is
+// immutable after AddFile and Node counters are atomic), so concurrent
+// boots streaming from the PFS never serialize on this mutex.
 func (p *PFS) ReadAt(client *Node, name string, buf []byte, off int64) (int, error) {
 	p.mu.RLock()
 	f, ok := p.files[name]

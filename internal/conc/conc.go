@@ -1,0 +1,51 @@
+// Package conc holds the small concurrency primitives the deployment
+// core builds its fan-out on: a bounded parallel for-loop. Squirrel's
+// hot paths (Register propagation to N replicas, boot storms) want "do
+// these n independent things on up to w goroutines" without each call
+// site reinventing worker pools; the propagation legs of a single
+// registration are independent of each other by construction, so a
+// plain index-sharded loop is all the structure needed.
+package conc
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n), on at most workers
+// concurrent goroutines, and returns when all calls have finished.
+// workers <= 0 means GOMAXPROCS. With workers == 1 (or n == 1) the
+// loop degenerates to a serial in-order walk on the calling goroutine,
+// which keeps single-threaded chaos runs byte-deterministic.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Static index striding: worker w takes i = w, w+workers, … Claiming
+	// via an atomic counter would balance better under skew, but striding
+	// keeps each leg's assignment deterministic, which makes hung-leg
+	// debugging (who owns index i?) trivial.
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/corpus"
@@ -14,6 +16,22 @@ import (
 	"repro/internal/qcow"
 	"repro/internal/zvol"
 )
+
+// BootRequest names the inputs of one VM start.
+type BootRequest struct {
+	// Image is the registered VMI to boot.
+	Image string
+	// Node is the compute node the VM lands on.
+	Node string
+	// Verify additionally checks every read against the image's true
+	// content — the end-to-end correctness check for the whole chain.
+	Verify bool
+	// SkipCache bypasses the caching layer entirely: the CoW overlay
+	// chains directly onto the PFS-hosted base VMI (the paper's "without
+	// caches" baseline in Fig 18). No healing, no peer exchange — every
+	// boot pulls its working set over the data-center network.
+	SkipCache bool
+}
 
 // BootReport describes one VM start on a compute node.
 type BootReport struct {
@@ -31,32 +49,40 @@ type BootReport struct {
 	PeerFallbacks int    // peer-servable ranges that fell back to the PFS
 }
 
-// Boot starts a VM from image id on the given compute node (§3.3,
-// Fig 7): an empty CoW overlay is chained onto the VMI cache in the local
-// ccVolume, which recurses to the PFS-hosted base VMI only for ranges the
-// cache does not hold. The boot trace is replayed through the chain with
-// real data, and the report accounts where every byte came from.
-//
-// verify additionally checks each read against the image's true content —
-// the end-to-end correctness check for the whole chain.
+// Boot starts a VM (§3.3, Fig 7): an empty CoW overlay is chained onto
+// the VMI cache in the local ccVolume, which recurses to the PFS-hosted
+// base VMI only for ranges the cache does not hold. The boot trace is
+// replayed through the chain with real data, and the report accounts
+// where every byte came from.
 //
 // Booting on a lagging node (one that exhausted its registration repair
 // budget, or crashed mid-transfer and came back) first heals it through
 // the SyncNode path (§3.5), then boots warm from the repaired replica.
-func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
-	s.mu.Lock()
+//
+// Boots run fully concurrently: two boots contend only when they land
+// on the same node (its replica lock during healing, its cache chain)
+// or consult the same peer index entries. A cancelled context aborts
+// the trace replay between reads and returns the context error; no
+// deployment state is left half-changed.
+func (s *Squirrel) Boot(ctx context.Context, req BootRequest) (BootReport, error) {
+	ctx = reqCtx(ctx)
+	id, nodeID := req.Image, req.Node
+	if err := ctx.Err(); err != nil {
+		return BootReport{}, fmt.Errorf("core: boot %s on %s: %w", id, nodeID, err)
+	}
+	s.state.RLock()
 	im, ok := s.images[id]
+	lagging, damaged := s.lagging[nodeID], len(s.damaged[nodeID]) > 0
+	online := s.online[nodeID]
+	s.state.RUnlock()
 	if !ok {
-		s.mu.Unlock()
-		return BootReport{}, fmt.Errorf("%w: %s", ErrNotRegistered, id)
+		return BootReport{}, fmt.Errorf("%w: %s", ErrUnknownImage, id)
 	}
 	node, err := s.computeNode(nodeID)
 	if err != nil {
-		s.mu.Unlock()
 		return BootReport{}, err
 	}
-	if !s.online[nodeID] {
-		s.mu.Unlock()
+	if !online {
 		return BootReport{}, fmt.Errorf("%w: %s", ErrNodeOffline, nodeID)
 	}
 	sp := s.tr.StartOp(obs.OpBoot, nodeID, id)
@@ -66,35 +92,51 @@ func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
 		return BootReport{}, err
 	}
 	healed := false
-	if s.lagging[nodeID] {
-		if _, err := s.syncNodeLocked(sp, nodeID); err != nil {
-			s.mu.Unlock()
-			return fail(fmt.Errorf("core: healing lagging node %s: %w", nodeID, err))
+	if !req.SkipCache && (lagging || damaged) {
+		// Healing is a compound replica operation; serialize it against
+		// other operations on this node and re-check the flags under the
+		// lock — a concurrent boot may have healed the node already.
+		nl := s.nodeLocks.lock(nodeID)
+		s.state.RLock()
+		lagging, damaged = s.lagging[nodeID], len(s.damaged[nodeID]) > 0
+		lastScrub := s.lastScrub[nodeID]
+		s.state.RUnlock()
+		if lagging {
+			if _, err := s.syncNodeGuarded(sp, nodeID); err != nil {
+				nl.Unlock()
+				return fail(fmt.Errorf("core: healing lagging node %s: %w", nodeID, err))
+			}
+			healed = true
 		}
-		healed = true
-	}
-	// Quarantined damage is resilvered before the boot touches the
-	// replica, like lagging is synced: landing a VM on a node is exactly
-	// when its replica should be made whole. A resilver that cannot fully
-	// repair (every source down) is fine — read-time checksums route the
-	// still-damaged ranges to peers or the PFS below.
-	if len(s.damaged[nodeID]) > 0 {
-		if _, err := s.resilverLocked(sp, nodeID, s.lastScrub[nodeID]); err != nil {
-			s.mu.Unlock()
-			return fail(fmt.Errorf("core: resilvering node %s: %w", nodeID, err))
+		// Quarantined damage is resilvered before the boot touches the
+		// replica, like lagging is synced: landing a VM on a node is exactly
+		// when its replica should be made whole. A resilver that cannot fully
+		// repair (every source down) is fine — read-time checksums route the
+		// still-damaged ranges to peers or the PFS below.
+		if damaged {
+			if _, err := s.resilverGuarded(sp, nodeID, lastScrub); err != nil {
+				nl.Unlock()
+				return fail(fmt.Errorf("core: resilvering node %s: %w", nodeID, err))
+			}
+			healed = true
 		}
-		healed = true
+		nl.Unlock()
 	}
-	ccv := s.cc[nodeID]
-	s.mu.Unlock()
+	var ccv *zvol.Volume
+	if !req.SkipCache {
+		ccv = s.ccVolume(nodeID) // after healing: a full sync swaps the volume
+	} else {
+		sp.Annotate("uncached", 1)
+	}
 
 	cb, err := newChainBackend(s, im, ccv, node)
 	if err != nil {
 		return fail(err)
 	}
 	// A cold miss (no local replica) may be served by the peer exchange
-	// before falling back to the PFS.
-	if s.cfg.Peer.Enabled && !cb.local {
+	// before falling back to the PFS — unless the caching layer is
+	// bypassed outright.
+	if !req.SkipCache && s.cfg.Peer.Enabled && !cb.local {
 		cb.fetch = s.newPeerFetcher(im, node)
 		cb.fetch.sp = sp
 	}
@@ -103,13 +145,23 @@ func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
 		return fail(err)
 	}
 
+	// The simulated device wait happens outside every lock: concurrent
+	// boots overlap their waits, which is where boot-storm wall-clock
+	// scaling comes from (the old global manager mutex serialized it).
+	if d := s.cfg.BootLatency; d > 0 {
+		time.Sleep(d)
+	}
+
 	rep := BootReport{ImageID: id, NodeID: nodeID, Healed: healed}
 	var gen *corpus.Generator
-	if verify {
+	if req.Verify {
 		gen = corpus.NewGenerator(im)
 	}
 	buf := make([]byte, 0, 64<<10)
 	for _, e := range im.BootTrace() {
+		if err := ctx.Err(); err != nil {
+			return fail(fmt.Errorf("core: boot %s on %s: %w", id, nodeID, err))
+		}
 		if int64(cap(buf)) < e.Len {
 			buf = make([]byte, e.Len)
 		}
@@ -119,7 +171,7 @@ func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
 		}
 		rep.ReadBytes += e.Len
 		s.bootReads.Observe(e.Len)
-		if verify {
+		if req.Verify {
 			want := make([]byte, e.Len)
 			if _, err := gen.ReadAt(want, e.Off); err != nil && err != io.EOF {
 				return fail(err)
@@ -136,11 +188,26 @@ func (s *Squirrel) Boot(id, nodeID string, verify bool) (BootReport, error) {
 		rep.PeerNode = cb.fetch.topSource()
 		rep.PeerFallbacks = cb.fetch.fallbacks
 	}
-	rep.Warm = cb.networkBytes == 0 && cb.peerBytes == 0
+	rep.Warm = !req.SkipCache && cb.networkBytes == 0 && cb.peerBytes == 0
 	s.recordBootLanes(sp, cb)
 	sp.AddBytes(rep.ReadBytes)
 	sp.Finish()
 	return rep, nil
+}
+
+// BootImage is the pre-redesign Boot signature.
+//
+// Deprecated: use Boot with a context and a BootRequest.
+func (s *Squirrel) BootImage(id, nodeID string, verify bool) (BootReport, error) {
+	return s.Boot(context.Background(), BootRequest{Image: id, Node: nodeID, Verify: verify})
+}
+
+// BootWithoutCache starts a VM with the caching layer bypassed — the
+// paper's "without caches" baseline in Fig 18.
+//
+// Deprecated: use Boot with BootRequest.SkipCache.
+func (s *Squirrel) BootWithoutCache(id, nodeID string) (BootReport, error) {
+	return s.Boot(context.Background(), BootRequest{Image: id, Node: nodeID, SkipCache: true})
 }
 
 // recordBootLanes summarizes one boot's byte provenance as per-lane
@@ -171,68 +238,11 @@ func (s *Squirrel) recordBootLanes(sp *obs.Span, cb *chainBackend) {
 	}
 }
 
-// BootWithoutCache starts a VM with the caching layer bypassed: the CoW
-// overlay chains directly onto the PFS-hosted base VMI. This is the
-// paper's "without caches" baseline in Fig 18 — every boot pulls its
-// working set (rounded to clusters) over the data-center network.
-func (s *Squirrel) BootWithoutCache(id, nodeID string) (BootReport, error) {
-	s.mu.Lock()
-	im, ok := s.images[id]
-	if !ok {
-		s.mu.Unlock()
-		return BootReport{}, fmt.Errorf("%w: %s", ErrNotRegistered, id)
-	}
-	node, err := s.computeNode(nodeID)
-	if err != nil {
-		s.mu.Unlock()
-		return BootReport{}, err
-	}
-	if !s.online[nodeID] {
-		s.mu.Unlock()
-		return BootReport{}, fmt.Errorf("%w: %s", ErrNodeOffline, nodeID)
-	}
-	s.mu.Unlock()
-	sp := s.tr.StartOp(obs.OpBoot, nodeID, id)
-	sp.Annotate("uncached", 1)
-	fail := func(err error) (BootReport, error) {
-		sp.Fail(err)
-		sp.Finish()
-		return BootReport{}, err
-	}
-	cb, err := newChainBackend(s, im, nil, node)
-	if err != nil {
-		return fail(err)
-	}
-	cow, err := qcow.NewOverlay(cb, s.cfg.ClusterSize, false)
-	if err != nil {
-		return fail(err)
-	}
-	rep := BootReport{ImageID: id, NodeID: nodeID}
-	buf := make([]byte, 0, 64<<10)
-	for _, e := range im.BootTrace() {
-		if int64(cap(buf)) < e.Len {
-			buf = make([]byte, e.Len)
-		}
-		if _, err := cow.ReadAt(buf[:e.Len], e.Off); err != nil && err != io.EOF {
-			return fail(fmt.Errorf("core: uncached boot read at %d: %w", e.Off, err))
-		}
-		rep.ReadBytes += e.Len
-		s.bootReads.Observe(e.Len)
-	}
-	rep.NetworkBytes = cb.networkBytes
-	rep.Warm = false
-	s.recordBootLanes(sp, cb)
-	sp.AddBytes(rep.ReadBytes)
-	sp.Finish()
-	return rep, nil
-}
-
 // computeNode finds the cluster node struct for a compute node ID.
+// Lock-free: the node map is immutable after New.
 func (s *Squirrel) computeNode(nodeID string) (*cluster.Node, error) {
-	for _, n := range s.cl.Compute {
-		if n.ID == nodeID {
-			return n, nil
-		}
+	if n, ok := s.nodes[nodeID]; ok {
+		return n, nil
 	}
 	return nil, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 }

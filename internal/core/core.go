@@ -28,18 +28,27 @@
 //	            incremental catch-up when their latest snapshot is still
 //	            retained, full re-replication otherwise (§3.5).
 //
-// All operations are safe for concurrent use.
+// All operations are safe for concurrent use, and the locking is
+// fine-grained: per-image and per-node lock shards plus one short
+// deployment-state RWMutex replace the old global mutex, so a boot
+// storm runs concurrently across nodes, Register fans its propagation
+// legs out to replicas in parallel, and two operations only serialize
+// when they genuinely touch the same image or the same node's replica.
+// See keyLocks in locks.go for the lock-ordering rule.
 package core
 
 import (
 	"bytes"
-	"errors"
+	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/conc"
 	"repro/internal/corpus"
 	"repro/internal/fault"
 	"repro/internal/metrics"
@@ -67,6 +76,19 @@ type Config struct {
 	// Repair bounds the NACK-style unicast retry loop for replicas that
 	// missed or rejected a registration stream.
 	Repair RepairPolicy
+	// Workers bounds the goroutines Register uses to apply one
+	// registration's propagation legs to replicas in parallel. 0 (the
+	// default) means GOMAXPROCS; 1 applies legs serially. Parallel legs
+	// and serial legs produce byte-identical reports — every
+	// order-dependent fault draw happens outside the parallel phase.
+	Workers int
+	// BootLatency is a real (wall-clock) per-boot device wait applied
+	// during trace replay, modelling the hypervisor/disk latency that
+	// makes real boot storms I/O-bound. Zero (the default) disables it;
+	// it changes no report fields, only elapsed time. The BootStorm
+	// benchmark sets it so wall-clock scaling reflects overlapping waits
+	// — the thing the old global manager mutex made impossible.
+	BootLatency time.Duration
 	// Peer configures the peer block exchange: cold-boot misses consult
 	// the content index and fetch from a neighboring replica before
 	// falling back to the PFS. The index is always maintained;
@@ -129,41 +151,60 @@ type Squirrel struct {
 
 	sc *zvol.Volume // scVolume (storage nodes); internally locked
 
+	// nodes maps compute node ID → cluster node; built once in New and
+	// immutable, so hot paths resolve nodes lock-free.
+	nodes map[string]*cluster.Node
+
 	// peers is the content index of the peer block exchange; internally
-	// locked (never acquire s.mu while holding index locks — core always
-	// locks s.mu first, or calls the index without s.mu held).
+	// locked (a leaf in the lock order — core may call it while holding
+	// state, but index callbacks never re-enter core).
 	peers *peer.Index
 	// bootReads records the size of every boot-trace read.
 	bootReads *metrics.Histogram
 	// tel/tr are the observability layer (cfg.Obs); both nil when
 	// disabled, and every use is nil-safe. Set once in New, never
-	// mutated, so they are read without s.mu.
+	// mutated, so they are read without locks.
 	tel *obs.Telemetry
 	tr  *obs.Tracer
 
-	// mu guards the mutable deployment state below. Register and SyncNode
-	// serialize under it; Boot drops it before replaying the trace so
-	// boots run concurrently.
-	mu      sync.Mutex
+	// faults is the live injector (cfg.Faults initially; SetFaults swaps
+	// it). An atomic pointer so hot paths capture it once without locks.
+	faults atomic.Pointer[fault.Injector]
+
+	// Lock shards. imageLocks serializes operations on one image
+	// (Register vs Deregister of the same ID); nodeLocks serializes
+	// compound operations on one node's replica (receive vs sync vs
+	// scrub vs resilver vs restart). Ordering rule in locks.go.
+	imageLocks *keyLocks
+	nodeLocks  *keyLocks
+
+	// commitMu serializes the storage-side half of Register (snapshot
+	// sequence, scVolume snapshot chain, wire encode) and snapshot GC,
+	// plus the per-node apply-order tickets below. It is never held
+	// across a propagation transfer or a replica apply.
+	commitMu sync.Mutex
+	snapSeq  int
+	// applyTail is the per-node FIFO ticket chain: each registration, in
+	// commit order, enqueues one ticket per destination node and waits on
+	// its predecessor before applying, so concurrent registrations deliver
+	// incremental snapshots to any single replica in snapshot order.
+	applyTail map[string]chan struct{}
+
+	// state guards the mutable deployment maps below. Critical sections
+	// are short map reads/writes only — never a transfer, a volume apply,
+	// or anything that blocks — so concurrent Boots contend here for
+	// nanoseconds, not for the duration of an operation.
+	state   sync.RWMutex
 	cc      map[string]*zvol.Volume // ccVolume per compute node ID
 	online  map[string]bool
 	lagging map[string]bool // exhausted repair budget; heal via SyncNode
 	images  map[string]*corpus.Image
-	snapSeq int
 
 	// Node lifecycle state (crash/restart, scrub, resilver).
-	downSince map[string]time.Time      // when an offline node went down
+	downSince map[string]time.Time       // when an offline node went down
 	damaged   map[string][]zvol.BlockRef // known-damaged blocks per node
-	lastScrub map[string]time.Time      // most recent scrub per node
+	lastScrub map[string]time.Time       // most recent scrub per node
 }
-
-// Errors.
-var (
-	ErrNotRegistered = errors.New("core: image not registered")
-	ErrRegistered    = errors.New("core: image already registered")
-	ErrUnknownNode   = errors.New("core: unknown compute node")
-	ErrNodeOffline   = errors.New("core: compute node offline")
-)
 
 // New creates a Squirrel deployment over cl. The PFS must be configured
 // over cl's storage nodes; base VMIs are published there.
@@ -174,28 +215,33 @@ func New(cfg Config, cl *cluster.Cluster, pfs *cluster.PFS) (*Squirrel, error) {
 	}
 	cfg.Peer = cfg.Peer.Normalize()
 	s := &Squirrel{
-		cfg:       cfg,
-		cl:        cl,
-		pfs:       pfs,
-		sc:        sc,
-		peers:     peer.NewIndex(),
-		bootReads: metrics.MustHistogram(metrics.ByteBuckets()...),
-		tel:       cfg.Obs,
-		tr:        cfg.Obs.Tracer(),
-		cc:        make(map[string]*zvol.Volume),
-		online:    make(map[string]bool),
-		lagging:   make(map[string]bool),
-		images:    make(map[string]*corpus.Image),
-		downSince: make(map[string]time.Time),
-		damaged:   make(map[string][]zvol.BlockRef),
-		lastScrub: make(map[string]time.Time),
+		cfg:        cfg,
+		cl:         cl,
+		pfs:        pfs,
+		sc:         sc,
+		nodes:      make(map[string]*cluster.Node, len(cl.Compute)),
+		peers:      peer.NewIndex(),
+		bootReads:  metrics.MustHistogram(metrics.ByteBuckets()...),
+		tel:        cfg.Obs,
+		tr:         cfg.Obs.Tracer(),
+		imageLocks: newKeyLocks(),
+		nodeLocks:  newKeyLocks(),
+		applyTail:  make(map[string]chan struct{}),
+		cc:         make(map[string]*zvol.Volume),
+		online:     make(map[string]bool),
+		lagging:    make(map[string]bool),
+		images:     make(map[string]*corpus.Image),
+		downSince:  make(map[string]time.Time),
+		damaged:    make(map[string][]zvol.BlockRef),
+		lastScrub:  make(map[string]time.Time),
 	}
+	s.faults.Store(cfg.Faults)
 	if s.tel != nil {
 		// One registry: the peer index, the fault injector, and every
 		// volume account into the telemetry counter set instead of
 		// bespoke per-subsystem sets.
 		s.peers.SetCounters(s.tel.Counters())
-		s.cfg.Faults.SetCounters(s.tel.Counters())
+		cfg.Faults.SetCounters(s.tel.Counters())
 		s.sc.SetCounters(s.tel.Counters())
 	}
 	for _, n := range cl.Compute {
@@ -206,6 +252,7 @@ func New(cfg Config, cl *cluster.Cluster, pfs *cluster.PFS) (*Squirrel, error) {
 		if s.tel != nil {
 			v.SetCounters(s.tel.Counters())
 		}
+		s.nodes[n.ID] = n
 		s.cc[n.ID] = v
 		s.online[n.ID] = true
 	}
@@ -225,26 +272,38 @@ func (s *Squirrel) BootReadSizes() *metrics.Histogram { return s.bootReads }
 
 // SetFaults swaps the deployment's fault injector. Chaos scenarios use
 // this to bring a deployment up on a clean fabric and then turn it
-// hostile for the phase under test.
+// hostile for the phase under test. Operations capture the injector
+// once at their start, so a swap never lands mid-operation.
 func (s *Squirrel) SetFaults(inj *fault.Injector) {
-	s.mu.Lock()
 	if s.tel != nil {
 		inj.SetCounters(s.tel.Counters())
 	}
-	s.cfg.Faults = inj
-	s.mu.Unlock()
+	s.faults.Store(inj)
 }
+
+// injector is the live fault injector (nil = perfect network; every
+// injector method is nil-safe).
+func (s *Squirrel) injector() *fault.Injector { return s.faults.Load() }
 
 // Telemetry exposes the deployment's observability state (nil when
 // tracing is disabled); squirrelctl, experiments, and trace-based tests
 // read snapshots and span trees through it.
 func (s *Squirrel) Telemetry() *obs.Telemetry { return s.tel }
 
+// reqCtx normalizes a request context: nil means Background, so the
+// deprecated wrappers and tests can pass nothing.
+func reqCtx(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
 // announceHoldingsLocked reconciles the peer index with what nodeID's
 // ccVolume actually holds, restricted to registered images (a replica
 // may still physically hold a deregistered object until the next
 // snapshot removes it, but such objects are no longer servable).
-// Callers hold s.mu.
+// Callers hold s.state (read or write).
 //
 // A node with known-damaged blocks never announces: whatever it holds
 // may be rotten, so it stays withdrawn from the index until a resilver
@@ -271,8 +330,8 @@ func (s *Squirrel) announceHoldingsLocked(nodeID string) {
 
 // CCVolume returns a compute node's cVolume.
 func (s *Squirrel) CCVolume(nodeID string) (*zvol.Volume, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.state.RLock()
+	defer s.state.RUnlock()
 	v, ok := s.cc[nodeID]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
@@ -280,16 +339,26 @@ func (s *Squirrel) CCVolume(nodeID string) (*zvol.Volume, error) {
 	return v, nil
 }
 
+// ccVolume is CCVolume without the error wrapping, for internal paths
+// that already validated the node.
+func (s *Squirrel) ccVolume(nodeID string) *zvol.Volume {
+	s.state.RLock()
+	v := s.cc[nodeID]
+	s.state.RUnlock()
+	return v
+}
+
 // SetOnline marks a compute node up or down. Offline nodes miss
 // registration diffs and must SyncNode on their next boot (§3.5).
 // Bringing a crashed node back up does not clear its lagging mark; the
 // first boot (or an explicit SyncNode) heals it.
 func (s *Squirrel) SetOnline(nodeID string, up bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.cc[nodeID]; !ok {
+	if _, ok := s.nodes[nodeID]; !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
+	defer s.nodeLocks.lock(nodeID).Unlock()
+	s.state.Lock()
+	defer s.state.Unlock()
 	s.online[nodeID] = up
 	// Offline nodes cannot serve peer fetches, so their announcements are
 	// withdrawn; on the way back up the node re-announces what it still
@@ -302,7 +371,7 @@ func (s *Squirrel) SetOnline(nodeID string, up bool) error {
 		if v := s.cc[nodeID]; v.NeedsRecovery() {
 			v.Recover()
 			s.lagging[nodeID] = true
-			s.cfg.Faults.Counters().Add("recover.rollback", 1)
+			s.injector().Counters().Add("recover.rollback", 1)
 		}
 		delete(s.downSince, nodeID)
 		s.announceHoldingsLocked(nodeID)
@@ -314,8 +383,8 @@ func (s *Squirrel) SetOnline(nodeID string, up bool) error {
 
 // Registered lists registered image IDs, sorted.
 func (s *Squirrel) Registered() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.state.RLock()
+	defer s.state.RUnlock()
 	ids := make([]string, 0, len(s.images))
 	for id := range s.images {
 		ids = append(ids, id)
@@ -327,14 +396,23 @@ func (s *Squirrel) Registered() []string {
 // Lagging lists nodes that exhausted their repair budget (or crashed
 // mid-transfer) and await offline propagation, sorted.
 func (s *Squirrel) Lagging() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.state.RLock()
+	defer s.state.RUnlock()
 	ids := make([]string, 0, len(s.lagging))
 	for id := range s.lagging {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	return ids
+}
+
+// RegisterRequest names the inputs of one registration.
+type RegisterRequest struct {
+	// Image is the VMI to register (its content generator doubles as the
+	// PFS-published base image).
+	Image *corpus.Image
+	// At is the registration time; it drives snapshot retention.
+	At time.Time
 }
 
 // RegisterReport describes one registration.
@@ -356,11 +434,30 @@ type RegisterReport struct {
 	Torn        []string // replicas that crashed mid-APPLY (open journal)
 }
 
+// legResult accumulates one propagation leg's outcome. Each leg writes
+// only its own result; Register merges them into the report in
+// destination order afterwards, so the report is byte-identical whether
+// the legs ran serially or fanned out across the worker pool.
+type legResult struct {
+	node *cluster.Node
+
+	synced     bool
+	crashed    bool
+	torn       bool
+	lagging    bool
+	skipped    bool // context cancelled before this leg applied
+	needRepair bool
+
+	faults      int
+	retries     int
+	repairBytes int64
+	repairSec   float64
+}
+
 // Register runs the paper's registration workflow (Fig 6) for a VMI that
 // has been uploaded to the PFS: capture its boot working set by a first
 // boot on a storage node, store it in the scVolume, snapshot, and
-// propagate the snapshot diff to all online compute nodes. at is the
-// registration time (drives snapshot retention).
+// propagate the snapshot diff to all online compute nodes.
 //
 // Registration is reliable and degradable: a replica that misses or
 // rejects the one-to-many stream (lossy multicast, corruption, a crash
@@ -369,14 +466,37 @@ type RegisterReport struct {
 // healed later by SyncNode. Replica-side faults therefore never surface
 // as a Register error — only storage-side failures do, and those roll
 // back cleanly so the registration can be retried.
-func (s *Squirrel) Register(im *corpus.Image, at time.Time) (RegisterReport, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.images[im.ID]; dup {
+//
+// Propagation legs fan out across a bounded worker pool (Config.Workers)
+// and contend only on their own node's replica; unicast repair of the
+// failed minority runs serially in destination order, which keeps every
+// order-dependent fault draw in the same sequence as a serial run.
+//
+// Cancellation: a context cancelled before the storage-side commit
+// aborts with nothing changed. Cancelled mid-propagation, the commit
+// stands — the snapshot exists and some replicas may hold it — so the
+// remaining legs are skipped and their nodes marked lagging (SyncNode
+// heals them, exactly as if they had missed the stream), the image is
+// registered, and the partial report is returned alongside the context
+// error.
+func (s *Squirrel) Register(ctx context.Context, req RegisterRequest) (RegisterReport, error) {
+	ctx = reqCtx(ctx)
+	im, at := req.Image, req.At
+	if im == nil {
+		return RegisterReport{}, fmt.Errorf("%w: registration without an image", ErrUnknownImage)
+	}
+	if err := ctx.Err(); err != nil {
+		return RegisterReport{}, fmt.Errorf("core: register %s: %w", im.ID, err)
+	}
+	defer s.imageLocks.lock(im.ID).Unlock()
+	s.state.RLock()
+	_, dup := s.images[im.ID]
+	s.state.RUnlock()
+	if dup {
 		return RegisterReport{}, fmt.Errorf("%w: %s", ErrRegistered, im.ID)
 	}
 	sp := s.tr.StartOp(obs.OpRegister, "", im.ID)
-	rep, err := s.registerLocked(sp, im, at)
+	rep, err := s.register(ctx, sp, im, at)
 	sp.AddBytes(rep.DiffBytes)
 	sp.AddSim(rep.XferSec + rep.RepairSec)
 	if rep.Faults > 0 {
@@ -396,15 +516,27 @@ func (s *Squirrel) Register(im *corpus.Image, at time.Time) (RegisterReport, err
 	return rep, err
 }
 
-func (s *Squirrel) registerLocked(sp *obs.Span, im *corpus.Image, at time.Time) (RegisterReport, error) {
-	if _, dup := s.images[im.ID]; dup {
-		return RegisterReport{}, fmt.Errorf("%w: %s", ErrRegistered, im.ID)
-	}
+// RegisterImage is the pre-redesign Register signature.
+//
+// Deprecated: use Register with a context and a RegisterRequest.
+func (s *Squirrel) RegisterImage(im *corpus.Image, at time.Time) (RegisterReport, error) {
+	return s.Register(context.Background(), RegisterRequest{Image: im, At: at})
+}
+
+// register is the Register body. Caller holds the image lock.
+func (s *Squirrel) register(ctx context.Context, sp *obs.Span, im *corpus.Image, at time.Time) (RegisterReport, error) {
+	inj := s.injector()
+
+	// ---- Commit phase: storage-side registration, serialized under
+	// commitMu so the snapshot sequence and the scVolume snapshot chain
+	// advance atomically. Errors here roll back cleanly.
+	s.commitMu.Lock()
 	// A previously failed attempt may have left the cache object behind
 	// without registering the image; clear it so the retry does not hit
 	// duplicate-object state.
 	if s.sc.HasObject(im.ID) {
 		if err := s.sc.DeleteObject(im.ID); err != nil {
+			s.commitMu.Unlock()
 			return RegisterReport{}, err
 		}
 	}
@@ -414,6 +546,7 @@ func (s *Squirrel) registerLocked(sp *obs.Span, im *corpus.Image, at time.Time) 
 		// ReadAtFunc, not a bare Generator: the PFS serves concurrent
 		// boots of the same image.
 		if err := s.pfs.AddFile(im.ID, im.RawSize(), im.ReadAtFunc()); err != nil {
+			s.commitMu.Unlock()
 			return RegisterReport{}, err
 		}
 	}
@@ -421,6 +554,7 @@ func (s *Squirrel) registerLocked(sp *obs.Span, im *corpus.Image, at time.Time) 
 	// local reads, with no compute-node traffic.
 	obj, err := s.sc.WriteObject(im.ID, im.CacheReader())
 	if err != nil {
+		s.commitMu.Unlock()
 		return RegisterReport{}, err
 	}
 	prev := ""
@@ -431,6 +565,7 @@ func (s *Squirrel) registerLocked(sp *obs.Span, im *corpus.Image, at time.Time) 
 	snapName := fmt.Sprintf("cVol@%06d-%s", s.snapSeq, im.ID)
 	// rollback undoes the storage-side half of a failed registration so a
 	// retry starts from clean state instead of duplicate-object errors.
+	// Only valid under commitMu, before any replica saw the snapshot.
 	rollback := func(snapTaken bool) {
 		if snapTaken {
 			s.sc.DeleteSnapshot(snapName)
@@ -440,11 +575,13 @@ func (s *Squirrel) registerLocked(sp *obs.Span, im *corpus.Image, at time.Time) 
 	}
 	if _, err := s.sc.Snapshot(snapName, at); err != nil {
 		rollback(false)
+		s.commitMu.Unlock()
 		return RegisterReport{}, err
 	}
 	stream, err := s.sc.Send(prev, snapName)
 	if err != nil {
 		rollback(true)
+		s.commitMu.Unlock()
 		return RegisterReport{}, err
 	}
 	// Encode once: the wire stream is both the multicast payload and the
@@ -452,7 +589,15 @@ func (s *Squirrel) registerLocked(sp *obs.Span, im *corpus.Image, at time.Time) 
 	var wireBuf bytes.Buffer
 	if _, err := stream.Encode(&wireBuf); err != nil {
 		rollback(true)
+		s.commitMu.Unlock()
 		return RegisterReport{}, err
+	}
+	// A cancellation that lands before anything left the storage node
+	// still rolls back; past this point the commit stands.
+	if err := ctx.Err(); err != nil {
+		rollback(true)
+		s.commitMu.Unlock()
+		return RegisterReport{}, fmt.Errorf("core: register %s: %w", im.ID, err)
 	}
 	wire := wireBuf.Bytes()
 	rep := RegisterReport{
@@ -465,70 +610,230 @@ func (s *Squirrel) registerLocked(sp *obs.Span, im *corpus.Image, at time.Time) 
 	// they lack the previous snapshot, so the incremental stream cannot
 	// apply — SyncNode will catch them up wholesale instead.
 	var dsts []*cluster.Node
+	s.state.RLock()
 	for _, n := range s.cl.Compute {
 		if s.online[n.ID] && !s.lagging[n.ID] {
 			dsts = append(dsts, n)
 		}
 	}
+	s.state.RUnlock()
+	// Per-node FIFO tickets, allocated in commit order: a leg waits for
+	// the previous registration's leg on the same node before applying,
+	// so incremental snapshots land on every replica in snapshot order.
+	type ticket struct{ wait, done chan struct{} }
+	tickets := make([]ticket, len(dsts))
+	for i, d := range dsts {
+		done := make(chan struct{})
+		tickets[i] = ticket{wait: s.applyTail[d.ID], done: done}
+		s.applyTail[d.ID] = done
+	}
+	s.commitMu.Unlock()
+
 	src := s.cl.Storage[0]
 	op := "register:" + snapName
+	// The one-to-many transfer draws every leg's attempt-0 fault verdict
+	// serially in destination order (the only order-sensitive injector
+	// state is the shared crash budget), so the parallel apply phase
+	// below starts from pre-decided outcomes.
 	var deliv []cluster.Delivery
 	switch s.cfg.Propagation {
 	case UnicastFanout:
-		deliv, rep.XferSec = s.cl.UnicastStream(op, src, dsts, wire, s.cfg.Faults)
+		deliv, rep.XferSec = s.cl.UnicastStream(op, src, dsts, wire, inj)
 	case Pipeline:
-		deliv, rep.XferSec = s.cl.PipelineStream(op, src, dsts, wire, s.cfg.Faults)
+		deliv, rep.XferSec = s.cl.PipelineStream(op, src, dsts, wire, inj)
 	default:
-		deliv, rep.XferSec = s.cl.MulticastStream(op, src, dsts, wire, s.cfg.Faults)
+		deliv, rep.XferSec = s.cl.MulticastStream(op, src, dsts, wire, inj)
 	}
-	var synced []string
-	for _, dv := range deliv {
-		dsp := sp.Child(obs.OpPropagate, dv.Node.ID, im.ID)
+	// Pre-create the per-leg propagate spans serially so the span tree's
+	// child order matches destination order regardless of worker timing.
+	dsps := make([]*obs.Span, len(deliv))
+	for i, dv := range deliv {
+		dsps[i] = sp.Child(obs.OpPropagate, dv.Node.ID, im.ID)
+	}
+	legs := make([]legResult, len(deliv))
+
+	// ---- Apply phase (parallel): each leg locks only its own node and
+	// applies the pre-decided delivery. No fault draws happen here, so
+	// scheduling cannot change any outcome.
+	conc.ForEach(len(deliv), s.cfg.Workers, func(i int) {
+		dv, leg, dsp := deliv[i], &legs[i], dsps[i]
+		leg.node = dv.Node
+		if t := tickets[i].wait; t != nil {
+			select {
+			case <-t:
+			case <-ctx.Done():
+				leg.skipped = true
+				close(tickets[i].done)
+				dsp.Annotate("cancelled", 1)
+				dsp.Finish()
+				return
+			}
+		}
+		if ctx.Err() != nil {
+			leg.skipped = true
+			close(tickets[i].done)
+			dsp.Annotate("cancelled", 1)
+			dsp.Finish()
+			return
+		}
+		nl := s.nodeLocks.lock(dv.Node.ID)
 		if !dv.OK() {
-			rep.Faults++
+			leg.faults++
 			dsp.Annotate("fault."+dv.Fault.String(), 1)
 		}
-		if dv.Fault == fault.Crash {
-			s.crashReplica(dv.Node.ID, at, &rep)
-			dsp.Finish()
-			continue
-		}
-		if dv.Fault == fault.Torn {
-			s.tornReplica(op, dv.Node.ID, stream, at, &rep)
-			dsp.Finish()
-			continue
-		}
-		if s.applyDelivery(dsp, dv, stream) {
+		switch {
+		case dv.Fault == fault.Crash:
+			s.crashReplica(dv.Node.ID, at, inj)
+			leg.crashed = true
+		case dv.Fault == fault.Torn:
+			s.tornReplica(op, dv.Node.ID, stream, at, inj)
+			leg.torn = true
+		case s.replicaCaughtUp(dv.Node.ID, snapName):
+			// A concurrent SyncNode already delivered this snapshot
+			// wholesale; the leg's work is done.
+			leg.synced = true
+		case s.applyDelivery(dsp, dv, stream):
 			dsp.AddBytes(int64(len(wire)))
-			rep.Nodes++
-			synced = append(synced, dv.Node.ID)
+			leg.synced = true
+		default:
+			leg.needRepair = true
+		}
+		nl.Unlock()
+		if !leg.needRepair {
+			close(tickets[i].done)
 			dsp.Finish()
+		}
+	})
+
+	// ---- Repair phase (serial, destination order): the NACK retry loop
+	// draws injector verdicts per attempt, and the shared crash budget
+	// makes those draws order-dependent — running them in destination
+	// order keeps chaos runs byte-identical to a serial registration.
+	for i := range legs {
+		leg := &legs[i]
+		if !leg.needRepair {
 			continue
 		}
-		if s.repairReplica(dsp, op, dv.Node, stream, wire, at, &rep) {
-			rep.Nodes++
-			synced = append(synced, dv.Node.ID)
-		} else if s.online[dv.Node.ID] {
-			s.lagging[dv.Node.ID] = true
-			rep.Lagging = append(rep.Lagging, dv.Node.ID)
-			s.cfg.Faults.Counters().Add("repair.lagging", 1)
+		dsp := dsps[i]
+		nl := s.nodeLocks.lock(leg.node.ID)
+		if s.replicaCaughtUp(leg.node.ID, snapName) {
+			leg.synced = true
+		} else if s.repairReplica(dsp, op, leg.node, stream, wire, at, inj, leg) {
+			leg.synced = true
+		} else if s.isOnline(leg.node.ID) {
+			s.markLagging(leg.node.ID)
+			leg.lagging = true
+			inj.Counters().Add("repair.lagging", 1)
 			dsp.Annotate("exhausted", 1)
 		}
+		nl.Unlock()
+		close(tickets[i].done)
 		dsp.Finish()
 	}
+
+	// ---- Merge phase: fold per-leg results into the report in
+	// destination order (the order the old serial loop produced).
+	var synced, cancelled []string
+	for i := range legs {
+		leg := &legs[i]
+		rep.Faults += leg.faults
+		rep.Retries += leg.retries
+		rep.RepairBytes += leg.repairBytes
+		rep.RepairSec += leg.repairSec
+		switch {
+		case leg.synced:
+			rep.Nodes++
+			synced = append(synced, leg.node.ID)
+		case leg.crashed:
+			rep.Crashed = append(rep.Crashed, leg.node.ID)
+		case leg.torn:
+			rep.Torn = append(rep.Torn, leg.node.ID)
+		case leg.lagging:
+			rep.Lagging = append(rep.Lagging, leg.node.ID)
+		case leg.skipped:
+			cancelled = append(cancelled, leg.node.ID)
+		}
+	}
+	s.state.Lock()
 	s.images[im.ID] = im
 	// Replicas that applied the snapshot announce their (updated) holdings
 	// to the peer index — the publish half of the peer block exchange.
 	for _, nodeID := range synced {
 		s.announceHoldingsLocked(nodeID)
 	}
+	// Skipped legs missed the snapshot exactly like an exhausted repair
+	// budget: mark them lagging for SyncNode to heal.
+	for _, nodeID := range cancelled {
+		if s.online[nodeID] {
+			s.lagging[nodeID] = true
+			rep.Lagging = append(rep.Lagging, nodeID)
+		}
+	}
+	s.state.Unlock()
+	if len(cancelled) > 0 {
+		inj.Counters().Add("register.cancelled_legs", int64(len(cancelled)))
+		return rep, fmt.Errorf("core: register %s cancelled mid-propagation: %w", im.ID, ctx.Err())
+	}
 	return rep, nil
+}
+
+// snapSeqOf extracts the monotone commit sequence from a snapshot name
+// ("cVol@%06d-<image>"); 0 when the name has a different shape.
+func snapSeqOf(name string) int {
+	const pfx = "cVol@"
+	if !strings.HasPrefix(name, pfx) || len(name) < len(pfx)+6 {
+		return 0
+	}
+	seq := 0
+	for _, c := range name[len(pfx) : len(pfx)+6] {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		seq = seq*10 + int(c-'0')
+	}
+	return seq
+}
+
+// replicaCaughtUp reports whether a node's replica already covers
+// snapName, so the propagation leg must be skipped: either the replica
+// contains that very snapshot, or it sits at a later one — a concurrent
+// SyncNode sends one cumulative diff straight to the scVolume's head,
+// which subsumes every registration in between. Applying an older
+// incremental on top of a newer head would corrupt the replica's
+// snapshot order, so such legs count as delivered. Never true in a
+// serial run (nothing can overtake the leg), which keeps single-threaded
+// chaos runs byte-identical. Caller holds the node lock.
+func (s *Squirrel) replicaCaughtUp(nodeID, snapName string) bool {
+	ccv := s.ccVolume(nodeID)
+	if ccv == nil {
+		return false
+	}
+	if _, err := ccv.FindSnapshot(snapName); err == nil {
+		return true
+	}
+	latest := ccv.LatestSnapshot()
+	return latest != nil && snapSeqOf(latest.Name) >= snapSeqOf(snapName)
+}
+
+// isOnline reads one node's online flag.
+func (s *Squirrel) isOnline(nodeID string) bool {
+	s.state.RLock()
+	up := s.online[nodeID]
+	s.state.RUnlock()
+	return up
+}
+
+// markLagging flags one node for offline propagation.
+func (s *Squirrel) markLagging(nodeID string) {
+	s.state.Lock()
+	s.lagging[nodeID] = true
+	s.state.Unlock()
 }
 
 // applyDelivery tries to apply one delivery to its replica: an intact
 // delivery applies the already-decoded stream; a damaged one is decoded
 // from its wire bytes, which the stream CRC and Receive's per-block
-// checksums almost always reject.
+// checksums almost always reject. Caller holds the node lock.
 func (s *Squirrel) applyDelivery(parent *obs.Span, dv cluster.Delivery, st *zvol.Stream) bool {
 	rst := st
 	if dv.Fault != fault.None {
@@ -542,7 +847,7 @@ func (s *Squirrel) applyDelivery(parent *obs.Span, dv cluster.Delivery, st *zvol
 		rst = decoded
 	}
 	rsp := parent.Child(obs.OpReceive, dv.Node.ID, "")
-	ok := s.cc[dv.Node.ID].Receive(rst) == nil
+	ok := s.ccVolume(dv.Node.ID).Receive(rst) == nil
 	if ok {
 		rsp.AddBytes(rst.SizeBytes())
 	} else {
@@ -554,13 +859,15 @@ func (s *Squirrel) applyDelivery(parent *obs.Span, dv cluster.Delivery, st *zvol
 
 // crashReplica records a mid-transfer node crash: the node drops offline
 // and is marked lagging so its first boot after recovery heals it.
-func (s *Squirrel) crashReplica(nodeID string, at time.Time, rep *RegisterReport) {
+// Caller holds the node lock.
+func (s *Squirrel) crashReplica(nodeID string, at time.Time, inj *fault.Injector) {
+	s.state.Lock()
 	s.online[nodeID] = false
 	s.lagging[nodeID] = true
 	s.downSince[nodeID] = at
+	s.state.Unlock()
 	s.peers.WithdrawNode(nodeID)
-	rep.Crashed = append(rep.Crashed, nodeID)
-	s.cfg.Faults.Counters().Add("repair.crashed", 1)
+	inj.Counters().Add("repair.crashed", 1)
 }
 
 // tornReplica records a torn apply: the replica received the stream
@@ -568,27 +875,30 @@ func (s *Squirrel) crashReplica(nodeID string, at time.Time, rep *RegisterReport
 // crash offset is a pure function of (seed, op, node), so a chaos run
 // tears the same replicas at the same step every time. The node goes
 // down with its receive journal open; the restart audit (or SyncNode)
-// rolls it back.
-func (s *Squirrel) tornReplica(op, nodeID string, st *zvol.Stream, at time.Time, rep *RegisterReport) {
-	ccv := s.cc[nodeID]
-	ccv.SetReceiveCrashPoint(s.cfg.Faults.TornStep(op, nodeID, st.ApplySteps()))
+// rolls it back. Caller holds the node lock.
+func (s *Squirrel) tornReplica(op, nodeID string, st *zvol.Stream, at time.Time, inj *fault.Injector) {
+	ccv := s.ccVolume(nodeID)
+	ccv.SetReceiveCrashPoint(inj.TornStep(op, nodeID, st.ApplySteps()))
 	_ = ccv.Receive(st) // dies mid-apply: ErrTorn, journal left open
+	s.state.Lock()
 	s.online[nodeID] = false
 	s.lagging[nodeID] = true
 	s.downSince[nodeID] = at
+	s.state.Unlock()
 	s.peers.WithdrawNode(nodeID)
-	rep.Torn = append(rep.Torn, nodeID)
-	s.cfg.Faults.Counters().Add("repair.torn", 1)
+	inj.Counters().Add("repair.torn", 1)
 }
 
 // repairReplica retries one failed replica over unicast with bounded
 // exponential backoff — the NACK path of reliable multicast. Backoff is
 // simulated into the report, never slept. Returns true once the replica
 // holds the snapshot; false when the node crashed or the budget ran out.
-func (s *Squirrel) repairReplica(parent *obs.Span, op string, node *cluster.Node, st *zvol.Stream, wire []byte, at time.Time, rep *RegisterReport) bool {
+// Caller holds the node lock; accounting goes into leg, not the shared
+// report.
+func (s *Squirrel) repairReplica(parent *obs.Span, op string, node *cluster.Node, st *zvol.Stream, wire []byte, at time.Time, inj *fault.Injector, leg *legResult) bool {
 	rsp := parent.Child(obs.OpRepair, node.ID, "")
 	defer rsp.Finish()
-	ccv := s.cc[node.ID]
+	ccv := s.ccVolume(node.ID)
 	pol := s.cfg.Repair
 	if pol.MaxAttempts <= 0 {
 		pol.MaxAttempts = DefaultRepairPolicy().MaxAttempts
@@ -599,23 +909,25 @@ func (s *Squirrel) repairReplica(parent *obs.Span, op string, node *cluster.Node
 	src := s.cl.Storage[0]
 	backoff := pol.Backoff
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
-		rep.Retries++
-		rep.RepairSec += backoff.Seconds()
+		leg.retries++
+		leg.repairSec += backoff.Seconds()
 		rsp.Annotate("attempts", 1)
 		rsp.AddSim(backoff.Seconds())
 		backoff *= 2
-		s.cfg.Faults.Counters().Add("repair.retries", 1)
-		kind, got := s.cfg.Faults.Strike(op, node.ID, attempt, wire)
+		inj.Counters().Add("repair.retries", 1)
+		kind, got := inj.Strike(op, node.ID, attempt, wire)
 		if kind != fault.None {
-			rep.Faults++
+			leg.faults++
 			rsp.Annotate("fault."+kind.String(), 1)
 		}
 		if kind == fault.Crash {
-			s.crashReplica(node.ID, at, rep)
+			s.crashReplica(node.ID, at, inj)
+			leg.crashed = true
 			return false
 		}
 		if kind == fault.Torn {
-			s.tornReplica(op, node.ID, st, at, rep)
+			s.tornReplica(op, node.ID, st, at, inj)
+			leg.torn = true
 			return false
 		}
 		src.Send(int64(len(wire))) // the source retransmits in full
@@ -623,11 +935,11 @@ func (s *Squirrel) repairReplica(parent *obs.Span, op string, node *cluster.Node
 			continue // lost entirely; back off and renack
 		}
 		node.Recv(int64(len(got)))
-		rep.RepairBytes += int64(len(got))
-		rep.RepairSec += s.cl.Fabric.TransferSec(int64(len(got)))
+		leg.repairBytes += int64(len(got))
+		leg.repairSec += s.cl.Fabric.TransferSec(int64(len(got)))
 		rsp.AddBytes(int64(len(got)))
 		rsp.AddSim(s.cl.Fabric.TransferSec(int64(len(got))))
-		s.cfg.Faults.Counters().Add("repair.bytes", int64(len(got)))
+		inj.Counters().Add("repair.bytes", int64(len(got)))
 		rst := st
 		if kind != fault.None {
 			decoded, err := zvol.DecodeStream(bytes.NewReader(got))
@@ -649,15 +961,19 @@ func (s *Squirrel) repairReplica(parent *obs.Span, op string, node *cluster.Node
 // deleted. ccVolumes learn about the removal with the next snapshot
 // (§3.4) — Squirrel deliberately takes no snapshot here.
 func (s *Squirrel) Deregister(id string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.images[id]; !ok {
-		return fmt.Errorf("%w: %s", ErrNotRegistered, id)
+	defer s.imageLocks.lock(id).Unlock()
+	s.state.RLock()
+	_, ok := s.images[id]
+	s.state.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownImage, id)
 	}
 	if err := s.sc.DeleteObject(id); err != nil {
 		return err
 	}
+	s.state.Lock()
 	delete(s.images, id)
+	s.state.Unlock()
 	// Replicas may physically hold the object until the next snapshot
 	// propagates the delete, but a deregistered image is not servable:
 	// withdraw it from the peer index immediately.
@@ -669,18 +985,28 @@ func (s *Squirrel) Deregister(id string) error {
 // ccVolumes, keeping snapshots younger than the retention window plus the
 // latest snapshot. Returns the number of snapshots destroyed.
 func (s *Squirrel) GarbageCollect(now time.Time) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	sp := s.tr.StartOp(obs.OpGC, "", "")
 	window := time.Duration(s.cfg.RetentionDays) * 24 * time.Hour
+	s.commitMu.Lock()
 	n := len(s.sc.GarbageCollect(now, window))
-	for id, v := range s.cc {
+	s.commitMu.Unlock()
+	ids := make([]string, 0, len(s.nodes))
+	for id := range s.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		nl := s.nodeLocks.lock(id)
+		s.state.Lock()
+		v := s.cc[id]
 		n += len(v.GarbageCollect(now, window))
 		// Retention changes what each replica can serve going forward;
 		// reconcile announcements against the live object sets.
 		if s.online[id] {
 			s.announceHoldingsLocked(id)
 		}
+		s.state.Unlock()
+		nl.Unlock()
 	}
 	sp.Annotate("destroyed", int64(n))
 	sp.Finish()
@@ -693,12 +1019,11 @@ func (s *Squirrel) GarbageCollect(now time.Time) int {
 // reclaim replica space) without taking the node offline: the next boot
 // of imageID on nodeID must fetch from a peer or the PFS.
 func (s *Squirrel) DropReplica(nodeID, imageID string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ccv, ok := s.cc[nodeID]
-	if !ok {
+	if _, ok := s.nodes[nodeID]; !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
+	defer s.nodeLocks.lock(nodeID).Unlock()
+	ccv := s.ccVolume(nodeID)
 	if ccv.HasObject(imageID) {
 		if err := ccv.DeleteObject(imageID); err != nil {
 			return err

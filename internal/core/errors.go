@@ -1,0 +1,27 @@
+package core
+
+import "errors"
+
+// Sentinel errors for the public API. Every lookup failure an operation
+// can return wraps one of these, so callers branch with errors.Is
+// instead of matching strings — squirrelctl maps them to distinct exit
+// codes, and tests assert on identity rather than message text.
+var (
+	// ErrUnknownImage is returned when an operation names an image that
+	// was never registered (or has been deregistered).
+	ErrUnknownImage = errors.New("core: unknown image")
+	// ErrRegistered is returned by Register for a duplicate image ID.
+	ErrRegistered = errors.New("core: image already registered")
+	// ErrUnknownNode is returned when an operation names a compute node
+	// the cluster does not have.
+	ErrUnknownNode = errors.New("core: unknown compute node")
+	// ErrNodeOffline is returned when an operation needs a node that is
+	// currently down (crashed or administratively offline).
+	ErrNodeOffline = errors.New("core: compute node offline")
+)
+
+// ErrNotRegistered is the pre-redesign name of ErrUnknownImage, kept as
+// an alias so existing errors.Is checks keep matching.
+//
+// Deprecated: use ErrUnknownImage.
+var ErrNotRegistered = ErrUnknownImage

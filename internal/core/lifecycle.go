@@ -25,9 +25,16 @@
 // checksums fail damaged reads everywhere; on top of that, a node with
 // *known* damage is withdrawn from the peer index entirely until a
 // resilver (or full re-replication) proves it clean.
+//
+// Scrub and resilver serialize per node (the node lock), not per
+// deployment: scrubbing node A never blocks a boot on node B. ScrubAll
+// and ResilverAll walk nodes in sorted order, taking one node lock at a
+// time, and honor context cancellation between nodes (resilver also
+// between blocks).
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -47,15 +54,15 @@ import (
 // (or SyncNode) rolls it back. Whether the node comes back lagging is
 // decided by the restart audit, not here.
 func (s *Squirrel) CrashNode(nodeID string, at time.Time) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.cc[nodeID]; !ok {
+	if _, ok := s.nodes[nodeID]; !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
+	s.state.Lock()
 	s.online[nodeID] = false
 	s.downSince[nodeID] = at
+	s.state.Unlock()
 	s.peers.WithdrawNode(nodeID)
-	s.cfg.Faults.Counters().Add("life.crash", 1)
+	s.injector().Counters().Add("life.crash", 1)
 	return nil
 }
 
@@ -86,26 +93,29 @@ type RecoveryReport struct {
 // marks it lagging. A clean, current node re-announces its holdings and
 // is immediately eligible to serve peers again.
 func (s *Squirrel) RestartNode(nodeID string, at time.Time) (RecoveryReport, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ccv, ok := s.cc[nodeID]
-	if !ok {
+	if _, ok := s.nodes[nodeID]; !ok {
 		return RecoveryReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
+	defer s.nodeLocks.lock(nodeID).Unlock()
+	ccv := s.ccVolume(nodeID)
+	inj := s.injector()
 	sp := s.tr.StartOp(obs.OpRestart, nodeID, "")
 	defer sp.Finish()
 	rep := RecoveryReport{NodeID: nodeID}
+	s.state.RLock()
 	if down, ok := s.downSince[nodeID]; ok && at.After(down) {
 		rep.Downtime = at.Sub(down)
 	}
+	s.state.RUnlock()
 	if rr := ccv.Recover(); rr.RolledBack {
 		rep.RolledBack = true
 		rep.RolledBackSnap = rr.Snapshot
-		s.lagging[nodeID] = true
-		s.cfg.Faults.Counters().Add("recover.rollback", 1)
+		s.markLagging(nodeID)
+		inj.Counters().Add("recover.rollback", 1)
 		sp.Annotate("rolled_back", 1)
 	}
-	rep.Scrub = s.scrubLocked(sp, nodeID, at)
+	rep.Scrub = s.scrubGuarded(sp, nodeID, at)
+	s.state.Lock()
 	rep.Damaged = len(s.damaged[nodeID])
 	// Staleness check: missed registrations while down mean SyncNode.
 	if latest := s.sc.LatestSnapshot(); latest != nil {
@@ -121,7 +131,8 @@ func (s *Squirrel) RestartNode(nodeID string, at time.Time) (RecoveryReport, err
 	s.online[nodeID] = true
 	delete(s.downSince, nodeID)
 	s.announceHoldingsLocked(nodeID) // no-op withdrawal if damaged
-	s.cfg.Faults.Counters().Add("life.restart", 1)
+	s.state.Unlock()
+	inj.Counters().Add("life.restart", 1)
 	return rep, nil
 }
 
@@ -134,13 +145,12 @@ func (s *Squirrel) RestartNode(nodeID string, at time.Time) (RecoveryReport, err
 // refs of the blocks rotted (a scrub must report at least these; dedup
 // aliases of a rotted payload surface additionally).
 func (s *Squirrel) InjectRot(nodeID string) ([]zvol.BlockRef, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ccv, ok := s.cc[nodeID]
-	if !ok {
+	if _, ok := s.nodes[nodeID]; !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
-	inj := s.cfg.Faults
+	defer s.nodeLocks.lock(nodeID).Unlock()
+	ccv := s.ccVolume(nodeID)
+	inj := s.injector()
 	var rotted []zvol.BlockRef
 	for _, obj := range ccv.Objects() {
 		infos, err := ccv.BlockInfos(obj)
@@ -164,42 +174,51 @@ func (s *Squirrel) InjectRot(nodeID string) ([]zvol.BlockRef, error) {
 // ScrubNode runs an integrity pass over one node's replica at time at.
 // Damage is quarantined in the deployment's damage set and the node is
 // withdrawn from the peer index until a resilver clears it.
-func (s *Squirrel) ScrubNode(nodeID string, at time.Time) (zvol.ScrubReport, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.cc[nodeID]; !ok {
+func (s *Squirrel) ScrubNode(ctx context.Context, nodeID string, at time.Time) (zvol.ScrubReport, error) {
+	ctx = reqCtx(ctx)
+	if err := ctx.Err(); err != nil {
+		return zvol.ScrubReport{}, fmt.Errorf("core: scrub %s: %w", nodeID, err)
+	}
+	if _, ok := s.nodes[nodeID]; !ok {
 		return zvol.ScrubReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
-	return s.scrubLocked(nil, nodeID, at), nil
+	defer s.nodeLocks.lock(nodeID).Unlock()
+	return s.scrubGuarded(nil, nodeID, at), nil
 }
 
-// ScrubAll scrubs every compute node (the nightly cron pass), returning
-// reports keyed by node ID.
-func (s *Squirrel) ScrubAll(at time.Time) map[string]zvol.ScrubReport {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]zvol.ScrubReport, len(s.cc))
-	for id := range s.cc {
-		out[id] = s.scrubLocked(nil, id, at)
+// ScrubAll scrubs every compute node (the nightly cron pass) in sorted
+// node order, returning reports keyed by node ID. Cancellation between
+// nodes returns the partial map alongside the context error.
+func (s *Squirrel) ScrubAll(ctx context.Context, at time.Time) (map[string]zvol.ScrubReport, error) {
+	ctx = reqCtx(ctx)
+	ids := make([]string, 0, len(s.nodes))
+	for id := range s.nodes {
+		ids = append(ids, id)
 	}
-	return out
+	sort.Strings(ids)
+	out := make(map[string]zvol.ScrubReport, len(ids))
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("core: scrub pass: %w", err)
+		}
+		nl := s.nodeLocks.lock(id)
+		out[id] = s.scrubGuarded(nil, id, at)
+		nl.Unlock()
+	}
+	return out, nil
 }
 
-// scrubLocked scrubs one replica, updates the damage set, and keeps the
+// scrubGuarded scrubs one replica, updates the damage set, and keeps the
 // peer index honest. The span roots when parent is nil (a direct or
 // cron scrub) and nests otherwise (restart audit, resilver rescrub).
-// Caller holds s.mu.
-func (s *Squirrel) scrubLocked(parent *obs.Span, nodeID string, at time.Time) zvol.ScrubReport {
+// Caller holds the node lock.
+func (s *Squirrel) scrubGuarded(parent *obs.Span, nodeID string, at time.Time) zvol.ScrubReport {
 	sp := s.tr.Op(parent, obs.OpScrub, nodeID, "")
-	rep := s.cc[nodeID].Scrub()
+	rep := s.ccVolume(nodeID).Scrub()
+	s.state.Lock()
 	if !at.IsZero() {
 		s.lastScrub[nodeID] = at
 	}
-	ctr := s.cfg.Faults.Counters()
-	ctr.Add("scrub.runs", 1)
-	ctr.Add("scrub.blocks", int64(rep.Blocks))
-	ctr.Add("scrub.corrupt", int64(rep.CorruptBlocks))
-	ctr.Add("scrub.missing", int64(rep.MissingBlocks))
 	if rep.Clean() {
 		delete(s.damaged, nodeID)
 	} else {
@@ -207,6 +226,12 @@ func (s *Squirrel) scrubLocked(parent *obs.Span, nodeID string, at time.Time) zv
 		// A rotten node must not serve peers until resilvered.
 		s.peers.WithdrawNode(nodeID)
 	}
+	s.state.Unlock()
+	ctr := s.injector().Counters()
+	ctr.Add("scrub.runs", 1)
+	ctr.Add("scrub.blocks", int64(rep.Blocks))
+	ctr.Add("scrub.corrupt", int64(rep.CorruptBlocks))
+	ctr.Add("scrub.missing", int64(rep.MissingBlocks))
 	sp.AddBytes(int64(rep.Blocks) * int64(s.cfg.Volume.BlockSize))
 	sp.Annotate("blocks", int64(rep.Blocks))
 	if n := rep.CorruptBlocks + rep.MissingBlocks; n > 0 {
@@ -242,29 +267,42 @@ type ResilverReport struct {
 // Each repair is checksum-verified before it is written — RepairBlock
 // rejects a payload that does not hash to the block pointer — and a
 // closing scrub decides whether the node is clean enough to re-announce
-// to the peer index.
-func (s *Squirrel) ResilverNode(nodeID string, at time.Time) (ResilverReport, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.cc[nodeID]; !ok {
+// to the peer index. Cancellation between blocks stops the pass; the
+// blocks already repaired stay repaired and the rest stay quarantined.
+func (s *Squirrel) ResilverNode(ctx context.Context, nodeID string, at time.Time) (ResilverReport, error) {
+	ctx = reqCtx(ctx)
+	if err := ctx.Err(); err != nil {
+		return ResilverReport{}, fmt.Errorf("core: resilver %s: %w", nodeID, err)
+	}
+	if _, ok := s.nodes[nodeID]; !ok {
 		return ResilverReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
-	return s.resilverLocked(nil, nodeID, at)
+	defer s.nodeLocks.lock(nodeID).Unlock()
+	return s.resilverCtx(ctx, nil, nodeID, at)
 }
 
 // ResilverAll resilvers every node with a non-empty damage set (the
 // background repair pass that follows a scrub cycle), in node order.
-func (s *Squirrel) ResilverAll(at time.Time) ([]ResilverReport, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *Squirrel) ResilverAll(ctx context.Context, at time.Time) ([]ResilverReport, error) {
+	ctx = reqCtx(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: resilver pass: %w", err)
+	}
+	s.state.RLock()
 	ids := make([]string, 0, len(s.damaged))
 	for id := range s.damaged {
 		ids = append(ids, id)
 	}
+	s.state.RUnlock()
 	sort.Strings(ids)
 	out := make([]ResilverReport, 0, len(ids))
 	for _, id := range ids {
-		rep, err := s.resilverLocked(nil, id, at)
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("core: resilver pass: %w", err)
+		}
+		nl := s.nodeLocks.lock(id)
+		rep, err := s.resilverCtx(ctx, nil, id, at)
+		nl.Unlock()
 		if err != nil {
 			return out, err
 		}
@@ -273,12 +311,12 @@ func (s *Squirrel) ResilverAll(at time.Time) ([]ResilverReport, error) {
 	return out, nil
 }
 
-// resilverLocked wraps the resilver body in a span: a root "resilver"
+// resilverCtx wraps the resilver body in a span: a root "resilver"
 // when run directly or by the background pass, a child of the boot that
-// triggered it otherwise. Caller holds s.mu.
-func (s *Squirrel) resilverLocked(parent *obs.Span, nodeID string, at time.Time) (ResilverReport, error) {
+// triggered it otherwise. Caller holds the node lock.
+func (s *Squirrel) resilverCtx(ctx context.Context, parent *obs.Span, nodeID string, at time.Time) (ResilverReport, error) {
 	sp := s.tr.Op(parent, obs.OpResilver, nodeID, "")
-	rep, err := s.resilver(sp, nodeID, at)
+	rep, err := s.resilver(ctx, sp, nodeID, at)
 	sp.AddBytes(rep.PeerBytes + rep.PFSBytes)
 	sp.AddSim(rep.XferSec)
 	if rep.Repaired > 0 {
@@ -298,26 +336,36 @@ func (s *Squirrel) resilverLocked(parent *obs.Span, nodeID string, at time.Time)
 	return rep, err
 }
 
-func (s *Squirrel) resilver(sp *obs.Span, nodeID string, at time.Time) (ResilverReport, error) {
-	ccv := s.cc[nodeID]
+// resilverGuarded is resilverCtx with a background context, for the
+// boot-path heal. Caller holds the node lock.
+func (s *Squirrel) resilverGuarded(parent *obs.Span, nodeID string, at time.Time) (ResilverReport, error) {
+	return s.resilverCtx(context.Background(), parent, nodeID, at)
+}
+
+func (s *Squirrel) resilver(ctx context.Context, sp *obs.Span, nodeID string, at time.Time) (ResilverReport, error) {
+	ccv := s.ccVolume(nodeID)
 	node, err := s.computeNode(nodeID)
 	if err != nil {
 		return ResilverReport{}, err
 	}
+	inj := s.injector()
 	// A torn journal would make block indexes ambiguous; roll back first.
 	if ccv.NeedsRecovery() {
 		ccv.Recover()
-		s.lagging[nodeID] = true
-		s.cfg.Faults.Counters().Add("recover.rollback", 1)
+		s.markLagging(nodeID)
+		inj.Counters().Add("recover.rollback", 1)
 	}
 	// Rescrub for the authoritative damage list (the quarantined set may
 	// predate deletes, GC, or a partial earlier resilver).
-	scrub := s.scrubLocked(sp, nodeID, at)
+	scrub := s.scrubGuarded(sp, nodeID, at)
 	rep := ResilverReport{NodeID: nodeID, Blocks: len(scrub.Damaged)}
-	ctr := s.cfg.Faults.Counters()
+	ctr := inj.Counters()
 	seq := 0
 	for _, ref := range scrub.Damaged {
-		data, viaPeer := s.fetchTrueBlock(nodeID, node, ccv, ref, &seq, &rep)
+		if err := ctx.Err(); err != nil {
+			return rep, fmt.Errorf("core: resilver %s: %w", nodeID, err)
+		}
+		data, viaPeer := s.fetchTrueBlock(nodeID, node, ccv, ref, inj, &seq, &rep)
 		if data == nil {
 			rep.Failed++
 			ctr.Add("resilver.failed", 1)
@@ -343,30 +391,36 @@ func (s *Squirrel) resilver(sp *obs.Span, nodeID string, at time.Time) (Resilver
 		}
 	}
 	// Closing scrub: only a spotless replica rejoins the peer exchange.
-	closing := s.scrubLocked(sp, nodeID, at)
+	closing := s.scrubGuarded(sp, nodeID, at)
 	rep.Clean = closing.Clean()
-	if rep.Clean && s.online[nodeID] {
-		s.announceHoldingsLocked(nodeID)
+	if rep.Clean {
+		s.state.Lock()
+		if s.online[nodeID] {
+			s.announceHoldingsLocked(nodeID)
+		}
+		s.state.Unlock()
 	}
 	return rep, nil
 }
 
 // fetchTrueBlock obtains the verified content of one damaged block,
 // trying healthy peer replicas first and the PFS second. Returns nil
-// when no source could produce verified bytes. Caller holds s.mu.
+// when no source could produce verified bytes. Caller holds the target
+// node's lock; source replicas are read through their internally locked
+// volumes (read-time checksums make a concurrent writer harmless).
 func (s *Squirrel) fetchTrueBlock(nodeID string, node *cluster.Node, ccv *zvol.Volume,
-	ref zvol.BlockRef, seq *int, rep *ResilverReport) (data []byte, viaPeer bool) {
+	ref zvol.BlockRef, inj *fault.Injector, seq *int, rep *ResilverReport) (data []byte, viaPeer bool) {
 	op := "resilver:" + ref.Object + ":" + nodeID
 	// Peer ladder: sorted holders, minus self, offline, lagging, and
 	// damaged nodes. The source read is checksum-verified on the source
 	// volume, so a latently rotten peer fails the read instead of
 	// donating rot.
 	for _, id := range s.peers.Holders(ref.Object) {
-		if id == nodeID || !s.online[id] || s.lagging[id] || len(s.damaged[id]) > 0 {
-			continue
-		}
+		s.state.RLock()
+		bad := id == nodeID || !s.online[id] || s.lagging[id] || len(s.damaged[id]) > 0
 		srcv := s.cc[id]
-		if srcv == nil || !srcv.HasObject(ref.Object) {
+		s.state.RUnlock()
+		if bad || srcv == nil || !srcv.HasObject(ref.Object) {
 			continue
 		}
 		good, _, _, err := srcv.ReadBlock(ref.Object, ref.Index)
@@ -374,16 +428,18 @@ func (s *Squirrel) fetchTrueBlock(nodeID string, node *cluster.Node, ccv *zvol.V
 			continue // rotten or missing on the peer too
 		}
 		*seq++
-		kind, got := s.cfg.Faults.Strike(op, id, *seq, good)
+		kind, got := inj.Strike(op, id, *seq, good)
 		srcNode, err := s.computeNode(id)
 		if err != nil {
 			continue
 		}
 		if kind == fault.Crash || kind == fault.Torn {
+			s.state.Lock()
 			s.online[id] = false
 			s.lagging[id] = true
+			s.state.Unlock()
 			s.peers.WithdrawNode(id)
-			s.cfg.Faults.Counters().Add("repair.crashed", 1)
+			inj.Counters().Add("repair.crashed", 1)
 			continue
 		}
 		if len(got) > 0 {
@@ -398,7 +454,9 @@ func (s *Squirrel) fetchTrueBlock(nodeID string, node *cluster.Node, ccv *zvol.V
 	}
 	// PFS fallback: map the block's cache-object range back to image
 	// offsets through the cache-extent layout and read the base VMI.
+	s.state.RLock()
 	im := s.images[ref.Object]
+	s.state.RUnlock()
 	if im == nil {
 		return nil, false // deregistered while quarantined: unrepairable
 	}
@@ -469,8 +527,8 @@ type NodeStatus struct {
 // Health reports per-node lifecycle state, sorted by node ID — what
 // `squirrelctl -health` prints and what the chaos soak asserts on.
 func (s *Squirrel) Health() []NodeStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.state.RLock()
+	defer s.state.RUnlock()
 	out := make([]NodeStatus, 0, len(s.cc))
 	for id, v := range s.cc {
 		st := NodeStatus{

@@ -64,7 +64,7 @@ func nodeStatus(t *testing.T, sq *Squirrel, nodeID string) NodeStatus {
 func TestCrashRestartLifecycle(t *testing.T) {
 	sq, _, repo, _ := lifecycleDeployment(t, 3, fault.Plan{Seed: 1})
 	for i := 0; i < 2; i++ {
-		if _, err := sq.Register(repo.Images[i], day(i)); err != nil {
+		if _, err := sq.RegisterImage(repo.Images[i], day(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -75,11 +75,11 @@ func TestCrashRestartLifecycle(t *testing.T) {
 	if st.State != StateDown || !st.Withdrawn || st.DownSince != day(2) {
 		t.Fatalf("crashed node health: %+v", st)
 	}
-	if _, err := sq.Boot(repo.Images[0].ID, "node01", false); !errors.Is(err, ErrNodeOffline) {
+	if _, err := sq.BootImage(repo.Images[0].ID, "node01", false); !errors.Is(err, ErrNodeOffline) {
 		t.Fatalf("crashed node accepted a boot: %v", err)
 	}
 	// A registration while the node is down skips it entirely.
-	rep, err := sq.Register(repo.Images[2], day(2))
+	rep, err := sq.RegisterImage(repo.Images[2], day(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestCrashRestartLifecycle(t *testing.T) {
 		t.Fatalf("restarted node health: %+v", st)
 	}
 	// First boot heals, as for any lagging node.
-	br, err := sq.Boot(repo.Images[2].ID, "node01", true)
+	br, err := sq.BootImage(repo.Images[2].ID, "node01", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestTornRegistrationRollsBackOnRestart(t *testing.T) {
 	// Bring the deployment up clean, then make the fabric tear exactly one
 	// apply (Torn shares the crash budget).
 	sq, _, repo, _ := lifecycleDeployment(t, 3, fault.Plan{Seed: 4})
-	if _, err := sq.Register(repo.Images[0], day(0)); err != nil {
+	if _, err := sq.RegisterImage(repo.Images[0], day(0)); err != nil {
 		t.Fatal(err)
 	}
 	firstSnap := sq.SCVolume().LatestSnapshot().Name
@@ -129,7 +129,7 @@ func TestTornRegistrationRollsBackOnRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	sq.SetFaults(hostile)
-	rep, err := sq.Register(repo.Images[1], day(1))
+	rep, err := sq.RegisterImage(repo.Images[1], day(1))
 	if err != nil {
 		t.Fatalf("torn replicas must not fail the registration: %v", err)
 	}
@@ -165,7 +165,7 @@ func TestTornRegistrationRollsBackOnRestart(t *testing.T) {
 	}
 	// Healing delivers the registration it missed; the boot verifies every
 	// byte end to end.
-	br, err := sq.Boot(repo.Images[1].ID, torn, true)
+	br, err := sq.BootImage(repo.Images[1].ID, torn, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestInjectRotIsDeterministicAndScrubDetectsAll(t *testing.T) {
 	mk := func() (*Squirrel, []zvol.BlockRef) {
 		sq, _, repo, _ := lifecycleDeployment(t, 3, plan)
 		for i := 0; i < 3; i++ {
-			if _, err := sq.Register(repo.Images[i], day(i)); err != nil {
+			if _, err := sq.RegisterImage(repo.Images[i], day(i)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -205,7 +205,7 @@ func TestInjectRotIsDeterministicAndScrubDetectsAll(t *testing.T) {
 	}
 	// 100% detection: the scrub reports every injected ref (dedup aliases
 	// of a rotted payload may appear in addition).
-	rep, err := sq.ScrubNode("node01", day(4))
+	rep, err := sq.ScrubNode(bg, "node01", day(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestInjectRotIsDeterministicAndScrubDetectsAll(t *testing.T) {
 func TestResilverPrefersPeersOverPFS(t *testing.T) {
 	sq, cl, repo, _ := lifecycleDeployment(t, 4, fault.Plan{Seed: 7, Rot: 0.4})
 	im := repo.Images[0]
-	if _, err := sq.Register(im, day(0)); err != nil {
+	if _, err := sq.RegisterImage(im, day(0)); err != nil {
 		t.Fatal(err)
 	}
 	refs, err := sq.InjectRot("node02")
@@ -249,7 +249,7 @@ func TestResilverPrefersPeersOverPFS(t *testing.T) {
 		t.Fatal("rot plan injected nothing")
 	}
 	pfsTx := storageTx(cl)
-	rep, err := sq.ResilverNode("node02", day(1))
+	rep, err := sq.ResilverNode(bg, "node02", day(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +268,7 @@ func TestResilverPrefersPeersOverPFS(t *testing.T) {
 	if !sq.PeerIndex().Holds(im.ID, "node02") {
 		t.Fatal("clean node not re-announced")
 	}
-	br, err := sq.Boot(im.ID, "node02", true)
+	br, err := sq.BootImage(im.ID, "node02", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +283,7 @@ func TestResilverFallsBackToPFSWhenNoHealthyPeer(t *testing.T) {
 	// peer again and must prefer it.
 	sq, _, repo, _ := lifecycleDeployment(t, 2, fault.Plan{Seed: 11, Rot: 0.6})
 	im := repo.Images[0]
-	if _, err := sq.Register(im, day(0)); err != nil {
+	if _, err := sq.RegisterImage(im, day(0)); err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range []string{"node00", "node01"} {
@@ -294,18 +294,18 @@ func TestResilverFallsBackToPFSWhenNoHealthyPeer(t *testing.T) {
 		if len(refs) == 0 {
 			t.Fatalf("rot plan injected nothing on %s", n)
 		}
-		if _, err := sq.ScrubNode(n, day(1)); err != nil {
+		if _, err := sq.ScrubNode(bg, n, day(1)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	rep0, err := sq.ResilverNode("node00", day(1))
+	rep0, err := sq.ResilverNode(bg, "node00", day(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !rep0.Clean || rep0.PeerBlocks != 0 || rep0.PFSBlocks != rep0.Repaired || rep0.Repaired == 0 {
 		t.Fatalf("with every peer damaged the PFS must repair: %+v", rep0)
 	}
-	rep1, err := sq.ResilverNode("node01", day(1))
+	rep1, err := sq.ResilverNode(bg, "node01", day(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +323,7 @@ func TestRottenPeerNeverServesBadBytes(t *testing.T) {
 	// verified boot proves not one corrupt byte reached the VM.
 	sq, _, repo, _ := lifecycleDeployment(t, 2, fault.Plan{Seed: 13, Rot: 0.5})
 	im := repo.Images[0]
-	if _, err := sq.Register(im, day(0)); err != nil {
+	if _, err := sq.RegisterImage(im, day(0)); err != nil {
 		t.Fatal(err)
 	}
 	refs, err := sq.InjectRot("node01")
@@ -339,7 +339,7 @@ func TestRottenPeerNeverServesBadBytes(t *testing.T) {
 	if !sq.PeerIndex().Holds(im.ID, "node01") {
 		t.Fatal("latent rot must not be withdrawn yet (nothing detected it)")
 	}
-	br, err := sq.Boot(im.ID, "node00", true)
+	br, err := sq.BootImage(im.ID, "node00", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +357,7 @@ func TestRottenPeerNeverServesBadBytes(t *testing.T) {
 func TestBootAutoResilversDamagedNode(t *testing.T) {
 	sq, _, repo, _ := lifecycleDeployment(t, 3, fault.Plan{Seed: 17, Rot: 0.4})
 	im := repo.Images[0]
-	if _, err := sq.Register(im, day(0)); err != nil {
+	if _, err := sq.RegisterImage(im, day(0)); err != nil {
 		t.Fatal(err)
 	}
 	refs, err := sq.InjectRot("node01")
@@ -367,10 +367,10 @@ func TestBootAutoResilversDamagedNode(t *testing.T) {
 	if len(refs) == 0 {
 		t.Fatal("rot plan injected nothing")
 	}
-	if _, err := sq.ScrubNode("node01", day(1)); err != nil {
+	if _, err := sq.ScrubNode(bg, "node01", day(1)); err != nil {
 		t.Fatal(err)
 	}
-	br, err := sq.Boot(im.ID, "node01", true)
+	br, err := sq.BootImage(im.ID, "node01", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,7 +408,7 @@ func TestLifecycleChaosSoak(t *testing.T) {
 
 	const regs = 8
 	for i := 0; i < regs; i++ {
-		if _, err := sq.Register(repo.Images[i], day(i)); err != nil {
+		if _, err := sq.RegisterImage(repo.Images[i], day(i)); err != nil {
 			t.Fatalf("seed %d: registration %d failed: %v", seed, i, err)
 		}
 	}
@@ -429,7 +429,10 @@ func TestLifecycleChaosSoak(t *testing.T) {
 			}
 		}
 	}
-	scrubs := sq.ScrubAll(day(regs))
+	scrubs, err := sq.ScrubAll(bg, day(regs))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, n := range cl.Compute {
 		found := map[zvol.BlockRef]bool{}
 		for _, r := range scrubs[n.ID].Damaged {
@@ -441,7 +444,7 @@ func TestLifecycleChaosSoak(t *testing.T) {
 			}
 		}
 	}
-	if _, err := sq.ResilverAll(day(regs)); err != nil {
+	if _, err := sq.ResilverAll(bg, day(regs)); err != nil {
 		t.Fatal(err)
 	}
 	// Verified boots everywhere, restarting any node a leftover fault
@@ -456,7 +459,7 @@ func TestLifecycleChaosSoak(t *testing.T) {
 			}
 		}
 		for _, n := range cl.Compute {
-			if _, err := sq.Boot(latest.ID, n.ID, true); err != nil {
+			if _, err := sq.BootImage(latest.ID, n.ID, true); err != nil {
 				t.Fatalf("seed %d: verified boot on %s: %v", seed, n.ID, err)
 			}
 		}

@@ -1,0 +1,50 @@
+package core
+
+import "sync"
+
+// keyLocks is a lazily populated set of per-key mutexes — the lock
+// shards that replaced the old deployment-wide Squirrel mutex. One
+// instance holds the per-image locks, another the per-node locks, so
+// operations on distinct images or distinct nodes never serialize
+// against each other.
+//
+// Deployment-wide lock order (outermost first); any prefix may be
+// skipped, but locks are never taken against this order:
+//
+//	image lock → commitMu → node lock → state → leaf locks
+//
+// where "leaf locks" are the internally locked subsystems (zvol.Volume,
+// peer.Index, metrics, NIC atomics) that never call back into core.
+// Operations hold at most one image lock and one node lock at a time;
+// multi-node passes (ScrubAll, GC, resilver's peer ladder) take node
+// locks sequentially, never nested.
+type keyLocks struct {
+	mu sync.Mutex
+	m  map[string]*sync.Mutex
+}
+
+func newKeyLocks() *keyLocks {
+	return &keyLocks{m: make(map[string]*sync.Mutex)}
+}
+
+// get returns the mutex for key, creating it on first use. Keys are
+// image IDs or node IDs, both small closed sets per deployment, so the
+// map only grows to cluster size and entries are never evicted.
+func (k *keyLocks) get(key string) *sync.Mutex {
+	k.mu.Lock()
+	l, ok := k.m[key]
+	if !ok {
+		l = &sync.Mutex{}
+		k.m[key] = l
+	}
+	k.mu.Unlock()
+	return l
+}
+
+// lock acquires and returns the per-key mutex so callers can write
+// `defer s.nodeLocks.lock(id).Unlock()`.
+func (k *keyLocks) lock(key string) *sync.Mutex {
+	l := k.get(key)
+	l.Lock()
+	return l
+}

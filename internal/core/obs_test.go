@@ -58,14 +58,14 @@ func TestTraceColdBootPeerExchange(t *testing.T) {
 	sq, cl, repo, _ := lifecycleDeployment(t, 6, fault.Plan{Seed: 1})
 	tel := sq.Telemetry()
 	im := repo.Images[0]
-	if _, err := sq.Register(im, day(0)); err != nil {
+	if _, err := sq.RegisterImage(im, day(0)); err != nil {
 		t.Fatal(err)
 	}
 	cold := cl.Compute[len(cl.Compute)-1].ID
 	if err := sq.DropReplica(cold, im.ID); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sq.Boot(im.ID, cold, true)
+	rep, err := sq.BootImage(im.ID, cold, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func runLifecycleScript(t *testing.T, sq *Squirrel, cl *cluster.Cluster, repo *c
 	res := scriptResult{Rot: map[string][]zvol.BlockRef{}}
 	const regs = 4
 	for i := 0; i < regs; i++ {
-		rep, err := sq.Register(repo.Images[i], day(i))
+		rep, err := sq.RegisterImage(repo.Images[i], day(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,8 +171,12 @@ func runLifecycleScript(t *testing.T, sq *Squirrel, cl *cluster.Cluster, repo *c
 			res.Restarts = append(res.Restarts, rep)
 		}
 	}
-	res.Scrubs = sq.ScrubAll(day(regs))
-	rs, err := sq.ResilverAll(day(regs))
+	scrubs, err := sq.ScrubAll(bg, day(regs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Scrubs = scrubs
+	rs, err := sq.ResilverAll(bg, day(regs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +186,7 @@ func runLifecycleScript(t *testing.T, sq *Squirrel, cl *cluster.Cluster, repo *c
 		if !st.Online {
 			continue
 		}
-		rep, err := sq.Boot(latest.ID, st.NodeID, true)
+		rep, err := sq.BootImage(latest.ID, st.NodeID, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -226,7 +230,7 @@ func TestTelemetrySnapshotRace(t *testing.T) {
 	tel := sq.Telemetry()
 	// Seed a couple of images so boots have something to read.
 	for i := 0; i < 2; i++ {
-		if _, err := sq.Register(repo.Images[i], day(i)); err != nil {
+		if _, err := sq.RegisterImage(repo.Images[i], day(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -255,21 +259,21 @@ func TestTelemetrySnapshotRace(t *testing.T) {
 	go func() {
 		defer work.Done()
 		for i := 2; i < 6; i++ {
-			_, _ = sq.Register(repo.Images[i], day(i))
+			_, _ = sq.RegisterImage(repo.Images[i], day(i))
 		}
 	}()
 	go func() {
 		defer work.Done()
 		for round := 0; round < 3; round++ {
 			for _, n := range cl.Compute {
-				_, _ = sq.Boot(repo.Images[0].ID, n.ID, false)
+				_, _ = sq.BootImage(repo.Images[0].ID, n.ID, false)
 			}
 		}
 	}()
 	go func() {
 		defer work.Done()
 		for round := 0; round < 3; round++ {
-			sq.ScrubAll(day(7).Add(time.Duration(round) * time.Hour))
+			sq.ScrubAll(bg, day(7).Add(time.Duration(round)*time.Hour))
 		}
 	}()
 	work.Wait()

@@ -38,9 +38,7 @@ type peerFetcher struct {
 }
 
 func (s *Squirrel) newPeerFetcher(im *corpus.Image, node *cluster.Node) *peerFetcher {
-	s.mu.Lock()
-	inj := s.cfg.Faults
-	s.mu.Unlock()
+	inj := s.injector()
 	return &peerFetcher{
 		s:        s,
 		imageID:  im.ID,
@@ -99,12 +97,12 @@ func (f *peerFetcher) fetch(dst []byte, base int64) bool {
 
 // acquire reserves a serve slot on the best eligible holder. Deployment
 // eligibility (online, not lagging, replica actually present) is
-// snapshotted under s.mu first; the index is then consulted without s.mu
-// held, keeping lock order one-way (s.mu before index locks, never the
-// reverse).
+// snapshotted under the state read-lock first; the index is then
+// consulted without core locks held, keeping lock order one-way (state
+// before index locks, never the reverse).
 func (f *peerFetcher) acquire(tried map[string]bool) (string, func(int64), bool, bool) {
 	s := f.s
-	s.mu.Lock()
+	s.state.RLock()
 	eligible := make(map[string]bool)
 	for _, id := range s.peers.Holders(f.imageID) {
 		if tried[id] || id == f.bootNode.ID || !s.online[id] || s.lagging[id] ||
@@ -115,7 +113,7 @@ func (f *peerFetcher) acquire(tried map[string]bool) (string, func(int64), bool,
 			eligible[id] = true
 		}
 	}
-	s.mu.Unlock()
+	s.state.RUnlock()
 	return s.peers.Acquire(f.imageID, f.policy.MaxServeSlots,
 		func(id string) bool { return !eligible[id] })
 }
@@ -152,10 +150,10 @@ func (f *peerFetcher) transfer(src string, dst []byte, base int64, release func(
 		// The source dies mid-serve (for a one-way peer read a torn apply
 		// and a plain crash are the same event): it drops offline, its
 		// announcements are withdrawn, and its next boot heals it.
-		s.mu.Lock()
+		s.state.Lock()
 		s.online[src] = false
 		s.lagging[src] = true
-		s.mu.Unlock()
+		s.state.Unlock()
 		s.peers.WithdrawNode(src)
 		ctr.Add("peer.crash", 1)
 		return done(0, false)
@@ -179,10 +177,7 @@ func (f *peerFetcher) transfer(src string, dst []byte, base int64, release func(
 func (f *peerFetcher) sourceRange(src string, base, n int64) ([]byte, error) {
 	data, ok := f.data[src]
 	if !ok {
-		s := f.s
-		s.mu.Lock()
-		ccv := s.cc[src]
-		s.mu.Unlock()
+		ccv := f.s.ccVolume(src)
 		if ccv == nil {
 			return nil, ErrUnknownNode
 		}

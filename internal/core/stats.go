@@ -41,8 +41,8 @@ type DeploymentStats struct {
 
 // Stats computes current deployment-wide statistics.
 func (s *Squirrel) Stats() DeploymentStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.state.RLock()
+	defer s.state.RUnlock()
 	ds := DeploymentStats{
 		RegisteredImages: len(s.images),
 		ComputeNodes:     len(s.cc),

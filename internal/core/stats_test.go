@@ -14,11 +14,11 @@ func TestDeploymentStats(t *testing.T) {
 		t.Fatalf("no snapshots yet, nobody stale: %+v", ds)
 	}
 
-	if _, err := sq.Register(repo.Images[0], day(0)); err != nil {
+	if _, err := sq.RegisterImage(repo.Images[0], day(0)); err != nil {
 		t.Fatal(err)
 	}
 	sq.SetOnline("node02", false)
-	if _, err := sq.Register(repo.Images[1], day(1)); err != nil {
+	if _, err := sq.RegisterImage(repo.Images[1], day(1)); err != nil {
 		t.Fatal(err)
 	}
 	sq.SetOnline("node02", true)
@@ -38,7 +38,7 @@ func TestDeploymentStats(t *testing.T) {
 	}
 
 	// After the sync, no replica is stale.
-	if _, err := sq.SyncNode("node02"); err != nil {
+	if _, err := sq.SyncNode(bg, "node02"); err != nil {
 		t.Fatal(err)
 	}
 	if ds = sq.Stats(); ds.StaleReplicas != 0 {

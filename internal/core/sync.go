@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -48,22 +49,32 @@ type SyncReport struct {
 // incremental send fails and the whole scVolume is re-replicated. A
 // successful sync clears the node's lagging mark: this is the healing
 // path for replicas that exhausted their registration repair budget.
-func (s *Squirrel) SyncNode(nodeID string) (SyncReport, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.syncNodeLocked(nil, nodeID)
+//
+// The sync serializes only against other operations on the same node;
+// syncs of different nodes run concurrently. A context cancelled before
+// the transfer begins aborts with the node unchanged.
+func (s *Squirrel) SyncNode(ctx context.Context, nodeID string) (SyncReport, error) {
+	ctx = reqCtx(ctx)
+	if err := ctx.Err(); err != nil {
+		return SyncReport{}, fmt.Errorf("core: sync %s: %w", nodeID, err)
+	}
+	if _, ok := s.nodes[nodeID]; !ok {
+		return SyncReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
+	}
+	defer s.nodeLocks.lock(nodeID).Unlock()
+	return s.syncNodeGuarded(nil, nodeID)
 }
 
-// syncNodeLocked wraps the sync body in a span: a root "sync" operation
+// syncNodeGuarded wraps the sync body in a span: a root "sync" operation
 // when called directly, a child of the boot that triggered the heal
-// otherwise. Caller holds s.mu.
-func (s *Squirrel) syncNodeLocked(parent *obs.Span, nodeID string) (SyncReport, error) {
-	ccv, ok := s.cc[nodeID]
-	if !ok {
+// otherwise. Caller holds the node lock.
+func (s *Squirrel) syncNodeGuarded(parent *obs.Span, nodeID string) (SyncReport, error) {
+	ccv := s.ccVolume(nodeID)
+	if ccv == nil {
 		return SyncReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
 	sp := s.tr.Op(parent, obs.OpSync, nodeID, "")
-	rep, err := s.syncLocked(ccv, nodeID)
+	rep, err := s.syncGuarded(ccv, nodeID)
 	sp.AddBytes(rep.Bytes)
 	sp.AddSim(rep.XferSec)
 	sp.Annotate("mode."+rep.Mode.String(), 1)
@@ -75,20 +86,25 @@ func (s *Squirrel) syncNodeLocked(parent *obs.Span, nodeID string) (SyncReport, 
 	return rep, err
 }
 
-func (s *Squirrel) syncLocked(ccv *zvol.Volume, nodeID string) (SyncReport, error) {
+func (s *Squirrel) syncGuarded(ccv *zvol.Volume, nodeID string) (SyncReport, error) {
+	inj := s.injector()
 	// A torn apply is rolled back before anything else: sync cannot stack
 	// a new receive on an open journal, and the rolled-back replica simply
 	// looks like it missed the registration this sync now delivers.
 	if ccv.NeedsRecovery() {
 		ccv.Recover()
-		s.cfg.Faults.Counters().Add("recover.rollback", 1)
+		inj.Counters().Add("recover.rollback", 1)
 	}
+	s.state.RLock()
 	wasLagging := s.lagging[nodeID]
+	s.state.RUnlock()
 	heal := func(rep SyncReport) SyncReport {
+		s.state.Lock()
+		defer s.state.Unlock()
 		if wasLagging {
 			delete(s.lagging, nodeID)
 			rep.Healed = true
-			s.cfg.Faults.Counters().Add("repair.healed", 1)
+			inj.Counters().Add("repair.healed", 1)
 		}
 		// A synced node's holdings are authoritative again: (re)announce
 		// them so the peer exchange can route misses here. (If the node
@@ -149,10 +165,12 @@ func (s *Squirrel) syncLocked(ccv *zvol.Volume, nodeID string) (SyncReport, erro
 	if err := fresh.Receive(stream); err != nil {
 		return SyncReport{}, fmt.Errorf("core: full sync on %s: %w", nodeID, err)
 	}
+	s.state.Lock()
 	s.cc[nodeID] = fresh
 	// The damaged replica was thrown away wholesale; the fresh one is
 	// clean by construction (Receive verified every block).
 	delete(s.damaged, nodeID)
+	s.state.Unlock()
 	rep.Mode = SyncFull
 	rep.Bytes = stream.SizeBytes()
 	rep.XferSec = s.cl.Unicast(s.cl.Storage[0], node, stream.SizeBytes())

@@ -40,7 +40,7 @@ func fig18Deployment(s Scale, propagation core.Propagation) (*core.Squirrel, *cl
 	}
 	t0 := time.Date(2014, 6, 23, 0, 0, 0, 0, time.UTC)
 	for i, im := range repo.Images {
-		if _, err := sq.Register(im, t0.Add(time.Duration(i)*time.Minute)); err != nil {
+		if _, err := sq.RegisterImage(im, t0.Add(time.Duration(i)*time.Minute)); err != nil {
 			return nil, nil, nil, err
 		}
 	}
@@ -72,7 +72,7 @@ func Fig18(s Scale) (Table, error) {
 					}
 					continue
 				}
-				if _, err := sq.Boot(im.ID, nodeID, false); err != nil {
+				if _, err := sq.BootImage(im.ID, nodeID, false); err != nil {
 					return 0, err
 				}
 			}
@@ -137,7 +137,7 @@ func Fig18Propagation(s Scale) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		rep, err := sq.Register(repo.Images[0], time.Date(2014, 6, 23, 0, 0, 0, 0, time.UTC))
+		rep, err := sq.RegisterImage(repo.Images[0], time.Date(2014, 6, 23, 0, 0, 0, 0, time.UTC))
 		if err != nil {
 			return Table{}, err
 		}

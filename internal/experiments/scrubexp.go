@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -67,7 +68,7 @@ func FigScrub(s Scale) (Table, error) {
 			return Table{}, err
 		}
 		for j, im := range repo.Images {
-			if _, err := sq.Register(im, t0.Add(time.Duration(j)*time.Minute)); err != nil {
+			if _, err := sq.RegisterImage(im, t0.Add(time.Duration(j)*time.Minute)); err != nil {
 				return Table{}, err
 			}
 		}
@@ -86,12 +87,16 @@ func FigScrub(s Scale) (Table, error) {
 			rotted += len(refs)
 		}
 		detected := 0
-		for _, rep := range sq.ScrubAll(t0.Add(time.Hour)) {
+		scrubs, err := sq.ScrubAll(context.Background(), t0.Add(time.Hour))
+		if err != nil {
+			return Table{}, err
+		}
+		for _, rep := range scrubs {
 			detected += rep.CorruptBlocks + rep.MissingBlocks
 		}
 		var repaired, peerBlocks int
 		var resilverSec float64
-		reps, err := sq.ResilverAll(t0.Add(2 * time.Hour))
+		reps, err := sq.ResilverAll(context.Background(), t0.Add(2*time.Hour))
 		if err != nil {
 			return Table{}, err
 		}

@@ -47,7 +47,7 @@ func FigTrace(s Scale) (Table, error) {
 		return Table{}, err
 	}
 	for i, im := range repo.Images {
-		if _, err := sq.Register(im, t0.Add(time.Duration(i)*time.Minute)); err != nil {
+		if _, err := sq.RegisterImage(im, t0.Add(time.Duration(i)*time.Minute)); err != nil {
 			return Table{}, err
 		}
 	}
@@ -63,7 +63,7 @@ func FigTrace(s Scale) (Table, error) {
 	var wantCache, wantPeer, wantPFS int64
 	for _, im := range repo.Images {
 		for n := 0; n < nodes; n++ {
-			rep, err := sq.Boot(im.ID, cl.Compute[n].ID, false)
+			rep, err := sq.BootImage(im.ID, cl.Compute[n].ID, false)
 			if err != nil {
 				return Table{}, err
 			}
