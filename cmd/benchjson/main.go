@@ -18,6 +18,12 @@
 // bootstorm_scaling result whose "speedup-x" metric is serialized ns/op
 // (/1) divided by the 16-way ns/op — the boot-storm scaling bar (≥ 4x)
 // is checked against it.
+//
+// The BenchmarkColdBootSlowPeerHedged / ...Unhedged pair produces a
+// synthetic hedge_tail_gain result whose "p99-speedup-x" metric is the
+// unhedged p99 cold-boot latency over the hedged one — the hedged-fetch
+// acceptance bar (> 1x, i.e. hedging must cut the tail) is checked
+// against it.
 package main
 
 import (
@@ -53,6 +59,7 @@ func main() {
 	}
 	results = append(results, overheadPairs(results)...)
 	results = append(results, stormScaling(results)...)
+	results = append(results, hedgeGain(results)...)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
@@ -134,6 +141,41 @@ func stormScaling(results []result) []result {
 		Procs:      1,
 		Iterations: int64(len(serial)),
 		Metrics:    map[string]float64{"speedup-x": avg(serial) / s16},
+	}}
+}
+
+// hedgeGain derives the hedge_tail_gain result from the slow-peer
+// cold-boot pair: unhedged p99 latency over hedged p99 latency, samples
+// averaged as in overheadPairs. A gain above 1 means hedging cut the
+// latency tail.
+func hedgeGain(results []result) []result {
+	mean := make(map[string][]float64)
+	for _, r := range results {
+		if v, ok := r.Metrics["p99-ms"]; ok && strings.HasPrefix(r.Name, "BenchmarkColdBootSlowPeer") {
+			mean[r.Name] = append(mean[r.Name], v)
+		}
+	}
+	unhedged, ok := mean["BenchmarkColdBootSlowPeerUnhedged"]
+	hedged, okH := mean["BenchmarkColdBootSlowPeerHedged"]
+	if !ok || !okH {
+		return nil
+	}
+	avg := func(vs []float64) float64 {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		return s / float64(len(vs))
+	}
+	h := avg(hedged)
+	if h <= 0 {
+		return nil
+	}
+	return []result{{
+		Name:       "hedge_tail_gain",
+		Procs:      1,
+		Iterations: int64(len(unhedged)),
+		Metrics:    map[string]float64{"p99-speedup-x": avg(unhedged) / h},
 	}}
 }
 

@@ -38,6 +38,7 @@ const (
 	exitUnknownImage = 2
 	exitUnknownNode  = 3
 	exitNodeOffline  = 4
+	exitOverloaded   = 5 // boot shed by admission control; retry after load drains
 )
 
 // exitCode maps an error chain onto the ctl's exit codes.
@@ -49,6 +50,8 @@ func exitCode(err error) int {
 		return exitUnknownNode
 	case errors.Is(err, core.ErrNodeOffline):
 		return exitNodeOffline
+	case errors.Is(err, core.ErrOverloaded):
+		return exitOverloaded
 	default:
 		return exitFailure
 	}
@@ -98,6 +101,9 @@ func run(ctx context.Context, nImages, nNodes, vms int, offline string, verify, 
 	cfg := core.DefaultConfig()
 	if peers {
 		cfg.Peer = peer.DefaultPolicy()
+		// Per-peer circuit breakers ride along with the exchange so the
+		// health table has breaker state to show.
+		cfg.Peer.Breaker = peer.DefaultBreakerPolicy()
 	}
 	if telemetry || trace != "" {
 		cfg.Obs = obs.New(0)
@@ -291,8 +297,8 @@ func healthDrama(ctx context.Context, sq *core.Squirrel, cl *cluster.Cluster, t0
 
 // printHealth dumps the per-node health table.
 func printHealth(sq *core.Squirrel) {
-	fmt.Printf("\n  %-8s  %-11s  %-7s  %-9s  %-10s  %s\n",
-		"node", "state", "corrupt", "withdrawn", "last scrub", "snapshot")
+	fmt.Printf("\n  %-8s  %-11s  %-7s  %-9s  %-9s  %-10s  %s\n",
+		"node", "state", "corrupt", "withdrawn", "breaker", "last scrub", "snapshot")
 	for _, st := range sq.Health() {
 		scrub, down := "never", ""
 		if !st.LastScrub.IsZero() {
@@ -301,12 +307,19 @@ func printHealth(sq *core.Squirrel) {
 		if !st.DownSince.IsZero() {
 			down = "  down since " + st.DownSince.Format("15:04:05")
 		}
+		if st.Unreachable {
+			down += "  UNREACHABLE (partitioned)"
+		}
 		snap := st.Snapshot
 		if snap == "" {
 			snap = "-"
 		}
-		fmt.Printf("  %-8s  %-11s  %-7d  %-9v  %-10s  %s%s\n",
-			st.NodeID, st.State, st.CorruptBlocks, st.Withdrawn, scrub, snap, down)
+		breaker := st.Breaker
+		if breaker == "" {
+			breaker = "-"
+		}
+		fmt.Printf("  %-8s  %-11s  %-7d  %-9v  %-9s  %-10s  %s%s\n",
+			st.NodeID, st.State, st.CorruptBlocks, st.Withdrawn, breaker, scrub, snap, down)
 	}
 }
 

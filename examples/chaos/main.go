@@ -4,20 +4,25 @@
 // registration (§3.2) is lossy and compute nodes crash. This scenario
 // registers a stream of VMIs into a 16-node fleet while a seeded fault
 // plan drops, truncates, and corrupts the propagation streams and
-// crashes two nodes mid-transfer. Registrations never fail on
-// replica-side faults: missed replicas are repaired over unicast with
-// exponential backoff (NACK-style reliable multicast); replicas past the
-// retry budget go lagging and are healed by SyncNode on their next boot.
-// At the end, every node must hold the latest scVolume snapshot and boot
-// every image warm — byte-verified.
+// crashes two nodes mid-transfer — and, mid-stream, a network partition
+// strands a seeded minority of nodes behind a cut. Registrations never
+// fail on replica-side faults: missed replicas are repaired over unicast
+// with exponential backoff (NACK-style reliable multicast); replicas past
+// the retry budget (or across the cut) go lagging and are healed by
+// SyncNode. While the cut is open the stranded holders are withdrawn
+// from the peer content index; the heal's anti-entropy pass re-announces
+// them. At the end, every node must hold the latest scVolume snapshot
+// and boot every image warm — byte-verified.
 //
-// The run is reproducible: every fault decision is a pure function of
-// the plan seed (change -seed semantics by editing plan.Seed below).
+// The run is reproducible: every fault decision — including which nodes
+// land behind the cut — is a pure function of the plan seed (change
+// -seed semantics by editing plan.Seed below).
 //
 // Run with: go run ./examples/chaos
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -66,8 +71,40 @@ func main() {
 	fmt.Printf("fault plan: seed=%d drop=%.0f%% truncate=%.0f%% corrupt=%.0f%% crash=%.0f%% (budget %d)\n\n",
 		plan.Seed, plan.Drop*100, plan.Truncate*100, plan.Corrupt*100, plan.Crash*100, plan.MaxCrashes)
 
+	var computeIDs []string
+	for _, n := range cl.Compute {
+		computeIDs = append(computeIDs, n.ID)
+	}
+
 	const regs = 12
 	for i := 0; i < regs; i++ {
+		// Mid-stream, a network cut strands a seeded minority: streams
+		// across the cut deliver partition faults, the stranded holders
+		// are withdrawn from the peer index, and their replicas go
+		// lagging until the post-heal sync.
+		if i == regs/3 {
+			minority := inj.PartitionPick("chaos", computeIDs, 3)
+			if err := sq.PartitionNodes(minority...); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n*** PARTITION opens: %v stranded behind the cut ***\n\n", minority)
+		}
+		if i == 2*regs/3 {
+			hrep, err := sq.HealPartition()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n*** PARTITION heals: %v rejoin; anti-entropy re-announced %d nodes, %d still lagging %v ***\n",
+				hrep.Healed, hrep.Reannounced, len(hrep.Lagging), hrep.Lagging)
+			for _, id := range hrep.Lagging {
+				srep, err := sq.SyncNode(context.Background(), id)
+				if err != nil {
+					log.Fatalf("post-heal sync of %s: %v", id, err)
+				}
+				fmt.Printf("    sync %s: %s, %d bytes, healed=%v\n", id, srep.Mode, srep.Bytes, srep.Healed)
+			}
+			fmt.Println()
+		}
 		im := repo.Images[i]
 		rep, err := sq.RegisterImage(im, t0.Add(time.Duration(i)*time.Hour))
 		if err != nil {

@@ -12,9 +12,17 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 )
+
+// ErrUnreachable marks a transfer whose endpoints sit on opposite sides
+// of an open network partition. Operations that cross the cut wrap it,
+// so callers branch with errors.Is and retry after the heal.
+var ErrUnreachable = errors.New("cluster: unreachable across network partition")
 
 // Fabric describes one interconnect.
 type Fabric struct {
@@ -74,6 +82,13 @@ type Cluster struct {
 	Fabric  Fabric
 	Storage []*Node
 	Compute []*Node
+
+	// netmu guards the partition state: the set of node IDs currently on
+	// the minority side of an open cut. Nodes on the same side reach each
+	// other; nothing crosses the cut. Storage nodes stay on the majority
+	// side unless explicitly listed.
+	netmu sync.Mutex
+	cut   map[string]bool
 }
 
 // New builds a cluster with the given node counts, like the paper's 4
@@ -108,6 +123,63 @@ func (c *Cluster) ResetCounters() {
 		n.rx.Store(0)
 		n.tx.Store(0)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Network partitions.
+
+// Partition opens a network cut isolating the given node IDs (the
+// minority side) from every other node. Calling Partition again replaces
+// the cut wholesale; an empty minority heals it.
+func (c *Cluster) Partition(minority []string) {
+	cut := make(map[string]bool, len(minority))
+	for _, id := range minority {
+		cut[id] = true
+	}
+	c.netmu.Lock()
+	c.cut = cut
+	c.netmu.Unlock()
+}
+
+// Heal closes the open cut, restoring full connectivity. Returns the
+// node IDs that were stranded, sorted — the set index anti-entropy must
+// reconcile.
+func (c *Cluster) Heal() []string {
+	c.netmu.Lock()
+	ids := make([]string, 0, len(c.cut))
+	for id := range c.cut {
+		ids = append(ids, id)
+	}
+	c.cut = nil
+	c.netmu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// Partitioned reports whether a cut is currently open.
+func (c *Cluster) Partitioned() bool {
+	c.netmu.Lock()
+	defer c.netmu.Unlock()
+	return len(c.cut) > 0
+}
+
+// Reachable reports whether nodes a and b can currently exchange bytes:
+// both on the same side of the cut (or no cut open).
+func (c *Cluster) Reachable(a, b string) bool {
+	if a == b {
+		return true
+	}
+	c.netmu.Lock()
+	defer c.netmu.Unlock()
+	return c.cut[a] == c.cut[b]
+}
+
+// Unreachable reports whether id sits on the minority side of an open
+// cut — stranded from the storage nodes and the rest of the cluster.
+func (c *Cluster) Unreachable(id string) bool {
+	c.netmu.Lock()
+	defer c.netmu.Unlock()
+	return c.cut[id]
 }
 
 // ---------------------------------------------------------------------------

@@ -124,6 +124,12 @@ func (p *PFS) ReadAt(client *Node, name string, buf []byte, off int64) (int, err
 		if rem := f.size - off; n > rem {
 			n = rem
 		}
+		server := p.serverFor(name, chunk)
+		if !p.cluster.Reachable(client.ID, server.ID) {
+			// The client is stranded across an open cut from the storage
+			// side; nothing read so far is un-read, the rest fails.
+			return total, fmt.Errorf("cluster: pfs read %s on %s: %w", name, client.ID, ErrUnreachable)
+		}
 		read, err := f.read(buf[:n], off)
 		if err != nil && err != io.EOF {
 			return total, err
@@ -131,7 +137,6 @@ func (p *PFS) ReadAt(client *Node, name string, buf []byte, off int64) (int, err
 		if read == 0 {
 			break
 		}
-		server := p.serverFor(name, chunk)
 		server.Send(int64(read))
 		client.Recv(int64(read))
 		buf = buf[read:]

@@ -17,12 +17,20 @@ type Delivery struct {
 // OK reports whether the destination received the stream intact.
 func (d Delivery) OK() bool { return d.Fault == fault.None }
 
-// deliveries applies the injector to each destination and accounts the
-// bytes that actually arrived on its NIC. A nil injector is a perfect
-// network.
-func deliveries(op string, dsts []*Node, wire []byte, inj *fault.Injector) []Delivery {
+// deliveries applies the reachability map and the injector to each
+// destination and accounts the bytes that actually arrived on its NIC.
+// A destination across an open cut gets a Partition delivery — nothing
+// reaches it and no injector draw is consumed (draws are keyed by
+// (op, dst, attempt), so skipping one never shifts another node's
+// verdict). A nil injector is a perfect network.
+func (c *Cluster) deliveries(op string, src *Node, dsts []*Node, wire []byte, inj *fault.Injector) []Delivery {
 	out := make([]Delivery, len(dsts))
 	for i, d := range dsts {
+		if !c.Reachable(src.ID, d.ID) {
+			out[i] = Delivery{Node: d, Fault: fault.Partition}
+			inj.Note(fault.Partition)
+			continue
+		}
 		kind, got := inj.Strike(op, d.ID, 0, wire)
 		out[i] = Delivery{Node: d, Wire: got, Fault: kind}
 		if got != nil {
@@ -39,7 +47,7 @@ func deliveries(op string, dsts []*Node, wire []byte, inj *fault.Injector) []Del
 func (c *Cluster) MulticastStream(op string, src *Node, dsts []*Node, wire []byte, inj *fault.Injector) ([]Delivery, float64) {
 	n := int64(len(wire))
 	src.Send(n)
-	return deliveries(op, dsts, wire, inj), c.Fabric.TransferSec(n)
+	return c.deliveries(op, src, dsts, wire, inj), c.Fabric.TransferSec(n)
 }
 
 // UnicastStream is the fault-aware form of UnicastFanout: the source
@@ -47,7 +55,7 @@ func (c *Cluster) MulticastStream(op string, src *Node, dsts []*Node, wire []byt
 func (c *Cluster) UnicastStream(op string, src *Node, dsts []*Node, wire []byte, inj *fault.Injector) ([]Delivery, float64) {
 	n := int64(len(wire))
 	src.Send(n * int64(len(dsts)))
-	return deliveries(op, dsts, wire, inj), c.Fabric.TransferSec(n * int64(len(dsts)))
+	return c.deliveries(op, src, dsts, wire, inj), c.Fabric.TransferSec(n * int64(len(dsts)))
 }
 
 // PipelineStream is the fault-aware form of Pipeline: src → d1 → d2 → …
@@ -59,7 +67,7 @@ func (c *Cluster) UnicastStream(op string, src *Node, dsts []*Node, wire []byte,
 // already models.
 func (c *Cluster) PipelineStream(op string, src *Node, dsts []*Node, wire []byte, inj *fault.Injector) ([]Delivery, float64) {
 	src.Send(int64(len(wire)))
-	out := deliveries(op, dsts, wire, inj)
+	out := c.deliveries(op, src, dsts, wire, inj)
 	for i, d := range out {
 		if i < len(out)-1 && d.Wire != nil {
 			d.Node.Send(int64(len(d.Wire)))

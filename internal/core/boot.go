@@ -47,6 +47,12 @@ type BootReport struct {
 	PeerBytes     int64  // bytes served by neighboring compute nodes
 	PeerNode      string // peer that served the most bytes ("" if none)
 	PeerFallbacks int    // peer-servable ranges that fell back to the PFS
+
+	// Resilience accounting.
+	HedgesFired  int     // slow peer serves that cloned a hedge leg
+	HedgesWon    int     // hedge legs that delivered first
+	BreakerTrips int     // per-peer circuit breakers this boot tripped
+	PeerStallSec float64 // simulated stall time slow peer serves cost this boot
 }
 
 // Boot starts a VM (§3.3, Fig 7): an empty CoW overlay is chained onto
@@ -91,6 +97,14 @@ func (s *Squirrel) Boot(ctx context.Context, req BootRequest) (BootReport, error
 		sp.Finish()
 		return BootReport{}, err
 	}
+	// Admission control: take (or queue for) one of the node's boot
+	// slots before touching any replica state. A shed boot fails with
+	// ErrOverloaded well inside its deadline.
+	release, err := s.admit(ctx, nodeID, sp)
+	if err != nil {
+		return fail(err)
+	}
+	defer release()
 	healed := false
 	if !req.SkipCache && (lagging || damaged) {
 		// Healing is a compound replica operation; serialize it against
@@ -137,7 +151,7 @@ func (s *Squirrel) Boot(ctx context.Context, req BootRequest) (BootReport, error
 	// before falling back to the PFS — unless the caching layer is
 	// bypassed outright.
 	if !req.SkipCache && s.cfg.Peer.Enabled && !cb.local {
-		cb.fetch = s.newPeerFetcher(im, node)
+		cb.fetch = s.newPeerFetcher(ctx, im, node)
 		cb.fetch.sp = sp
 	}
 	cow, err := qcow.NewOverlay(cb, s.cfg.ClusterSize, false)
@@ -187,6 +201,10 @@ func (s *Squirrel) Boot(ctx context.Context, req BootRequest) (BootReport, error
 		rep.PeerBytes = cb.peerBytes
 		rep.PeerNode = cb.fetch.topSource()
 		rep.PeerFallbacks = cb.fetch.fallbacks
+		rep.HedgesFired = cb.fetch.hedgesFired
+		rep.HedgesWon = cb.fetch.hedgesWon
+		rep.BreakerTrips = cb.fetch.trips
+		rep.PeerStallSec = cb.fetch.stallSec
 	}
 	rep.Warm = !req.SkipCache && cb.networkBytes == 0 && cb.peerBytes == 0
 	s.recordBootLanes(sp, cb)

@@ -92,8 +92,13 @@ type Config struct {
 	// Peer configures the peer block exchange: cold-boot misses consult
 	// the content index and fetch from a neighboring replica before
 	// falling back to the PFS. The index is always maintained;
-	// Peer.Enabled gates only the fetch path.
+	// Peer.Enabled gates only the fetch path. Peer.Hedge and Peer.Breaker
+	// add the resilience layer's hedged fetches and per-peer circuit
+	// breakers on top.
 	Peer peer.Policy
+	// Admission bounds per-node boot concurrency (deadline-aware
+	// admission control). The zero value disables it.
+	Admission AdmissionPolicy
 	// Obs enables operation tracing and unified telemetry: every
 	// long-running operation records a span tree, per-op-kind and
 	// per-node aggregates accumulate, and the peer index, fault injector,
@@ -159,6 +164,9 @@ type Squirrel struct {
 	// locked (a leaf in the lock order — core may call it while holding
 	// state, but index callbacks never re-enter core).
 	peers *peer.Index
+	// gates holds one admission gate per compute node; built once in New
+	// and immutable, each gate internally locked (a leaf like the index).
+	gates map[string]*bootGate
 	// bootReads records the size of every boot-trace read.
 	bootReads *metrics.Histogram
 	// tel/tr are the observability layer (cfg.Obs); both nil when
@@ -221,6 +229,7 @@ func New(cfg Config, cl *cluster.Cluster, pfs *cluster.PFS) (*Squirrel, error) {
 		sc:         sc,
 		nodes:      make(map[string]*cluster.Node, len(cl.Compute)),
 		peers:      peer.NewIndex(),
+		gates:      make(map[string]*bootGate, len(cl.Compute)),
 		bootReads:  metrics.MustHistogram(metrics.ByteBuckets()...),
 		tel:        cfg.Obs,
 		tr:         cfg.Obs.Tracer(),
@@ -236,6 +245,7 @@ func New(cfg Config, cl *cluster.Cluster, pfs *cluster.PFS) (*Squirrel, error) {
 		lastScrub:  make(map[string]time.Time),
 	}
 	s.faults.Store(cfg.Faults)
+	s.peers.SetBreakerPolicy(cfg.Peer.Breaker)
 	if s.tel != nil {
 		// One registry: the peer index, the fault injector, and every
 		// volume account into the telemetry counter set instead of
@@ -255,6 +265,7 @@ func New(cfg Config, cl *cluster.Cluster, pfs *cluster.PFS) (*Squirrel, error) {
 		s.nodes[n.ID] = n
 		s.cc[n.ID] = v
 		s.online[n.ID] = true
+		s.gates[n.ID] = &bootGate{}
 	}
 	return s, nil
 }
@@ -310,12 +321,19 @@ func reqCtx(ctx context.Context) context.Context {
 // (or full re-replication) proves it clean again. This is the index
 // half of the "never serve a corrupt byte" invariant; the other half is
 // the read-time checksum on every block.
+//
+// A node stranded behind an open network cut never announces either:
+// holders nobody can reach are withdrawn for the duration of the
+// partition (Shoal-style dynamic publishing), and the heal's
+// anti-entropy pass re-announces them from their authoritative object
+// sets. Routing every (re)announcement through this chokepoint is what
+// keeps GC, sync, and registration merges from resurrecting cut nodes.
 func (s *Squirrel) announceHoldingsLocked(nodeID string) {
 	ccv := s.cc[nodeID]
 	if ccv == nil {
 		return
 	}
-	if len(s.damaged[nodeID]) > 0 {
+	if len(s.damaged[nodeID]) > 0 || s.cl.Unreachable(nodeID) {
 		s.peers.WithdrawNode(nodeID)
 		return
 	}
@@ -682,6 +700,15 @@ func (s *Squirrel) register(ctx context.Context, sp *obs.Span, im *corpus.Image,
 			dsp.Annotate("fault."+dv.Fault.String(), 1)
 		}
 		switch {
+		case dv.Fault == fault.Partition:
+			// The replica sits across an open cut: the stream never
+			// reached it and unicast repair cannot either. Skip the retry
+			// ladder outright and mark it lagging — the post-heal
+			// anti-entropy SyncNode pass catches it up.
+			s.markLagging(dv.Node.ID)
+			leg.lagging = true
+			inj.Counters().Add("repair.partitioned", 1)
+			dsp.Annotate("partitioned", 1)
 		case dv.Fault == fault.Crash:
 			s.crashReplica(dv.Node.ID, at, inj)
 			leg.crashed = true
@@ -909,6 +936,14 @@ func (s *Squirrel) repairReplica(parent *obs.Span, op string, node *cluster.Node
 	src := s.cl.Storage[0]
 	backoff := pol.Backoff
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		// A cut that opened mid-registration makes further NACKs
+		// pointless: stop retrying and let the caller mark the node
+		// lagging for the post-heal sync.
+		if !s.cl.Reachable(src.ID, node.ID) {
+			inj.Counters().Add("repair.partitioned", 1)
+			rsp.Annotate("partitioned", 1)
+			return false
+		}
 		leg.retries++
 		leg.repairSec += backoff.Seconds()
 		rsp.Annotate("attempts", 1)

@@ -1,6 +1,10 @@
 package core
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/cluster"
+)
 
 // Sentinel errors for the public API. Every lookup failure an operation
 // can return wraps one of these, so callers branch with errors.Is
@@ -18,7 +22,18 @@ var (
 	// ErrNodeOffline is returned when an operation needs a node that is
 	// currently down (crashed or administratively offline).
 	ErrNodeOffline = errors.New("core: compute node offline")
+	// ErrOverloaded is returned by Boot when the node's admission queue
+	// is full, or the context deadline expires while the boot is still
+	// queued for a slot. The condition is transient: retry after load
+	// drains (squirrelctl maps it to its own exit code).
+	ErrOverloaded = errors.New("core: boot admission overloaded")
 )
+
+// ErrPartitioned marks operations that failed because their target sits
+// across an open network cut. It aliases cluster.ErrUnreachable so
+// errors.Is matches whichever layer callers import; the condition clears
+// when the partition heals.
+var ErrPartitioned = cluster.ErrUnreachable
 
 // ErrNotRegistered is the pre-redesign name of ErrUnknownImage, kept as
 // an alias so existing errors.Is checks keep matching.

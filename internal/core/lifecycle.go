@@ -522,6 +522,11 @@ type NodeStatus struct {
 	// invisible to the peer exchange (down, damaged, or empty).
 	Withdrawn bool
 	Snapshot  string // latest local snapshot ("" if none)
+	// Breaker is the node's serve circuit-breaker state ("closed",
+	// "open", "half-open"; empty when breakers are disabled).
+	Breaker string
+	// Unreachable reports the node sits across an open network cut.
+	Unreachable bool
 }
 
 // Health reports per-node lifecycle state, sorted by node ID — what
@@ -539,6 +544,8 @@ func (s *Squirrel) Health() []NodeStatus {
 			LastScrub:     s.lastScrub[id],
 			DownSince:     s.downSince[id],
 			Withdrawn:     s.peers.AnnouncedBy(id) == 0,
+			Breaker:       s.peers.BreakerState(id),
+			Unreachable:   s.cl.Unreachable(id),
 		}
 		if snap := v.LatestSnapshot(); snap != nil {
 			st.Snapshot = snap.Name

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/fault"
@@ -12,11 +14,18 @@ import (
 // neighboring compute nodes: the lookup half of the peer block exchange.
 // For every miss inside the image's cache extents it asks the content
 // index for holders, picks the least-loaded eligible source (never the
-// booting node itself, never offline or lagging nodes, never a node with
-// all serve slots busy), transfers the range over cluster unicast with
-// exact NIC byte accounting, and on a fault fails over to the next
-// candidate. When the attempt budget is spent the caller falls back to
-// the PFS, so a boot always completes.
+// booting node itself, never offline, lagging, or unreachable nodes,
+// never a node with all serve slots busy), transfers the range over
+// cluster unicast with exact NIC byte accounting, and on a fault fails
+// over to the next candidate. When the attempt budget is spent the
+// caller falls back to the PFS, so a boot always completes.
+//
+// With Policy.Hedge set, a transfer whose source draws a slow serve is
+// cloned to the next-best holder after the hedge threshold: first byte
+// wins, and the losing leg is cancelled through the boot's context
+// before it moves a payload byte. Every serve outcome also feeds the
+// index's per-peer circuit breakers, so a peer that keeps failing stops
+// being selected at all.
 //
 // Transfer faults come from the deployment's fault.Injector under the op
 // key "peerfetch:<image>:<node>" with a per-boot attempt sequence, so a
@@ -24,6 +33,7 @@ import (
 // the boot order alone.
 type peerFetcher struct {
 	s        *Squirrel
+	ctx      context.Context // the boot's context; hedge legs derive from it
 	imageID  string
 	bootNode *cluster.Node
 	policy   peer.Policy
@@ -32,15 +42,22 @@ type peerFetcher struct {
 	sp       *obs.Span // the owning boot span; each fetch records a peerFetch child
 
 	seq       int               // transfer attempts so far (fault lane)
+	fetchNo   int               // fetches so far (slow-serve lane)
 	data      map[string][]byte // materialized cache object per source
 	served    map[string]int64  // bytes served per source
 	fallbacks int               // misses the peer path gave up on
+
+	hedgesFired int     // slow serves that cloned a second leg
+	hedgesWon   int     // hedge legs that delivered the range
+	trips       int     // circuit breakers this boot's failures tripped
+	stallSec    float64 // simulated stall time slow serves cost this boot
 }
 
-func (s *Squirrel) newPeerFetcher(im *corpus.Image, node *cluster.Node) *peerFetcher {
+func (s *Squirrel) newPeerFetcher(ctx context.Context, im *corpus.Image, node *cluster.Node) *peerFetcher {
 	inj := s.injector()
 	return &peerFetcher{
 		s:        s,
+		ctx:      reqCtx(ctx),
 		imageID:  im.ID,
 		bootNode: node,
 		policy:   s.cfg.Peer,
@@ -58,6 +75,7 @@ func (s *Squirrel) newPeerFetcher(im *corpus.Image, node *cluster.Node) *peerFet
 func (f *peerFetcher) fetch(dst []byte, base int64) bool {
 	ctr := f.s.peers.Counters()
 	fsp := f.sp.Child(obs.OpPeerFetch, "", f.imageID)
+	f.fetchNo++
 	tried := make(map[string]bool)
 	for attempt := 0; attempt < f.policy.MaxAttempts; attempt++ {
 		src, release, ok, busy := f.acquire(tried)
@@ -77,11 +95,11 @@ func (f *peerFetcher) fetch(dst []byte, base int64) bool {
 		}
 		tried[src] = true
 		fsp.Annotate("attempts", 1)
-		if f.transfer(src, dst, base, release) {
+		if winner, ok := f.transferHedged(fsp, tried, src, release, dst, base); ok {
 			ctr.Add("peer.hit", 1)
 			ctr.Add("peer.bytes", int64(len(dst)))
-			f.served[src] += int64(len(dst))
-			fsp.SetNode(src)
+			f.served[winner] += int64(len(dst))
+			fsp.SetNode(winner)
 			fsp.AddBytes(int64(len(dst)))
 			fsp.AddSim(f.s.cl.Fabric.TransferSec(int64(len(dst))))
 			fsp.Finish()
@@ -95,9 +113,94 @@ func (f *peerFetcher) fetch(dst []byte, base int64) bool {
 	return false
 }
 
+// transferHedged runs one acquired transfer, hedging it onto a second
+// holder when the primary draws a slow serve. It returns the node that
+// delivered the range ("" on failure). The slow-serve lane is a pure
+// function of (op, source, fetchNo), so which leg leads — and therefore
+// which one wins under identical fault draws — is deterministic no
+// matter how many boots run concurrently.
+func (f *peerFetcher) transferHedged(fsp *obs.Span, tried map[string]bool,
+	src string, release func(int64), dst []byte, base int64) (string, bool) {
+	ctr := f.s.peers.Counters()
+	slow := f.faults.SlowServe(f.op, src, f.fetchNo)
+	stall := func() {
+		f.stallSec += f.faults.Plan().SlowSec
+		fsp.Annotate("slow", 1)
+	}
+	if !slow || !f.policy.Hedge {
+		if slow {
+			// Unhedged deployments absorb the stall — the baseline the
+			// slow-peer benchmark compares the hedged path against.
+			stall()
+		}
+		return src, f.transfer(src, dst, base, release)
+	}
+	// The primary stalled past the hedge threshold: clone the fetch to
+	// the next-best holder. No second holder means nothing to race —
+	// absorb the stall like an unhedged fetch.
+	h, hrel, ok, _ := f.acquire(tried)
+	if !ok {
+		stall()
+		return src, f.transfer(src, dst, base, release)
+	}
+	tried[h] = true
+	f.hedgesFired++
+	ctr.Add("peer.hedge_fired", 1)
+	fsp.Annotate("hedged", 1)
+
+	// First byte wins: the un-stalled leg leads; if the hedge leg drew a
+	// slow serve too, the primary keeps the lead (its stall started
+	// first) and the stall is paid either way.
+	first, firstRel := h, hrel
+	second, secondRel := src, release
+	hslow := f.faults.SlowServe(f.op, h, f.fetchNo)
+	if hslow {
+		first, firstRel = src, release
+		second, secondRel = h, hrel
+		stall()
+	}
+	// The losing leg is cancelled through the boot's context plumbing
+	// before it moves a payload byte; releasing its serve slot is
+	// idempotent (sync.Once), so a leg promoted after the leader faults
+	// releases cleanly even though the watcher fires too.
+	hctx, cancel := context.WithCancel(f.ctx)
+	loserDone := make(chan struct{})
+	go func() {
+		<-hctx.Done()
+		secondRel(0)
+		close(loserDone)
+	}()
+	win := func(node string) (string, bool) {
+		cancel()
+		<-loserDone
+		if node == first {
+			ctr.Add("peer.hedge_cancelled", 1)
+		}
+		if node == h {
+			f.hedgesWon++
+			ctr.Add("peer.hedge_won", 1)
+		}
+		return node, true
+	}
+	if f.transfer(first, dst, base, firstRel) {
+		return win(first)
+	}
+	if !hslow {
+		// The fast hedge leg faulted; the transfer falls back to the
+		// stalled primary, so its stall is paid after all.
+		stall()
+	}
+	if f.transfer(second, dst, base, secondRel) {
+		return win(second)
+	}
+	cancel()
+	<-loserDone
+	return "", false
+}
+
 // acquire reserves a serve slot on the best eligible holder. Deployment
-// eligibility (online, not lagging, replica actually present) is
-// snapshotted under the state read-lock first; the index is then
+// eligibility (online, reachable, not lagging, replica actually present)
+// is snapshotted under the state read-lock first; the index is then
 // consulted without core locks held, keeping lock order one-way (state
 // before index locks, never the reverse).
 func (f *peerFetcher) acquire(tried map[string]bool) (string, func(int64), bool, bool) {
@@ -106,7 +209,7 @@ func (f *peerFetcher) acquire(tried map[string]bool) (string, func(int64), bool,
 	eligible := make(map[string]bool)
 	for _, id := range s.peers.Holders(f.imageID) {
 		if tried[id] || id == f.bootNode.ID || !s.online[id] || s.lagging[id] ||
-			len(s.damaged[id]) > 0 {
+			len(s.damaged[id]) > 0 || !s.cl.Reachable(f.bootNode.ID, id) {
 			continue
 		}
 		if ccv := s.cc[id]; ccv != nil && ccv.HasObject(f.imageID) {
@@ -122,12 +225,16 @@ func (f *peerFetcher) acquire(tried map[string]bool) (string, func(int64), bool,
 // deployment's fault injector. NIC counters account exactly the bytes
 // that crossed the fabric: the full range on success and on corruption
 // (damage is detected at the receiver), the delivered prefix on
-// truncation, nothing on a drop or source crash.
+// truncation, nothing on a drop or source crash. Every outcome feeds
+// src's circuit breaker.
 func (f *peerFetcher) transfer(src string, dst []byte, base int64, release func(int64)) bool {
 	s := f.s
 	ctr := s.peers.Counters()
 	done := func(served int64, ok bool) bool {
 		release(served)
+		if s.peers.RecordServe(src, ok) {
+			f.trips++
+		}
 		return ok
 	}
 	payload, err := f.sourceRange(src, base, int64(len(dst)))

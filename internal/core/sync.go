@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/zvol"
 )
@@ -129,6 +130,13 @@ func (s *Squirrel) syncGuarded(ccv *zvol.Volume, nodeID string) (SyncReport, err
 	node, err := s.computeNode(nodeID)
 	if err != nil {
 		return SyncReport{}, err
+	}
+	// The catch-up stream comes from the storage side; a node across an
+	// open cut cannot receive it. Fail fast — the post-heal anti-entropy
+	// pass retries the sync once the fabric is whole again.
+	if !s.cl.Reachable(s.cl.Storage[0].ID, nodeID) {
+		inj.Counters().Add("sync.partitioned", 1)
+		return SyncReport{}, fmt.Errorf("core: sync %s: %w", nodeID, cluster.ErrUnreachable)
 	}
 	rep := SyncReport{NodeID: nodeID, Snapshot: latest.Name}
 

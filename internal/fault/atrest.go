@@ -1,5 +1,7 @@
 package fault
 
+import "sort"
+
 // At-rest fault lanes. The transfer lanes in Decide/Strike model a lossy
 // fabric; the lanes here model the disk itself misbehaving: latent block
 // bit-rot discovered only by a scrub, and a node crashing partway through
@@ -45,4 +47,45 @@ func (in *Injector) TornStep(op, dst string, steps int) int {
 		return 0
 	}
 	return int(in.roll(op, dst, 0, 3) % uint64(steps+1))
+}
+
+// SlowServe decides whether one peer serve responds slowly — the tail
+// the hedged-fetch path exists to cut. Deterministic in (seed, op, src,
+// n) against Plan.Slow, where n is the caller's per-boot fetch ordinal,
+// so one boot's slow draws are independent of every other boot's.
+func (in *Injector) SlowServe(op, src string, n int) bool {
+	if in == nil || in.plan.Slow <= 0 {
+		return false
+	}
+	if uniform(in.roll("slow:"+op, src, n, 0)) >= in.plan.Slow {
+		return false
+	}
+	in.counters.Add("fault.slow", 1)
+	return true
+}
+
+// PartitionPick deterministically strands k of the given nodes behind a
+// network cut for the named epoch: each node's rank is a pure function
+// of (seed, epoch, node), so the minority set is fixed by the seed
+// regardless of the order nodes are listed in. Returns the picked IDs
+// sorted; nil when the injector is nil or there is nothing to pick.
+func (in *Injector) PartitionPick(epoch string, nodes []string, k int) []string {
+	if in == nil || k <= 0 || len(nodes) == 0 {
+		return nil
+	}
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	ranked := append([]string(nil), nodes...)
+	sort.Slice(ranked, func(i, j int) bool {
+		hi := in.roll("partition:"+epoch, ranked[i], 0, 0)
+		hj := in.roll("partition:"+epoch, ranked[j], 0, 0)
+		if hi != hj {
+			return hi < hj
+		}
+		return ranked[i] < ranked[j]
+	})
+	picked := ranked[:k:k]
+	sort.Strings(picked)
+	return picked
 }

@@ -201,3 +201,66 @@ func TestNilInjectorAtRestLanes(t *testing.T) {
 		t.Fatal("nil injector torn step must be 0")
 	}
 }
+
+func TestSlowServeDeterministicAndOrderIndependent(t *testing.T) {
+	p := Plan{Seed: 42, Slow: 0.4, SlowSec: 0.05}
+	a, b := mustNew(t, p), mustNew(t, p)
+	const n = 200
+	got := make([]bool, n)
+	hits := 0
+	for i := 0; i < n; i++ {
+		got[i] = a.SlowServe("peerfetch:img:node00", fmt.Sprintf("n%d", i%8), i)
+		if got[i] {
+			hits++
+		}
+	}
+	for i := n - 1; i >= 0; i-- { // reverse order: pure-function draws agree
+		if b.SlowServe("peerfetch:img:node00", fmt.Sprintf("n%d", i%8), i) != got[i] {
+			t.Fatalf("slow draw %d diverges across call order", i)
+		}
+	}
+	if hits == 0 || hits == n {
+		t.Fatalf("slow lane degenerate: %d/%d hits", hits, n)
+	}
+	if got := a.Counters().Get("fault.slow"); got != int64(hits) {
+		t.Fatalf("fault.slow = %d, want %d", got, hits)
+	}
+	var nilInj *Injector
+	if nilInj.SlowServe("op", "n", 0) {
+		t.Fatal("nil injector drew a slow serve")
+	}
+}
+
+func TestPartitionPickDeterministicAndOrderIndependent(t *testing.T) {
+	in := mustNew(t, Plan{Seed: 11})
+	nodes := []string{"node03", "node00", "node02", "node05", "node01", "node04"}
+	a := in.PartitionPick("epoch1", nodes, 2)
+	if len(a) != 2 {
+		t.Fatalf("picked %d nodes, want 2", len(a))
+	}
+	// Shuffled input, same epoch: identical minority.
+	shuffled := []string{"node05", "node01", "node04", "node00", "node03", "node02"}
+	b := in.PartitionPick("epoch1", shuffled, 2)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("pick depends on input order: %v vs %v", a, b)
+	}
+	// A different epoch reshuffles the ranking (with 6 choose 2 = 15
+	// outcomes, at least one of a handful of epochs must differ).
+	differs := false
+	for _, epoch := range []string{"epoch2", "epoch3", "epoch4", "epoch5"} {
+		if fmt.Sprint(in.PartitionPick(epoch, nodes, 2)) != fmt.Sprint(a) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("every epoch picked the same minority")
+	}
+	// k clamps to len(nodes); nil injector picks nothing.
+	if got := in.PartitionPick("epoch1", nodes, 99); len(got) != len(nodes) {
+		t.Fatalf("clamped pick = %d nodes, want %d", len(got), len(nodes))
+	}
+	var nilInj *Injector
+	if nilInj.PartitionPick("epoch1", nodes, 2) != nil {
+		t.Fatal("nil injector picked a minority")
+	}
+}

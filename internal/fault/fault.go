@@ -44,6 +44,12 @@ const (
 	// (torn zvol.Receive). The receive journal detects and rolls this
 	// back on restart.
 	Torn
+	// Partition: the destination sits on the far side of an open network
+	// cut, so nothing reaches it at all. Unlike the kinds above this is
+	// never drawn from the per-attempt probability distribution — the
+	// cluster reachability map decides it — but transfers across the cut
+	// report it like any other fault, and it shares the counter naming.
+	Partition
 )
 
 // String renders the kind for reports and counter names.
@@ -61,6 +67,8 @@ func (k Kind) String() string {
 		return "crash"
 	case Torn:
 		return "torn"
+	case Partition:
+		return "partition"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -89,14 +97,28 @@ type Plan struct {
 	// kind distribution — rot happens to data sitting on disk, not to
 	// streams in flight.
 	Rot float64
+
+	// Slow is the slow-peer lane: P(one peer serve responds slowly) per
+	// (op, src, fetch) when struck via SlowServe. Like Rot it is outside
+	// the per-attempt kind distribution — a slow serve still delivers
+	// intact bytes, just late; the hedged-fetch path exists to cut the
+	// latency tail this lane creates.
+	Slow float64
+	// SlowSec is the simulated stall one slow serve adds when no hedge
+	// (or an equally slow hedge) absorbs it. Accounted in reports, never
+	// slept.
+	SlowSec float64
 }
 
 // Validate rejects nonsensical plans.
 func (p Plan) Validate() error {
-	for _, pr := range []float64{p.Drop, p.Truncate, p.Corrupt, p.Crash, p.Torn, p.Rot} {
+	for _, pr := range []float64{p.Drop, p.Truncate, p.Corrupt, p.Crash, p.Torn, p.Rot, p.Slow} {
 		if pr < 0 || pr > 1 {
 			return fmt.Errorf("fault: probability %v out of [0,1]", pr)
 		}
+	}
+	if p.SlowSec < 0 {
+		return fmt.Errorf("fault: negative slow-serve stall")
 	}
 	if s := p.Drop + p.Truncate + p.Corrupt + p.Crash + p.Torn; s > 1 {
 		return fmt.Errorf("fault: probabilities sum to %v > 1", s)
@@ -239,6 +261,17 @@ func (in *Injector) Decide(op, dst string, attempt int) Kind {
 		in.counters.Add("fault."+k.String(), 1)
 	}
 	return k
+}
+
+// Note records an externally decided fault of kind k in the injector's
+// accounting. The partition lane's verdicts are made by the cluster
+// reachability map rather than a probability draw, but they share the
+// "fault.<kind>" counter naming with every drawn kind. Nil-safe.
+func (in *Injector) Note(k Kind) {
+	if in == nil || k == None {
+		return
+	}
+	in.counters.Add("fault."+k.String(), 1)
 }
 
 // Strike decides the fault for one transfer attempt and applies it to the

@@ -174,3 +174,48 @@ func TestTruncateEmptyWire(t *testing.T) {
 		t.Fatal("truncating an empty wire must deliver nothing")
 	}
 }
+
+func TestKindStrings(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{None, "none"},
+		{Drop, "drop"},
+		{Truncate, "truncate"},
+		{Corrupt, "corrupt"},
+		{Crash, "crash"},
+		{Torn, "torn"},
+		{Partition, "partition"},
+		{Kind(99), "kind(99)"},
+		{Kind(-1), "kind(-1)"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(c.k), got, c.want)
+		}
+	}
+}
+
+func TestNoteCountsExternallyDecidedFaults(t *testing.T) {
+	in := mustNew(t, Plan{Seed: 1})
+	in.Note(Partition)
+	in.Note(Partition)
+	in.Note(None) // never counted
+	if got := in.Counters().Get("fault.partition"); got != 2 {
+		t.Fatalf("fault.partition = %d, want 2", got)
+	}
+	var nilInj *Injector
+	nilInj.Note(Partition) // nil-safe
+}
+
+func TestDecideNeverDrawsPartition(t *testing.T) {
+	// Partition is decided by the reachability map, not the probability
+	// lanes: even a fully hostile plan must never draw it.
+	in := mustNew(t, Plan{Seed: 3, Drop: 0.25, Truncate: 0.25, Corrupt: 0.25, Crash: 0.25, MaxCrashes: 1000})
+	for i := 0; i < 500; i++ {
+		if k := in.Decide("op", fmt.Sprintf("n%d", i), 0); k == Partition {
+			t.Fatal("Decide drew Partition")
+		}
+	}
+}

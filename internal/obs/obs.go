@@ -42,6 +42,7 @@ const (
 	OpPeerFetch = "peerFetch"
 	OpCacheRead = "cacheRead"
 	OpPFSRead   = "pfsRead"
+	OpPartition = "partition"
 )
 
 // DefaultRingSize bounds the completed-operation ring when New is given

@@ -36,6 +36,14 @@ type Policy struct {
 	// falling back to the PFS. Zero or negative means
 	// DefaultMaxAttempts.
 	MaxAttempts int
+	// Hedge enables hedged cold-miss fetches on the boot path: when the
+	// primary source draws a slow serve, the fetch is cloned to the
+	// next-best holder and the first byte wins. Off by default — the
+	// un-hedged ladder is the baseline the hedging bench compares against.
+	Hedge bool
+	// Breaker configures per-peer circuit breakers. The zero value
+	// disables them; DefaultBreakerPolicy() enables the standard circuit.
+	Breaker BreakerPolicy
 }
 
 // Defaults for Policy's knobs.
@@ -83,6 +91,12 @@ type Index struct {
 	holders map[string]map[string]struct{} // objID → nodeID set
 	loads   map[string]*load               // nodeID → serve load
 
+	// Circuit-breaker state, under its own mutex so the selection path
+	// can consult it while holding mu (one-way order: mu → bmu).
+	bmu      sync.Mutex
+	bpol     BreakerPolicy
+	breakers map[string]*breaker // nodeID → circuit state
+
 	counters *metrics.CounterSet
 	sizes    *metrics.Histogram // successful peer-transfer sizes
 }
@@ -92,6 +106,7 @@ func NewIndex() *Index {
 	return &Index{
 		holders:  make(map[string]map[string]struct{}),
 		loads:    make(map[string]*load),
+		breakers: make(map[string]*breaker),
 		counters: metrics.NewCounterSet(),
 		sizes:    metrics.MustHistogram(metrics.ByteBuckets()...),
 	}
@@ -115,10 +130,12 @@ func (ix *Index) SetCounters(c *metrics.CounterSet) {
 		return
 	}
 	ix.mu.Lock()
+	ix.bmu.Lock() // breaker paths read counters under bmu alone
 	if c == nil {
 		c = metrics.NewCounterSet()
 	}
 	ix.counters = c
+	ix.bmu.Unlock()
 	ix.mu.Unlock()
 }
 
@@ -283,23 +300,35 @@ func (ix *Index) Loads() []NodeLoad {
 // Acquire picks the best source for obj and reserves one serve slot on
 // it. Candidates are the current holders minus those the caller
 // excludes (the booting node, offline/lagging nodes, already-tried
-// sources) minus nodes at maxSlots in-flight serves. "Best" is
-// least-loaded: fewest active serves, then fewest served bytes, then
-// lexical node ID — deterministic for identical load states.
+// sources), minus holders whose circuit breaker is open — the breaker
+// check composes onto the caller's exclusion predicate — minus nodes at
+// maxSlots in-flight serves. "Best" is least-loaded: fewest active
+// serves, then fewest served bytes, then lexical node ID — deterministic
+// for identical load states.
 //
 // The returned release function MUST be called exactly once: with the
 // bytes actually served on success, or 0 on a failed transfer. ok is
 // false when no candidate exists; busy additionally distinguishes
-// "holders exist but all are at capacity" from "no eligible holder".
+// "holders exist but all are at capacity" from "no eligible holder" —
+// excluded and breaker-open holders never count as busy.
 func (ix *Index) Acquire(obj string, maxSlots int, exclude func(node string) bool) (src string, release func(served int64), ok, busy bool) {
 	if maxSlots <= 0 {
 		maxSlots = DefaultMaxServeSlots
+	}
+	// Breakers ride the exclusion hook: a caller-excluded holder is
+	// skipped before its breaker is consulted, so ineligible nodes
+	// (offline, already tried) never tick an open breaker's cooldown.
+	skip := exclude
+	if ix.bpolEnabled() {
+		skip = func(node string) bool {
+			return (exclude != nil && exclude(node)) || ix.breakerSkip(node)
+		}
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	var best *load
 	for node := range ix.holders[obj] {
-		if exclude != nil && exclude(node) {
+		if skip != nil && skip(node) {
 			continue
 		}
 		l := ix.loads[node]
