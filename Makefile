@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race examples bench
+.PHONY: check build vet test race examples bench daemon-smoke fuzz
 
 check: build vet test race
 
@@ -30,6 +30,18 @@ examples:
 	$(GO) run ./examples/chaos
 	$(GO) run ./examples/peerboot
 	$(GO) run ./examples/resilver
+
+# Race-enabled loopback smoke for daemon mode: squirreld up, one
+# squirrelctl -addr run end to end, SIGTERM drain.
+daemon-smoke:
+	./scripts/daemon_smoke.sh
+
+# Short fuzz burst over the wire-protocol decoders (each target also
+# replays the checked-in seed corpus during plain `make test`).
+fuzz:
+	$(GO) test -fuzz FuzzReadFrame -fuzztime 10s ./internal/wireproto/
+	$(GO) test -fuzz FuzzReadHelloReply -fuzztime 5s ./internal/wireproto/
+	$(GO) test -fuzz FuzzDecodeError -fuzztime 5s ./internal/wireproto/
 
 # Run the benchmarks (experiment regeneration at the repo root, counter
 # and traced-vs-untraced boot-wave benches in internal packages) and

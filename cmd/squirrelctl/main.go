@@ -1,7 +1,12 @@
-// Command squirrelctl drives a simulated Squirrel deployment end to end:
-// it builds a cluster, registers images (with propagation), boots VMs on
-// compute nodes, exercises deregistration, garbage collection and offline
-// catch-up, and prints the resulting cVolume and network statistics.
+// Command squirrelctl drives a Squirrel deployment end to end: it
+// registers images (with propagation), boots VMs on compute nodes,
+// exercises deregistration, garbage collection and offline catch-up,
+// and prints the resulting cVolume and network statistics.
+//
+// By default the deployment is built in-process (the simulator). With
+// -addr the same script runs against a live squirreld over the
+// versioned TCP wire protocol — same subcommands, same reports, same
+// exit codes.
 //
 // Usage:
 //
@@ -12,6 +17,8 @@
 //	squirrelctl -health                  # crash/rot/scrub/resilver drama + health dump
 //	squirrelctl -telemetry               # traced run; dumps the telemetry snapshot (JSON + Prometheus)
 //	squirrelctl -trace boot              # traced run; renders the slowest boot's span tree
+//	squirrelctl -addr 127.0.0.1:7677 -telemetry   # same, against a live squirreld
+//	squirrelctl -version
 package main
 
 import (
@@ -23,22 +30,24 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
-	"repro/internal/corpus"
+	"repro/internal/ctlplane"
 	"repro/internal/fault"
-	"repro/internal/obs"
-	"repro/internal/peer"
+	"repro/internal/version"
+	"repro/internal/wireclient"
 )
 
 // Exit codes, keyed off the core package's sentinel errors so scripts
 // can tell operator mistakes (bad image/node names) from real failures.
+// The same codes come back from a remote squirreld: error frames carry
+// the sentinel family across the wire.
 const (
 	exitFailure      = 1 // generic failure
 	exitUnknownImage = 2
 	exitUnknownNode  = 3
 	exitNodeOffline  = 4
 	exitOverloaded   = 5 // boot shed by admission control; retry after load drains
+	exitConnect      = 6 // cannot reach squirreld, or protocol handshake failed
 )
 
 // exitCode maps an error chain onto the ctl's exit codes.
@@ -52,6 +61,8 @@ func exitCode(err error) int {
 		return exitNodeOffline
 	case errors.Is(err, core.ErrOverloaded):
 		return exitOverloaded
+	case errors.Is(err, wireclient.ErrConnect), errors.Is(err, wireclient.ErrHandshake):
+		return exitConnect
 	default:
 		return exitFailure
 	}
@@ -59,8 +70,8 @@ func exitCode(err error) int {
 
 func main() {
 	var (
-		nImages   = flag.Int("images", 16, "images to register")
-		nNodes    = flag.Int("nodes", 8, "compute nodes")
+		nImages   = flag.Int("images", 16, "images to register (in-process mode; the daemon's corpus governs with -addr)")
+		nNodes    = flag.Int("nodes", 8, "compute nodes (in-process mode; the daemon's cluster governs with -addr)")
 		vms       = flag.Int("vms", 2, "VMs booted per node")
 		offline   = flag.String("offline", "", "node to take offline during registrations")
 		verify    = flag.Bool("verify", true, "verify boot data against image content")
@@ -68,62 +79,64 @@ func main() {
 		health    = flag.Bool("health", false, "after the boot wave: crash a node, rot another, scrub, resilver, restart, and dump per-node health at each step")
 		telemetry = flag.Bool("telemetry", false, "trace the whole run (implies -peers -health) and dump the unified telemetry snapshot as JSON and Prometheus text")
 		trace     = flag.String("trace", "", "trace the whole run and render the span tree of the slowest operation of this kind (register, boot, scrub, resilver, sync, gc, restart)")
+		addr      = flag.String("addr", "", "drive a live squirreld at this TCP address instead of an in-process deployment")
+		showVer   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 	if *telemetry || *trace != "" {
 		// The snapshot (and the trace ring) is most interesting when
 		// every op kind fires.
 		*peers, *health = true, true
 	}
-	if err := run(context.Background(), *nImages, *nNodes, *vms, *offline, *verify, *peers, *health, *telemetry, *trace); err != nil {
+	sess, err := newSession(*addr, *nImages, *nNodes, *peers, *telemetry || *trace != "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(exitCode(err))
+	}
+	defer sess.Close()
+	if err := run(context.Background(), sess, *vms, *offline, *verify, *peers, *health, *telemetry, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(exitCode(err))
 	}
 }
 
-func run(ctx context.Context, nImages, nNodes, vms int, offline string, verify, peers, health bool, telemetry bool, trace string) error {
-	spec := corpus.DefaultSpec().Scale(float64(nImages)/607, 0.25)
-	repo, err := corpus.New(spec)
+// newSession picks the deployment: a live daemon when addr is set, an
+// in-process simulator otherwise. Both satisfy ctlplane.Session, so
+// run never knows the difference.
+func newSession(addr string, nImages, nNodes int, peers, traced bool) (ctlplane.Session, error) {
+	if addr != "" {
+		return wireclient.Dial(wireclient.Options{Addr: addr})
+	}
+	return ctlplane.NewLocal(ctlplane.Options{
+		Images: nImages,
+		Nodes:  nNodes,
+		Peers:  peers,
+		Traced: traced,
+	})
+}
+
+func run(ctx context.Context, sess ctlplane.Session, vms int, offline string, verify, peers, health, telemetry bool, trace string) error {
+	info, err := sess.Info()
 	if err != nil {
 		return err
 	}
-	if len(repo.Images) > nImages {
-		repo.Images = repo.Images[:nImages]
-	}
-	cl, err := cluster.New(cluster.GigE, 4, nNodes)
-	if err != nil {
-		return err
-	}
-	pfs, err := cluster.NewPFS(cl, 2, 2, 0)
-	if err != nil {
-		return err
-	}
-	cfg := core.DefaultConfig()
-	if peers {
-		cfg.Peer = peer.DefaultPolicy()
-		// Per-peer circuit breakers ride along with the exchange so the
-		// health table has breaker state to show.
-		cfg.Peer.Breaker = peer.DefaultBreakerPolicy()
-	}
-	if telemetry || trace != "" {
-		cfg.Obs = obs.New(0)
-	}
-	sq, err := core.New(cfg, cl, pfs)
-	if err != nil {
-		return err
-	}
+	images, nodes := info.Images, info.ComputeNodes
 
 	t0 := time.Date(2014, 6, 23, 9, 0, 0, 0, time.UTC)
-	fmt.Printf("registering %d images on a %d-node cluster...\n", len(repo.Images), nNodes)
+	fmt.Printf("registering %d images on a %d-node cluster...\n", len(images), len(nodes))
 	var diffTotal int64
-	for i, im := range repo.Images {
-		if offline != "" && i == len(repo.Images)/2 {
-			if err := sq.SetOnline(offline, false); err != nil {
+	for i, id := range images {
+		if offline != "" && i == len(images)/2 {
+			if err := sess.SetOnline(offline, false); err != nil {
 				return err
 			}
 			fmt.Printf("  %s goes OFFLINE\n", offline)
 		}
-		rep, err := sq.Register(ctx, core.RegisterRequest{Image: im, At: t0.Add(time.Duration(i) * time.Minute)})
+		rep, err := sess.Register(ctx, id, t0.Add(time.Duration(i)*time.Minute))
 		if err != nil {
 			return err
 		}
@@ -132,13 +145,13 @@ func run(ctx context.Context, nImages, nNodes, vms int, offline string, verify, 
 			rep.ImageID, rep.CacheBytes, rep.DiffBytes, rep.Nodes, rep.XferSec)
 	}
 	fmt.Printf("total diff traffic: %.2f MB for %.2f MB of caches (dedup across caches)\n\n",
-		float64(diffTotal)/(1<<20), float64(repo.CacheBytes())/(1<<20))
+		float64(diffTotal)/(1<<20), float64(info.CacheBytes)/(1<<20))
 
 	if offline != "" {
-		if err := sq.SetOnline(offline, true); err != nil {
+		if err := sess.SetOnline(offline, true); err != nil {
 			return err
 		}
-		rep, err := sq.SyncNode(ctx, offline)
+		rep, err := sess.SyncNode(ctx, offline)
 		if err != nil {
 			return err
 		}
@@ -149,21 +162,23 @@ func run(ctx context.Context, nImages, nNodes, vms int, offline string, verify, 
 		// Manufacture one cold miss so the boot wave exercises the peer
 		// path: the first compute node loses its replica of the first
 		// image and must fetch it from a neighbor.
-		node, im := cl.Compute[0].ID, repo.Images[0].ID
-		if err := sq.DropReplica(node, im); err != nil {
+		node, im := nodes[0], images[0]
+		if err := sess.DropReplica(node, im); err != nil {
 			return err
 		}
 		fmt.Printf("peer exchange on; dropped %s's replica of %s\n\n", node, im)
 	}
 
 	fmt.Printf("booting %d VMs per node, all from warm replicas...\n", vms)
-	cl.ResetCounters()
+	if err := sess.ResetNetCounters(); err != nil {
+		return err
+	}
 	img := 0
-	for _, n := range cl.Compute {
+	for _, n := range nodes {
 		for v := 0; v < vms; v++ {
-			im := repo.Images[img%len(repo.Images)]
+			im := images[img%len(images)]
 			img++
-			rep, err := sq.Boot(ctx, core.BootRequest{Image: im.ID, Node: n.ID, Verify: verify})
+			rep, err := sess.Boot(ctx, core.BootRequest{Image: im, Node: n, Verify: verify})
 			if err != nil {
 				return err
 			}
@@ -173,14 +188,20 @@ func run(ctx context.Context, nImages, nNodes, vms int, offline string, verify, 
 					src = "-"
 				}
 				fmt.Printf("  %s on %s: COLD (%d PFS bytes, %d peer bytes from %s)\n",
-					im.ID, n.ID, rep.NetworkBytes, rep.PeerBytes, src)
+					im, n, rep.NetworkBytes, rep.PeerBytes, src)
 			}
 		}
 	}
-	fmt.Printf("  %d boots done; compute-node network traffic: %d bytes\n\n",
-		img, cl.ComputeRxTotal())
+	rx, err := sess.ComputeRx()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d boots done; compute-node network traffic: %d bytes\n\n", img, rx)
 
-	ds := sq.Stats()
+	ds, err := sess.Stats()
+	if err != nil {
+		return err
+	}
 	st := ds.SCVolume
 	fmt.Println("deployment stats:")
 	fmt.Printf("  %d images registered on %d/%d online nodes (%d stale replicas)\n",
@@ -196,7 +217,11 @@ func run(ctx context.Context, nImages, nNodes, vms int, offline string, verify, 
 		for _, l := range ds.PeerLoads {
 			fmt.Printf("  %-8s  %-6d  %-12d  %d\n", l.NodeID, l.Active, l.ServedReads, l.ServedBytes)
 		}
-		if ctr := sq.PeerIndex().Counters().String(); ctr != "" {
+		ctr, err := sess.PeerCounters()
+		if err != nil {
+			return err
+		}
+		if ctr != "" {
 			fmt.Printf("  counters:\n")
 			for _, line := range strings.Split(strings.TrimRight(ctr, "\n"), "\n") {
 				fmt.Printf("    %s\n", line)
@@ -205,25 +230,31 @@ func run(ctx context.Context, nImages, nNodes, vms int, offline string, verify, 
 	}
 
 	if health {
-		if err := healthDrama(ctx, sq, cl, t0); err != nil {
+		if err := healthDrama(ctx, sess, nodes, t0); err != nil {
 			return err
 		}
 	}
 
-	n := sq.GarbageCollect(t0.Add(30 * 24 * time.Hour))
+	n, err := sess.GarbageCollect(t0.Add(30 * 24 * time.Hour))
+	if err != nil {
+		return err
+	}
 	fmt.Printf("\ngarbage collection destroyed %d old snapshots\n", n)
 
 	if telemetry {
-		snap := sq.Telemetry().Snapshot()
-		fmt.Printf("\n--- telemetry snapshot (JSON) ---\n%s\n", snap.JSON())
-		fmt.Printf("\n--- telemetry snapshot (Prometheus text) ---\n%s", snap.Prometheus())
+		dump, err := sess.Telemetry()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n--- telemetry snapshot (JSON) ---\n%s\n", dump.JSON)
+		fmt.Printf("\n--- telemetry snapshot (Prometheus text) ---\n%s", dump.Prometheus)
 	}
 	if trace != "" {
-		sp := sq.Telemetry().SlowestRoot(trace)
-		if sp == nil {
-			return fmt.Errorf("no completed %q operation in the trace ring (kinds: register, boot, scrub, resilver, sync, gc, restart)", trace)
+		tree, err := sess.TraceSlowest(trace)
+		if err != nil {
+			return err
 		}
-		fmt.Printf("\n--- slowest %q operation ---\n%s", trace, obs.RenderTree(sp))
+		fmt.Printf("\n--- slowest %q operation ---\n%s", trace, tree)
 	}
 	return nil
 }
@@ -231,34 +262,34 @@ func run(ctx context.Context, nImages, nNodes, vms int, offline string, verify, 
 // healthDrama walks the crash/rot/scrub/resilver lifecycle on a live
 // deployment and dumps the per-node health table after each act — the
 // operator's view of §3.5 robustness plus the at-rest integrity layer.
-func healthDrama(ctx context.Context, sq *core.Squirrel, cl *cluster.Cluster, t0 time.Time) error {
-	if len(cl.Compute) < 2 {
+func healthDrama(ctx context.Context, sess ctlplane.Session, nodes []string, t0 time.Time) error {
+	if len(nodes) < 2 {
 		return fmt.Errorf("-health needs at least 2 compute nodes")
 	}
-	crashed, rotten := cl.Compute[0].ID, cl.Compute[1].ID
+	crashed, rotten := nodes[0], nodes[1]
 
 	// A rot-only plan: nothing in the registration path fires, but
 	// InjectRot has deterministic at-rest damage to plant.
-	inj, err := fault.New(fault.Plan{Seed: 99, Rot: 0.4})
-	if err != nil {
+	if err := sess.SetFaults(fault.Plan{Seed: 99, Rot: 0.4}); err != nil {
 		return err
 	}
-	sq.SetFaults(inj)
 
 	fmt.Printf("\n--- health drama: crash %s, rot %s ---\n", crashed, rotten)
-	if err := sq.CrashNode(crashed, t0.Add(time.Hour)); err != nil {
+	if err := sess.CrashNode(crashed, t0.Add(time.Hour)); err != nil {
 		return err
 	}
-	refs, err := sq.InjectRot(rotten)
+	rotted, err := sess.InjectRot(rotten)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s crashed; %d blocks silently rotted on %s (latent — still undetected)\n",
-		crashed, len(refs), rotten)
-	printHealth(sq)
+		crashed, rotted, rotten)
+	if err := printHealth(sess); err != nil {
+		return err
+	}
 
 	fmt.Printf("\nscrubbing all replicas...\n")
-	scrubs, err := sq.ScrubAll(ctx, t0.Add(2*time.Hour))
+	scrubs, err := sess.ScrubAll(ctx, t0.Add(2*time.Hour))
 	if err != nil {
 		return err
 	}
@@ -268,10 +299,12 @@ func healthDrama(ctx context.Context, sq *core.Squirrel, cl *cluster.Cluster, t0
 				id, rep.CorruptBlocks+rep.MissingBlocks, rep.Blocks)
 		}
 	}
-	printHealth(sq)
+	if err := printHealth(sess); err != nil {
+		return err
+	}
 
 	fmt.Printf("\nresilvering damaged replicas...\n")
-	rres, err := sq.ResilverAll(ctx, t0.Add(3*time.Hour))
+	rres, err := sess.ResilverAll(ctx, t0.Add(3*time.Hour))
 	if err != nil {
 		return err
 	}
@@ -279,27 +312,34 @@ func healthDrama(ctx context.Context, sq *core.Squirrel, cl *cluster.Cluster, t0
 		fmt.Printf("  %s: repaired %d/%d (peer %d blocks/%d B, pfs %d blocks/%d B) in %.3fs\n",
 			r.NodeID, r.Repaired, r.Blocks, r.PeerBlocks, r.PeerBytes, r.PFSBlocks, r.PFSBytes, r.XferSec)
 	}
-	rec, err := sq.RestartNode(crashed, t0.Add(4*time.Hour))
+	rec, err := sess.RestartNode(crashed, t0.Add(4*time.Hour))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("  %s restarted after %s down: rolled back=%v, scrub %d blocks clean=%v\n",
 		rec.NodeID, rec.Downtime, rec.RolledBack, rec.Scrub.Blocks, rec.Damaged == 0)
-	if sq.Stats().LaggingNodes > 0 {
-		if _, err := sq.SyncNode(ctx, crashed); err != nil {
+	ds, err := sess.Stats()
+	if err != nil {
+		return err
+	}
+	if ds.LaggingNodes > 0 {
+		if _, err := sess.SyncNode(ctx, crashed); err != nil {
 			return err
 		}
 		fmt.Printf("  %s healed via SyncNode\n", crashed)
 	}
-	printHealth(sq)
-	return nil
+	return printHealth(sess)
 }
 
 // printHealth dumps the per-node health table.
-func printHealth(sq *core.Squirrel) {
+func printHealth(sess ctlplane.Session) error {
+	sts, err := sess.Health()
+	if err != nil {
+		return err
+	}
 	fmt.Printf("\n  %-8s  %-11s  %-7s  %-9s  %-9s  %-10s  %s\n",
 		"node", "state", "corrupt", "withdrawn", "breaker", "last scrub", "snapshot")
-	for _, st := range sq.Health() {
+	for _, st := range sts {
 		scrub, down := "never", ""
 		if !st.LastScrub.IsZero() {
 			scrub = st.LastScrub.Format("15:04:05")
@@ -321,6 +361,7 @@ func printHealth(sq *core.Squirrel) {
 		fmt.Printf("  %-8s  %-11s  %-7d  %-9v  %-9s  %-10s  %s%s\n",
 			st.NodeID, st.State, st.CorruptBlocks, st.Withdrawn, breaker, scrub, snap, down)
 	}
+	return nil
 }
 
 func mb(b int64) float64 { return float64(b) / (1 << 20) }

@@ -1,0 +1,113 @@
+// Command squirreld is the Squirrel control-plane daemon: it owns a
+// deployment (corpus, cluster, cVolumes) and serves the versioned
+// wireproto protocol over TCP, so squirrelctl — and anything else that
+// links internal/wireclient — drives registrations, boots, and
+// lifecycle operations across a real socket instead of in-process
+// calls.
+//
+// Usage:
+//
+//	squirreld                                  # listen on 127.0.0.1:7677
+//	squirreld -addr :7677 -images 32 -nodes 16
+//	squirreld -peers -traced                   # peer exchange + telemetry on
+//	squirreld -version
+//
+// SIGTERM/SIGINT trigger graceful shutdown: the listener closes, no
+// new requests are read, in-flight operations (boots included) run to
+// completion and flush their responses, then the daemon exits. A
+// second signal — or the drain timeout — forces it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/ctlplane"
+	"repro/internal/daemon"
+	"repro/internal/version"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7677", "TCP listen address")
+		nImages     = flag.Int("images", 16, "corpus size (images the deployment can register)")
+		nNodes      = flag.Int("nodes", 8, "compute nodes")
+		peers       = flag.Bool("peers", false, "enable the peer block exchange (with circuit breakers)")
+		traced      = flag.Bool("traced", false, "enable span tracing and unified telemetry")
+		bootLatency = flag.Duration("boot-latency", 0, "wall-clock per-boot device wait (demo/benchmark realism)")
+		maxConns    = flag.Int("max-conns", daemon.DefaultMaxConns, "concurrent connection limit")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before in-flight requests are cancelled")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
+	logger := log.New(os.Stderr, "squirreld: ", log.LstdFlags)
+	if err := run(logger, *addr, *nImages, *nNodes, *peers, *traced, *bootLatency, *maxConns, *drain); err != nil {
+		logger.Println(err)
+		os.Exit(1)
+	}
+}
+
+func run(logger *log.Logger, addr string, nImages, nNodes int, peers, traced bool, bootLatency time.Duration, maxConns int, drain time.Duration) error {
+	local, err := ctlplane.NewLocal(ctlplane.Options{
+		Images:      nImages,
+		Nodes:       nNodes,
+		Peers:       peers,
+		Traced:      traced,
+		BootLatency: bootLatency,
+	})
+	if err != nil {
+		return err
+	}
+	srv := daemon.New(local, daemon.Config{
+		Addr:     addr,
+		MaxConns: maxConns,
+		Logf:     logger.Printf,
+	})
+	if err := srv.Listen(); err != nil {
+		return err
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	draining := make(chan struct{})
+	shutdownErr := make(chan error, 1)
+	go func() {
+		s := <-sig
+		logger.Printf("received %s; draining (budget %s, signal again to force)", s, drain)
+		close(draining)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		go func() {
+			<-sig
+			logger.Printf("second signal; forcing shutdown")
+			cancel()
+		}()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+
+	if err := srv.Serve(); err != nil {
+		return err
+	}
+	// Serve returns as soon as the listener closes; if a signal started
+	// the drain, hold the process open until it finishes flushing
+	// in-flight requests.
+	select {
+	case <-draining:
+		if err := <-shutdownErr; err != nil {
+			logger.Printf("drain incomplete: %v", err)
+		}
+	default:
+	}
+	logger.Printf("shutdown complete")
+	return nil
+}

@@ -1,0 +1,69 @@
+package ctlplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/wireproto"
+)
+
+// ErrDraining is returned for requests that reach a daemon after it
+// began graceful shutdown. Transient: the operator is rolling the
+// daemon; retry against the replacement.
+var ErrDraining = errors.New("ctlplane: server draining")
+
+// codes pairs each sentinel the control plane can carry with its wire
+// code, most-specific first. CodeFor walks it with errors.Is; the
+// inverse map seeds ErrFromCode.
+var codes = []struct {
+	code uint16
+	err  error
+}{
+	{wireproto.CodeUnknownImage, core.ErrUnknownImage},
+	{wireproto.CodeUnknownNode, core.ErrUnknownNode},
+	{wireproto.CodeNodeOffline, core.ErrNodeOffline},
+	{wireproto.CodeOverloaded, core.ErrOverloaded},
+	{wireproto.CodeRegistered, core.ErrRegistered},
+	{wireproto.CodeUnreachable, core.ErrPartitioned},
+	{wireproto.CodeDeadline, context.DeadlineExceeded},
+	{wireproto.CodeCanceled, context.Canceled},
+	{wireproto.CodeDraining, ErrDraining},
+}
+
+// CodeFor maps an error chain onto its wire code. Everything outside
+// the sentinel family is CodeGeneric: the message still crosses the
+// wire, only the errors.Is identity is dropped.
+func CodeFor(err error) uint16 {
+	for _, c := range codes {
+		if errors.Is(err, c.err) {
+			return c.code
+		}
+	}
+	return wireproto.CodeGeneric
+}
+
+// remoteError is an error reconstructed from a wire error body: the
+// server-side message verbatim, unwrapping to the sentinel its code
+// names so errors.Is works exactly as it would in-process.
+type remoteError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.sentinel }
+
+// ErrFromCode rebuilds a client-side error from a wire error body.
+func ErrFromCode(code uint16, msg string) error {
+	if msg == "" {
+		msg = fmt.Sprintf("squirreld error (code %d)", code)
+	}
+	for _, c := range codes {
+		if c.code == code {
+			return &remoteError{msg: msg, sentinel: c.err}
+		}
+	}
+	return errors.New(msg)
+}

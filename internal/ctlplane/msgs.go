@@ -1,0 +1,88 @@
+package ctlplane
+
+import "time"
+
+// Wire message bodies. Each wireproto frame type carries one of these,
+// JSON-encoded: the framing is binary (internal/wireproto), the bodies
+// are self-describing so report structs can grow fields without a
+// protocol version bump. Both internal/wireclient and internal/daemon
+// marshal against these definitions; keeping them in one place is what
+// makes the two ends agree.
+//
+// Frame type ↔ body mapping:
+//
+//	TInfo        — (no request body)            → Info
+//	TRegister    — RegisterArgs                 → core.RegisterReport
+//	TBoot        — core.BootRequest             → core.BootReport
+//	TSync        — NodeArgs                     → core.SyncReport
+//	THealth      — (none)                       → []core.NodeStatus
+//	TTelemetry   — (none)                       → TelemetryDump
+//	TPeers       — (none)                       → PeersReply
+//	TStats       — (none)                       → core.DeploymentStats
+//	TSetOnline   — OnlineArgs                   → (none)
+//	TDropReplica — DropArgs                     → (none)
+//	TCrash       — NodeAtArgs                   → (none)
+//	TRestart     — NodeAtArgs                   → core.RecoveryReport
+//	TRot         — NodeArgs                     → RotReply
+//	TSetFaults   — fault.Plan                   → (none)
+//	TScrubAll    — AtArgs                       → map[string]zvol.ScrubReport
+//	TResilverAll — AtArgs                       → []core.ResilverReport
+//	TGC          — AtArgs                       → CountReply
+//	TTrace       — TraceArgs                    → TextReply
+//	TNetReset    — (none)                       → (none)
+//	TNetRx       — (none)                       → BytesReply
+type (
+	// RegisterArgs asks for one registration by corpus image ID.
+	RegisterArgs struct {
+		Image string
+		At    time.Time
+	}
+	// NodeArgs names a node (sync, rot).
+	NodeArgs struct {
+		Node string
+	}
+	// NodeAtArgs names a node and a time (crash, restart).
+	NodeAtArgs struct {
+		Node string
+		At   time.Time
+	}
+	// OnlineArgs flips a node's availability.
+	OnlineArgs struct {
+		Node string
+		Up   bool
+	}
+	// DropArgs removes one replica object.
+	DropArgs struct {
+		Node  string
+		Image string
+	}
+	// AtArgs carries a timestamp (scrub, resilver, GC).
+	AtArgs struct {
+		At time.Time
+	}
+	// TraceArgs names an operation kind.
+	TraceArgs struct {
+		Kind string
+	}
+
+	// PeersReply is the rendered peer counter set.
+	PeersReply struct {
+		Counters string
+	}
+	// RotReply counts blocks rotted.
+	RotReply struct {
+		Blocks int
+	}
+	// CountReply is a bare count (GC).
+	CountReply struct {
+		N int
+	}
+	// BytesReply is a bare byte count (NIC totals).
+	BytesReply struct {
+		Bytes int64
+	}
+	// TextReply is a rendered text blob (span trees).
+	TextReply struct {
+		Text string
+	}
+)

@@ -1,0 +1,471 @@
+// Package daemon is the server side of Squirrel's control plane: it
+// owns a deployment (a ctlplane.Session, normally ctlplane.Local) and
+// serves it to wireclient connections over the wireproto framing.
+//
+// cmd/squirreld is a thin flag-parsing wrapper around Server; the
+// logic lives here so the loopback end-to-end, equivalence, and
+// graceful-shutdown tests can drive a real listening server inside
+// `go test -race`.
+//
+// Concurrency model: one goroutine per connection reads frames and
+// spawns one goroutine per request (clients pipeline by request ID), a
+// second per-connection goroutine serializes response writes. Graceful
+// shutdown (SIGTERM in squirreld, or Server.Shutdown) stops accepting
+// connections and reading new frames but lets every in-flight request
+// — boots included — run to completion and flush its response before
+// the connections close; only when the Shutdown context expires are
+// request contexts cancelled and connections torn down.
+package daemon
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctlplane"
+	"repro/internal/fault"
+	"repro/internal/version"
+	"repro/internal/wireproto"
+)
+
+// Config shapes one Server.
+type Config struct {
+	// Addr is the TCP listen address (host:port; port 0 picks one).
+	Addr string
+	// MaxConns bounds concurrently served connections; connections over
+	// the limit are rejected with a HelloBusy handshake reply. 0 means
+	// DefaultMaxConns.
+	MaxConns int
+	// HandshakeTimeout bounds how long a fresh connection may take to
+	// complete the hello exchange. 0 means DefaultHandshakeTimeout.
+	HandshakeTimeout time.Duration
+	// Logf, when set, receives one line per lifecycle event (listen,
+	// serve, drain). nil is silent — tests want quiet servers.
+	Logf func(format string, args ...any)
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxConns         = 64
+	DefaultHandshakeTimeout = 10 * time.Second
+	writeTimeout            = 30 * time.Second
+)
+
+// errBadRequest marks undecodable bodies and unknown frame types; it
+// travels as CodeBadRequest.
+var errBadRequest = errors.New("daemon: bad request")
+
+// Server serves one deployment over TCP.
+type Server struct {
+	cfg  Config
+	sess ctlplane.Session
+
+	// ctx is the base context of every request; cancel fires only on
+	// forced (deadline-expired) shutdown, so a graceful drain lets
+	// in-flight boots finish.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining atomic.Bool
+	connWG   sync.WaitGroup
+}
+
+// New builds a Server over sess. Call Listen then Serve.
+func New(sess ctlplane.Session, cfg Config) *Server {
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{cfg: cfg, sess: sess, ctx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds the configured address. Split from Serve so callers can
+// learn the bound address (port 0) before any client dials.
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("daemon: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.logf("squirreld %s listening on %s (proto v%d, max %d conns)",
+		version.Build, ln.Addr(), wireproto.Version, s.cfg.MaxConns)
+	return nil
+}
+
+// Addr is the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts and serves connections until the listener closes.
+// After a graceful Shutdown it returns nil once every connection has
+// drained; any other accept failure is returned as-is.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return fmt.Errorf("daemon: Serve before Listen")
+	}
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				s.connWG.Wait()
+				return nil
+			}
+			return fmt.Errorf("daemon: accept: %w", err)
+		}
+		busy := false
+		s.mu.Lock()
+		switch {
+		case s.draining.Load():
+			s.mu.Unlock()
+			_ = c.Close()
+			continue
+		case len(s.conns) >= s.cfg.MaxConns:
+			busy = true
+		default:
+			s.conns[c] = struct{}{}
+			s.connWG.Add(1)
+		}
+		s.mu.Unlock()
+		if busy {
+			go s.rejectBusy(c)
+			continue
+		}
+		go s.handleConn(c)
+	}
+}
+
+// Shutdown drains the server: no new connections, no new requests, but
+// every request already in flight completes and its response is
+// flushed. If ctx expires first, in-flight request contexts are
+// cancelled and connections are closed; Shutdown still waits for the
+// connection handlers to unwind before returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining.Swap(true)
+	ln := s.ln
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for c := range s.conns {
+		// Nudge the read loops: the pending ReadFrame fails with a
+		// deadline error and the loop stops pulling new requests.
+		_ = c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if !already {
+		s.logf("draining: waiting for in-flight requests")
+	}
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// rejectBusy answers the handshake of an over-limit connection with
+// HelloBusy and closes it.
+func (s *Server) rejectBusy(c net.Conn) {
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	if _, err := wireproto.ReadHello(c); err != nil {
+		return
+	}
+	_ = wireproto.WriteHelloReply(c, wireproto.HelloBusy,
+		fmt.Sprintf("squirreld at connection limit (%d); retry", s.cfg.MaxConns))
+}
+
+// handleConn runs one connection: handshake, then a read loop that
+// fans requests out to handler goroutines and a write loop that
+// serializes their responses.
+func (s *Server) handleConn(c net.Conn) {
+	defer func() {
+		_ = c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.connWG.Done()
+	}()
+
+	br := bufio.NewReader(c)
+	_ = c.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	ver, err := wireproto.ReadHello(br)
+	if err != nil {
+		return
+	}
+	if ver != wireproto.Version {
+		_ = wireproto.WriteHelloReply(c, wireproto.HelloVersionMismatch,
+			fmt.Sprintf("protocol version mismatch: server %s speaks v%d, client sent v%d",
+				version.Build, wireproto.Version, ver))
+		return
+	}
+	if err := wireproto.WriteHelloReply(c, wireproto.HelloOK, ""); err != nil {
+		return
+	}
+	_ = c.SetReadDeadline(time.Time{})
+
+	out := make(chan wireproto.Frame, 32)
+	writerDone := make(chan struct{})
+	go s.writeLoop(c, out, writerDone)
+
+	var pending sync.WaitGroup
+	for {
+		f, err := wireproto.ReadFrame(br)
+		if err != nil {
+			// EOF, the shutdown nudge, or a framing violation — in every
+			// case the stream is done taking requests. A framing error is
+			// unrecoverable by construction (the byte stream is out of
+			// sync), so closing is the only safe answer.
+			break
+		}
+		if s.draining.Load() {
+			out <- errorFrame(f, ctlplane.ErrDraining)
+			continue
+		}
+		pending.Add(1)
+		go func(f wireproto.Frame) {
+			defer pending.Done()
+			out <- s.dispatch(f)
+		}(f)
+	}
+	// Drain: every accepted request finishes and flushes before close.
+	pending.Wait()
+	close(out)
+	<-writerDone
+}
+
+// writeLoop serializes response frames onto the connection. After a
+// write error it keeps draining the channel (discarding frames) so
+// handler goroutines never block on a dead connection.
+func (s *Server) writeLoop(c net.Conn, out <-chan wireproto.Frame, done chan<- struct{}) {
+	defer close(done)
+	bw := bufio.NewWriter(c)
+	broken := false
+	for f := range out {
+		if broken {
+			continue
+		}
+		_ = c.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if err := wireproto.WriteFrame(bw, f); err != nil {
+			broken = true
+			continue
+		}
+		if err := bw.Flush(); err != nil {
+			broken = true
+		}
+	}
+}
+
+// dispatch decodes one request, runs it against the session, and
+// encodes the response (or error) frame. A handler panic is converted
+// into an error frame rather than killing the daemon.
+func (s *Server) dispatch(f wireproto.Frame) (resp wireproto.Frame) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = errorFrame(f, fmt.Errorf("daemon: panic serving frame type %d: %v", f.Type, r))
+		}
+	}()
+	result, err := s.handle(s.ctx, f.Type, f.Payload)
+	if err != nil {
+		return errorFrame(f, err)
+	}
+	var payload []byte
+	if result != nil {
+		payload, err = json.Marshal(result)
+		if err != nil {
+			return errorFrame(f, fmt.Errorf("daemon: encode response: %w", err))
+		}
+	}
+	return wireproto.Frame{Type: f.Type, Flags: wireproto.FlagResponse, ReqID: f.ReqID, Payload: payload}
+}
+
+// errorFrame wraps err as the error response to frame f, mapping the
+// sentinel family onto wire codes so clients rebuild errors.Is
+// identity.
+func errorFrame(f wireproto.Frame, err error) wireproto.Frame {
+	code := ctlplane.CodeFor(err)
+	if errors.Is(err, errBadRequest) {
+		code = wireproto.CodeBadRequest
+	}
+	return wireproto.Frame{
+		Type:    f.Type,
+		Flags:   wireproto.FlagResponse | wireproto.FlagError,
+		ReqID:   f.ReqID,
+		Payload: wireproto.EncodeError(code, err.Error()),
+	}
+}
+
+// decode unmarshals a request body; an empty body decodes to the zero
+// args so bodyless frames stay cheap.
+func decode[T any](body []byte) (T, error) {
+	var v T
+	if len(body) == 0 {
+		return v, nil
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		return v, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return v, nil
+}
+
+// handle maps one frame type onto the session call it names.
+func (s *Server) handle(ctx context.Context, t uint8, body []byte) (any, error) {
+	switch t {
+	case wireproto.TInfo:
+		return s.sess.Info()
+	case wireproto.TRegister:
+		a, err := decode[ctlplane.RegisterArgs](body)
+		if err != nil {
+			return nil, err
+		}
+		return s.sess.Register(ctx, a.Image, a.At)
+	case wireproto.TBoot:
+		a, err := decode[core.BootRequest](body)
+		if err != nil {
+			return nil, err
+		}
+		return s.sess.Boot(ctx, a)
+	case wireproto.TSync:
+		a, err := decode[ctlplane.NodeArgs](body)
+		if err != nil {
+			return nil, err
+		}
+		return s.sess.SyncNode(ctx, a.Node)
+	case wireproto.THealth:
+		return s.sess.Health()
+	case wireproto.TTelemetry:
+		return s.sess.Telemetry()
+	case wireproto.TPeers:
+		ctr, err := s.sess.PeerCounters()
+		if err != nil {
+			return nil, err
+		}
+		return ctlplane.PeersReply{Counters: ctr}, nil
+	case wireproto.TStats:
+		return s.sess.Stats()
+	case wireproto.TSetOnline:
+		a, err := decode[ctlplane.OnlineArgs](body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.sess.SetOnline(a.Node, a.Up)
+	case wireproto.TDropReplica:
+		a, err := decode[ctlplane.DropArgs](body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.sess.DropReplica(a.Node, a.Image)
+	case wireproto.TCrash:
+		a, err := decode[ctlplane.NodeAtArgs](body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.sess.CrashNode(a.Node, a.At)
+	case wireproto.TRestart:
+		a, err := decode[ctlplane.NodeAtArgs](body)
+		if err != nil {
+			return nil, err
+		}
+		return s.sess.RestartNode(a.Node, a.At)
+	case wireproto.TRot:
+		a, err := decode[ctlplane.NodeArgs](body)
+		if err != nil {
+			return nil, err
+		}
+		n, err := s.sess.InjectRot(a.Node)
+		if err != nil {
+			return nil, err
+		}
+		return ctlplane.RotReply{Blocks: n}, nil
+	case wireproto.TSetFaults:
+		a, err := decode[fault.Plan](body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.sess.SetFaults(a)
+	case wireproto.TScrubAll:
+		a, err := decode[ctlplane.AtArgs](body)
+		if err != nil {
+			return nil, err
+		}
+		return s.sess.ScrubAll(ctx, a.At)
+	case wireproto.TResilverAll:
+		a, err := decode[ctlplane.AtArgs](body)
+		if err != nil {
+			return nil, err
+		}
+		return s.sess.ResilverAll(ctx, a.At)
+	case wireproto.TGC:
+		a, err := decode[ctlplane.AtArgs](body)
+		if err != nil {
+			return nil, err
+		}
+		n, err := s.sess.GarbageCollect(a.At)
+		if err != nil {
+			return nil, err
+		}
+		return ctlplane.CountReply{N: n}, nil
+	case wireproto.TTrace:
+		a, err := decode[ctlplane.TraceArgs](body)
+		if err != nil {
+			return nil, err
+		}
+		text, err := s.sess.TraceSlowest(a.Kind)
+		if err != nil {
+			return nil, err
+		}
+		return ctlplane.TextReply{Text: text}, nil
+	case wireproto.TNetReset:
+		return nil, s.sess.ResetNetCounters()
+	case wireproto.TNetRx:
+		n, err := s.sess.ComputeRx()
+		if err != nil {
+			return nil, err
+		}
+		return ctlplane.BytesReply{Bytes: n}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown frame type %d", errBadRequest, t)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

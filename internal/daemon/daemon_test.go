@@ -1,0 +1,469 @@
+package daemon
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctlplane"
+	"repro/internal/wireclient"
+	"repro/internal/wireproto"
+)
+
+// startServer brings up a daemon on a loopback port and returns its
+// address. The server is drained when the test ends.
+func startServer(t *testing.T, opts ctlplane.Options, cfg Config) (string, *Server) {
+	t.Helper()
+	local, err := ctlplane.NewLocal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Addr = "127.0.0.1:0"
+	srv := New(local, cfg)
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		if err := <-served; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv.Addr().String(), srv
+}
+
+func dial(t *testing.T, addr string) *wireclient.Client {
+	t.Helper()
+	c, err := wireclient.Dial(wireclient.Options{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+var sessionT0 = time.Date(2014, 6, 23, 9, 0, 0, 0, time.UTC)
+
+// scenarioResult is everything the scripted scenario observes through a
+// Session — the material the equivalence test diffs across transports.
+type scenarioResult struct {
+	Registers []core.RegisterReport
+	Sync      core.SyncReport
+	Boots     []core.BootReport
+	Rx        int64
+	Stats     core.DeploymentStats
+	Health    []core.NodeStatus
+	GC        int
+}
+
+// runScenario drives one seeded end-to-end script — registrations with
+// a node offline mid-wave, catch-up sync, a dropped replica forcing a
+// peer-served cold boot, a boot wave, stats/health, GC — identically
+// against any Session.
+func runScenario(t *testing.T, sess ctlplane.Session) scenarioResult {
+	t.Helper()
+	ctx := context.Background()
+	info, err := sess.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Images) == 0 || len(info.ComputeNodes) < 2 {
+		t.Fatalf("degenerate deployment: %+v", info)
+	}
+	var res scenarioResult
+	offline := info.ComputeNodes[1]
+	for i, id := range info.Images {
+		if i == len(info.Images)/2 {
+			if err := sess.SetOnline(offline, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep, err := sess.Register(ctx, id, sessionT0.Add(time.Duration(i)*time.Minute))
+		if err != nil {
+			t.Fatalf("register %s: %v", id, err)
+		}
+		res.Registers = append(res.Registers, rep)
+	}
+	if err := sess.SetOnline(offline, true); err != nil {
+		t.Fatal(err)
+	}
+	if res.Sync, err = sess.SyncNode(ctx, offline); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.DropReplica(info.ComputeNodes[0], info.Images[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.ResetNetCounters(); err != nil {
+		t.Fatal(err)
+	}
+	img := 0
+	for _, n := range info.ComputeNodes {
+		for v := 0; v < 2; v++ {
+			id := info.Images[img%len(info.Images)]
+			img++
+			rep, err := sess.Boot(ctx, core.BootRequest{Image: id, Node: n, Verify: true})
+			if err != nil {
+				t.Fatalf("boot %s on %s: %v", id, n, err)
+			}
+			res.Boots = append(res.Boots, rep)
+		}
+	}
+	if res.Rx, err = sess.ComputeRx(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats, err = sess.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Health, err = sess.Health(); err != nil {
+		t.Fatal(err)
+	}
+	if res.GC, err = sess.GarbageCollect(sessionT0.Add(30 * 24 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDaemonEquivalence is the acceptance proof: the same seeded
+// scenario produces identical reports whether the Session is the
+// in-process Local or a wireclient talking to a live daemon — every
+// RegisterReport and BootReport field, plus sync, stats, health, and
+// NIC accounting, survives the wire byte-for-byte.
+func TestDaemonEquivalence(t *testing.T) {
+	opts := ctlplane.Options{Images: 4, Nodes: 4, Peers: true}
+
+	local, err := ctlplane.NewLocal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runScenario(t, local)
+
+	addr, _ := startServer(t, opts, Config{})
+	got := runScenario(t, dial(t, addr))
+
+	if !reflect.DeepEqual(want.Registers, got.Registers) {
+		t.Errorf("RegisterReports diverge:\nin-process: %+v\ndaemon:     %+v", want.Registers, got.Registers)
+	}
+	if !reflect.DeepEqual(want.Boots, got.Boots) {
+		t.Errorf("BootReports diverge:\nin-process: %+v\ndaemon:     %+v", want.Boots, got.Boots)
+	}
+	if !reflect.DeepEqual(want.Sync, got.Sync) {
+		t.Errorf("SyncReport diverges: %+v vs %+v", want.Sync, got.Sync)
+	}
+	if want.Rx != got.Rx {
+		t.Errorf("compute RX diverges: %d vs %d", want.Rx, got.Rx)
+	}
+	if !reflect.DeepEqual(want.Stats, got.Stats) {
+		t.Errorf("DeploymentStats diverge:\nin-process: %+v\ndaemon:     %+v", want.Stats, got.Stats)
+	}
+	if !statusesEqual(want.Health, got.Health) {
+		t.Errorf("Health diverges:\nin-process: %+v\ndaemon:     %+v", want.Health, got.Health)
+	}
+	if want.GC != got.GC {
+		t.Errorf("GC count diverges: %d vs %d", want.GC, got.GC)
+	}
+}
+
+// statusesEqual compares health tables with time.Time equality
+// semantics (JSON round-trips drop the monotonic clock reading, which
+// reflect.DeepEqual would treat as a difference).
+func statusesEqual(a, b []core.NodeStatus) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if !x.LastScrub.Equal(y.LastScrub) || !x.DownSince.Equal(y.DownSince) {
+			return false
+		}
+		x.LastScrub, y.LastScrub = time.Time{}, time.Time{}
+		x.DownSince, y.DownSince = time.Time{}, time.Time{}
+		if !reflect.DeepEqual(x, y) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWireSentinels proves the errors.Is family — and therefore
+// squirrelctl's exit codes 2–5 — survives the wire.
+func TestWireSentinels(t *testing.T) {
+	addr, _ := startServer(t, ctlplane.Options{Images: 2, Nodes: 2}, Config{})
+	c := dial(t, addr)
+	ctx := context.Background()
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, node := info.Images[0], info.ComputeNodes[0]
+	if _, err := c.Register(ctx, im, sessionT0); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Boot(ctx, core.BootRequest{Image: "nope", Node: node}); !errors.Is(err, core.ErrUnknownImage) {
+		t.Errorf("unknown image over the wire: got %v", err)
+	}
+	if _, err := c.Boot(ctx, core.BootRequest{Image: im, Node: "nope"}); !errors.Is(err, core.ErrUnknownNode) {
+		t.Errorf("unknown node over the wire: got %v", err)
+	}
+	if _, err := c.Register(ctx, im, sessionT0); !errors.Is(err, core.ErrRegistered) {
+		t.Errorf("duplicate register over the wire: got %v", err)
+	}
+	if err := c.SetOnline(node, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Boot(ctx, core.BootRequest{Image: im, Node: node}); !errors.Is(err, core.ErrNodeOffline) {
+		t.Errorf("offline node over the wire: got %v", err)
+	}
+	// The message crosses too: operators see the server-side detail.
+	_, err = c.Boot(ctx, core.BootRequest{Image: im, Node: node})
+	if err == nil || !strings.Contains(err.Error(), node) {
+		t.Errorf("error message lost detail: %v", err)
+	}
+}
+
+// TestPipelinedConcurrentCalls hammers one connection from many
+// goroutines: request IDs must route every response to its caller
+// (run under -race this is also the client/daemon concurrency proof).
+func TestPipelinedConcurrentCalls(t *testing.T) {
+	opts := ctlplane.Options{Images: 2, Nodes: 4}
+	addr, _ := startServer(t, opts, Config{})
+	c := dial(t, addr)
+	ctx := context.Background()
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range info.Images {
+		if _, err := c.Register(ctx, id, sessionT0.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			node := info.ComputeNodes[i%len(info.ComputeNodes)]
+			im := info.Images[i%len(info.Images)]
+			for j := 0; j < 4; j++ {
+				rep, err := c.Boot(ctx, core.BootRequest{Image: im, Node: node, Verify: true})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rep.ImageID != im || rep.NodeID != node {
+					errs <- fmt.Errorf("response routed to wrong caller: got %s/%s want %s/%s",
+						rep.ImageID, rep.NodeID, im, node)
+					return
+				}
+				if _, err := c.Health(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestGracefulShutdownDrainsBoots is the SIGTERM-semantics proof:
+// Shutdown with boots in flight completes those boots (their responses
+// arrive intact), rejects new connections, and Serve exits cleanly.
+func TestGracefulShutdownDrainsBoots(t *testing.T) {
+	opts := ctlplane.Options{Images: 2, Nodes: 4, BootLatency: 150 * time.Millisecond}
+	local, err := ctlplane.NewLocal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(local, Config{Addr: "127.0.0.1:0"})
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve() }()
+	addr := srv.Addr().String()
+
+	c, err := wireclient.Dial(wireclient.Options{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range info.Images {
+		if _, err := c.Register(ctx, id, sessionT0.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fire a wave of slow boots, then shut down mid-flight.
+	const boots = 8
+	reports := make(chan core.BootReport, boots)
+	bootErrs := make(chan error, boots)
+	var wg sync.WaitGroup
+	for i := 0; i < boots; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := c.Boot(ctx, core.BootRequest{
+				Image: info.Images[i%len(info.Images)],
+				Node:  info.ComputeNodes[i%len(info.ComputeNodes)],
+			})
+			if err != nil {
+				bootErrs <- err
+				return
+			}
+			reports <- rep
+		}(i)
+	}
+	time.Sleep(30 * time.Millisecond) // let the wave reach the daemon
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		t.Fatalf("graceful shutdown did not drain: %v", err)
+	}
+	wg.Wait()
+	close(reports)
+	close(bootErrs)
+	for err := range bootErrs {
+		t.Errorf("in-flight boot failed across shutdown: %v", err)
+	}
+	n := 0
+	for rep := range reports {
+		n++
+		if rep.ImageID == "" || rep.NodeID == "" {
+			t.Errorf("drained boot returned an empty report: %+v", rep)
+		}
+	}
+	if n != boots {
+		t.Errorf("only %d/%d in-flight boots completed across shutdown", n, boots)
+	}
+
+	// New connections must be refused now.
+	if _, err := wireclient.Dial(wireclient.Options{Addr: addr, Attempts: 2, Backoff: 10 * time.Millisecond}); !errors.Is(err, wireclient.ErrConnect) {
+		t.Errorf("dial after shutdown: got %v, want ErrConnect", err)
+	}
+	if err := <-served; err != nil {
+		t.Errorf("Serve returned %v after graceful shutdown", err)
+	}
+}
+
+// TestHandshakeVersionMismatch speaks a future protocol version at the
+// daemon raw: the reply must name both versions, and the client
+// surface must fail fast with ErrHandshake (no retry can fix it).
+func TestHandshakeVersionMismatch(t *testing.T) {
+	addr, _ := startServer(t, ctlplane.Options{Images: 1, Nodes: 1}, Config{})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := make([]byte, 0, 8)
+	hello = append(hello, wireproto.Magic...)
+	hello = binary.LittleEndian.AppendUint16(hello, wireproto.Version+41)
+	hello = binary.LittleEndian.AppendUint16(hello, 0)
+	if _, err := conn.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	_, status, msg, err := wireproto.ReadHelloReply(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != wireproto.HelloVersionMismatch {
+		t.Fatalf("status %d, want HelloVersionMismatch", status)
+	}
+	for _, want := range []string{
+		fmt.Sprintf("v%d", wireproto.Version),
+		fmt.Sprintf("v%d", wireproto.Version+41),
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("mismatch message %q does not name %s", msg, want)
+		}
+	}
+}
+
+// TestConnLimit exhausts MaxConns and expects HelloBusy handshake
+// rejections surfaced as ErrHandshake after the retry budget.
+func TestConnLimit(t *testing.T) {
+	addr, _ := startServer(t, ctlplane.Options{Images: 1, Nodes: 1}, Config{MaxConns: 2})
+	c1 := dial(t, addr)
+	c2 := dial(t, addr)
+	if _, err := c1.Info(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Info(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := wireclient.Dial(wireclient.Options{Addr: addr, Attempts: 2, Backoff: 10 * time.Millisecond})
+	if err == nil {
+		t.Fatal("third connection admitted past MaxConns=2")
+	}
+	if !errors.Is(err, wireclient.ErrConnect) && !errors.Is(err, wireclient.ErrHandshake) {
+		t.Errorf("over-limit dial: got %v", err)
+	}
+	// Freeing a slot readmits.
+	c1.Close()
+	c3, err := wireclient.Dial(wireclient.Options{Addr: addr, Attempts: 10, Backoff: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("dial after slot freed: %v", err)
+	}
+	defer c3.Close()
+	if _, err := c3.Info(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMalformedFrameClosesConn sends garbage mid-stream: the daemon
+// must drop the connection (the framing is out of sync) without taking
+// the process down, and a fresh connection must still be served.
+func TestMalformedFrameClosesConn(t *testing.T) {
+	addr, _ := startServer(t, ctlplane.Options{Images: 1, Nodes: 1}, Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wireproto.WriteHello(conn); err != nil {
+		t.Fatal(err)
+	}
+	if _, status, _, err := wireproto.ReadHelloReply(conn); err != nil || status != wireproto.HelloOK {
+		t.Fatalf("handshake: status %d err %v", status, err)
+	}
+	if _, err := conn.Write([]byte("this is not a frame, not even close............")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break // connection dropped, as it must be
+		}
+	}
+	// The daemon survived and serves new connections.
+	c := dial(t, addr)
+	if _, err := c.Info(); err != nil {
+		t.Errorf("daemon unusable after malformed frame: %v", err)
+	}
+}

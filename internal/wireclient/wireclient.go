@@ -1,0 +1,409 @@
+// Package wireclient is the client side of Squirrel's control plane: a
+// ctlplane.Session implementation that speaks the wireproto framing to
+// a live squirreld over TCP.
+//
+// The client pipelines: every call is assigned a request ID, written
+// to the shared connection, and parked until the matching response
+// frame arrives, so concurrent callers share one connection without
+// head-of-line blocking on the daemon side (the daemon handles each
+// request in its own goroutine). Dial retries refused connections with
+// exponential backoff — the daemon may still be starting — but a
+// protocol version mismatch fails immediately: retrying cannot fix it.
+package wireclient
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctlplane"
+	"repro/internal/fault"
+	"repro/internal/wireproto"
+	"repro/internal/zvol"
+)
+
+// Connection-level sentinels; squirrelctl maps both onto its
+// connection-failure exit code.
+var (
+	// ErrConnect is wrapped by dial failures (daemon down, wrong
+	// address, network refusals) after the retry budget is spent.
+	ErrConnect = errors.New("wireclient: cannot connect to squirreld")
+	// ErrHandshake is wrapped when a connection is established but the
+	// protocol handshake is rejected (version mismatch, busy daemon that
+	// stayed busy, or a peer that is not a squirreld at all).
+	ErrHandshake = errors.New("wireclient: handshake with squirreld failed")
+	// ErrClosed is returned by calls whose connection died before the
+	// response arrived.
+	ErrClosed = errors.New("wireclient: connection closed")
+)
+
+// Options shape one Dial.
+type Options struct {
+	// Addr is the daemon's TCP address (host:port).
+	Addr string
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// Attempts is the dial retry budget (default 5); only transient
+	// failures (refused connections, busy handshakes) are retried.
+	Attempts int
+	// Backoff is the initial retry delay, doubling per attempt
+	// (default 100ms).
+	Backoff time.Duration
+	// CallTimeout bounds each request that arrives without its own
+	// context deadline. 0 means no per-call deadline.
+	CallTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 5
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Client is a Session served by a remote squirreld.
+type Client struct {
+	opts Options
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan wireproto.Frame
+	err     error // terminal connection error; set once
+}
+
+var _ ctlplane.Session = (*Client)(nil)
+
+// Dial connects and handshakes with the daemon at opts.Addr.
+func Dial(opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	var lastErr error
+	backoff := opts.Backoff
+	for attempt := 0; attempt < opts.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		conn, err := net.DialTimeout("tcp", opts.Addr, opts.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c, err := handshake(conn, opts)
+		if err == nil {
+			return c, nil
+		}
+		_ = conn.Close()
+		if errors.Is(err, ErrHandshake) && !errors.Is(err, errBusy) {
+			// A version mismatch (or a non-squirreld peer) will not heal
+			// on retry.
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w at %s after %d attempts: %v", ErrConnect, opts.Addr, opts.Attempts, lastErr)
+}
+
+// errBusy marks a HelloBusy rejection — transient, retried by Dial.
+var errBusy = errors.New("wireclient: daemon busy")
+
+// handshake runs the hello exchange and brings up the read loop.
+func handshake(conn net.Conn, opts Options) (*Client, error) {
+	deadline := time.Now().Add(opts.DialTimeout)
+	_ = conn.SetDeadline(deadline)
+	if err := wireproto.WriteHello(conn); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	ver, status, msg, err := wireproto.ReadHelloReply(conn)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	switch status {
+	case wireproto.HelloOK:
+	case wireproto.HelloVersionMismatch:
+		if msg == "" {
+			msg = fmt.Sprintf("protocol version mismatch: server v%d, client v%d", ver, wireproto.Version)
+		}
+		return nil, fmt.Errorf("%w: %s", ErrHandshake, msg)
+	case wireproto.HelloBusy:
+		return nil, fmt.Errorf("%w: %w: %s", ErrHandshake, errBusy, msg)
+	default:
+		return nil, fmt.Errorf("%w: unknown handshake status %d", ErrHandshake, status)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	c := &Client{
+		opts:    opts,
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		pending: make(map[uint64]chan wireproto.Frame),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop routes response frames to their parked callers until the
+// connection dies, then fails every pending call.
+func (c *Client) readLoop() {
+	br := bufio.NewReader(c.conn)
+	for {
+		f, err := wireproto.ReadFrame(br)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.ReqID]
+		if ok {
+			delete(c.pending, f.ReqID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// fail marks the connection dead and unparks every pending call.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan wireproto.Frame)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// Close implements Session.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(ErrClosed)
+	return err
+}
+
+// call runs one request/response exchange: marshal args, write the
+// frame, park until the matching response or ctx expiry. A nil out
+// discards the response body.
+func (c *Client) call(ctx context.Context, typ uint8, args any, out any) error {
+	if c.opts.CallTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.opts.CallTimeout)
+			defer cancel()
+		}
+	}
+	var payload []byte
+	if args != nil {
+		var err error
+		if payload, err = json.Marshal(args); err != nil {
+			return fmt.Errorf("wireclient: encode request: %w", err)
+		}
+	}
+	ch := make(chan wireproto.Frame, 1)
+	c.mu.Lock()
+	if err := c.err; err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := wireproto.WriteFrame(c.bw, wireproto.Frame{Type: typ, ReqID: id, Payload: payload})
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+		return fmt.Errorf("wireclient: write: %w", err)
+	}
+
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return err
+		}
+		if f.IsError() {
+			code, msg, derr := wireproto.DecodeError(f.Payload)
+			if derr != nil {
+				return fmt.Errorf("wireclient: undecodable error frame: %w", derr)
+			}
+			return ctlplane.ErrFromCode(code, msg)
+		}
+		if out == nil || len(f.Payload) == 0 {
+			return nil
+		}
+		if err := json.Unmarshal(f.Payload, out); err != nil {
+			return fmt.Errorf("wireclient: decode response: %w", err)
+		}
+		return nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// bg is the context for Session methods that have no caller context.
+func bg() context.Context { return context.Background() }
+
+// Info implements Session.
+func (c *Client) Info() (ctlplane.Info, error) {
+	var out ctlplane.Info
+	err := c.call(bg(), wireproto.TInfo, nil, &out)
+	return out, err
+}
+
+// Register implements Session.
+func (c *Client) Register(ctx context.Context, imageID string, at time.Time) (core.RegisterReport, error) {
+	var out core.RegisterReport
+	err := c.call(ctx, wireproto.TRegister, ctlplane.RegisterArgs{Image: imageID, At: at}, &out)
+	return out, err
+}
+
+// Boot implements Session.
+func (c *Client) Boot(ctx context.Context, req core.BootRequest) (core.BootReport, error) {
+	var out core.BootReport
+	err := c.call(ctx, wireproto.TBoot, req, &out)
+	return out, err
+}
+
+// SyncNode implements Session.
+func (c *Client) SyncNode(ctx context.Context, nodeID string) (core.SyncReport, error) {
+	var out core.SyncReport
+	err := c.call(ctx, wireproto.TSync, ctlplane.NodeArgs{Node: nodeID}, &out)
+	return out, err
+}
+
+// SetOnline implements Session.
+func (c *Client) SetOnline(nodeID string, up bool) error {
+	return c.call(bg(), wireproto.TSetOnline, ctlplane.OnlineArgs{Node: nodeID, Up: up}, nil)
+}
+
+// DropReplica implements Session.
+func (c *Client) DropReplica(nodeID, imageID string) error {
+	return c.call(bg(), wireproto.TDropReplica, ctlplane.DropArgs{Node: nodeID, Image: imageID}, nil)
+}
+
+// CrashNode implements Session.
+func (c *Client) CrashNode(nodeID string, at time.Time) error {
+	return c.call(bg(), wireproto.TCrash, ctlplane.NodeAtArgs{Node: nodeID, At: at}, nil)
+}
+
+// RestartNode implements Session.
+func (c *Client) RestartNode(nodeID string, at time.Time) (core.RecoveryReport, error) {
+	var out core.RecoveryReport
+	err := c.call(bg(), wireproto.TRestart, ctlplane.NodeAtArgs{Node: nodeID, At: at}, &out)
+	return out, err
+}
+
+// InjectRot implements Session.
+func (c *Client) InjectRot(nodeID string) (int, error) {
+	var out ctlplane.RotReply
+	err := c.call(bg(), wireproto.TRot, ctlplane.NodeArgs{Node: nodeID}, &out)
+	return out.Blocks, err
+}
+
+// SetFaults implements Session.
+func (c *Client) SetFaults(plan fault.Plan) error {
+	return c.call(bg(), wireproto.TSetFaults, plan, nil)
+}
+
+// ScrubAll implements Session.
+func (c *Client) ScrubAll(ctx context.Context, at time.Time) (map[string]zvol.ScrubReport, error) {
+	var out map[string]zvol.ScrubReport
+	err := c.call(ctx, wireproto.TScrubAll, ctlplane.AtArgs{At: at}, &out)
+	return out, err
+}
+
+// ResilverAll implements Session.
+func (c *Client) ResilverAll(ctx context.Context, at time.Time) ([]core.ResilverReport, error) {
+	var out []core.ResilverReport
+	err := c.call(ctx, wireproto.TResilverAll, ctlplane.AtArgs{At: at}, &out)
+	return out, err
+}
+
+// GarbageCollect implements Session.
+func (c *Client) GarbageCollect(at time.Time) (int, error) {
+	var out ctlplane.CountReply
+	err := c.call(bg(), wireproto.TGC, ctlplane.AtArgs{At: at}, &out)
+	return out.N, err
+}
+
+// Stats implements Session.
+func (c *Client) Stats() (core.DeploymentStats, error) {
+	var out core.DeploymentStats
+	err := c.call(bg(), wireproto.TStats, nil, &out)
+	return out, err
+}
+
+// Health implements Session.
+func (c *Client) Health() ([]core.NodeStatus, error) {
+	var out []core.NodeStatus
+	err := c.call(bg(), wireproto.THealth, nil, &out)
+	return out, err
+}
+
+// PeerCounters implements Session.
+func (c *Client) PeerCounters() (string, error) {
+	var out ctlplane.PeersReply
+	err := c.call(bg(), wireproto.TPeers, nil, &out)
+	return out.Counters, err
+}
+
+// Telemetry implements Session.
+func (c *Client) Telemetry() (ctlplane.TelemetryDump, error) {
+	var out ctlplane.TelemetryDump
+	err := c.call(bg(), wireproto.TTelemetry, nil, &out)
+	return out, err
+}
+
+// TraceSlowest implements Session.
+func (c *Client) TraceSlowest(kind string) (string, error) {
+	var out ctlplane.TextReply
+	err := c.call(bg(), wireproto.TTrace, ctlplane.TraceArgs{Kind: kind}, &out)
+	return out.Text, err
+}
+
+// ResetNetCounters implements Session.
+func (c *Client) ResetNetCounters() error {
+	return c.call(bg(), wireproto.TNetReset, nil, nil)
+}
+
+// ComputeRx implements Session.
+func (c *Client) ComputeRx() (int64, error) {
+	var out ctlplane.BytesReply
+	err := c.call(bg(), wireproto.TNetRx, nil, &out)
+	return out.Bytes, err
+}

@@ -1,0 +1,87 @@
+package wireproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary bytes at the frame decoder. The
+// invariants under fuzz: never panic, never allocate beyond MaxPayload
+// (enforced structurally — the length check precedes the allocation),
+// and every successful decode must re-encode to the exact bytes
+// consumed (canonical encoding, no aliasing surprises).
+//
+// Run with `go test -fuzz FuzzReadFrame ./internal/wireproto/`; the
+// seed corpus below plus testdata/fuzz is exercised on every plain
+// `go test`.
+func FuzzReadFrame(f *testing.F) {
+	// Well-formed frames.
+	f.Add(AppendFrame(nil, Frame{Type: TInfo, ReqID: 1}))
+	f.Add(AppendFrame(nil, Frame{Type: TRegister, ReqID: 42, Payload: []byte(`{"image":"im0","at":"2014-06-23T09:00:00Z"}`)}))
+	f.Add(AppendFrame(nil, Frame{Type: TBoot, Flags: FlagResponse | FlagError, ReqID: 3,
+		Payload: EncodeError(CodeNodeOffline, "core: compute node offline: node03")}))
+	// Truncations and mutations.
+	whole := AppendFrame(nil, Frame{Type: TTelemetry, ReqID: 9, Payload: bytes.Repeat([]byte("sq"), 512)})
+	f.Add(whole[:5])
+	f.Add(whole[:len(whole)-1])
+	bad := append([]byte(nil), whole...)
+	bad[len(bad)-2] ^= 0xFF
+	f.Add(bad)
+	// Hostile length prefix: claims a 4 GB-ish payload.
+	f.Add([]byte{TStats, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		fr, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		if len(fr.Payload) > MaxPayload {
+			t.Fatalf("decoded payload %d exceeds MaxPayload", len(fr.Payload))
+		}
+		consumed := len(data) - r.Len()
+		re := AppendFrame(nil, fr)
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("re-encode mismatch: %x != %x", re, data[:consumed])
+		}
+	})
+}
+
+// FuzzReadHelloReply covers the other client-facing decoder: the
+// handshake reply, which is parsed before the connection is trusted.
+func FuzzReadHelloReply(f *testing.F) {
+	var ok bytes.Buffer
+	_ = WriteHelloReply(&ok, HelloOK, "")
+	f.Add(ok.Bytes())
+	var mism bytes.Buffer
+	_ = WriteHelloReply(&mism, HelloVersionMismatch, "protocol version mismatch: server v1, client v2")
+	f.Add(mism.Bytes())
+	f.Add([]byte("SQCP"))
+	f.Add([]byte("NOPE\x01\x00\x00\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, msg, err := ReadHelloReply(bytes.NewReader(data))
+		if err == nil && len(msg) > maxHelloMsg {
+			t.Fatalf("hello message %d exceeds bound", len(msg))
+		}
+	})
+}
+
+// FuzzDecodeError covers the error-body parser clients run on every
+// failed call.
+func FuzzDecodeError(f *testing.F) {
+	f.Add(EncodeError(CodeUnknownImage, "core: unknown image: im99"))
+	f.Add(EncodeError(CodeGeneric, ""))
+	f.Add([]byte{2, 0, 255, 255, 255, 255})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		code, msg, err := DecodeError(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeError(code, msg), data) {
+			t.Fatalf("re-encode mismatch for %x", data)
+		}
+	})
+}

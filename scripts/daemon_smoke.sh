@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Loopback smoke for daemon mode: build race-enabled binaries, start
+# squirreld, drive it end to end with ONE squirrelctl invocation
+# (-telemetry implies -peers -health, so one run covers register, boot,
+# health drama, and telemetry scrape — a second run against the same
+# long-lived daemon would hit ErrRegistered by design), then SIGTERM
+# and assert a clean drain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+bin="$(mktemp -d)"
+trap 'rm -rf "$bin"' EXIT
+
+go build -race -o "$bin/squirreld" ./cmd/squirreld
+go build -race -o "$bin/squirrelctl" ./cmd/squirrelctl
+
+"$bin/squirreld" -version
+"$bin/squirrelctl" -version
+
+addr=127.0.0.1:17677
+"$bin/squirreld" -addr "$addr" -peers -traced &
+daemon=$!
+trap 'rm -rf "$bin"; kill "$daemon" 2>/dev/null || true' EXIT
+
+# Wait for the listener (the client retries, but don't burn its budget).
+for _ in $(seq 50); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/17677") 2>/dev/null; then exec 3>&- 3<&-; break; fi
+  sleep 0.1
+done
+
+out="$("$bin/squirrelctl" -addr "$addr" -vms 2 -telemetry)"
+echo "$out"
+grep -q 'registering ' <<<"$out"
+grep -q 'boots done' <<<"$out"
+grep -q 'health drama' <<<"$out"
+grep -q 'squirrel_' <<<"$out"  # Prometheus export made it across the wire
+
+# Exit-code fidelity over the wire: nothing listens on this port → 6.
+set +e
+"$bin/squirrelctl" -addr 127.0.0.1:1 -vms 1 >/dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 6 ] || { echo "expected exit 6 for connect failure, got $code"; exit 1; }
+
+kill -TERM "$daemon"
+wait "$daemon"
+echo "daemon smoke OK: clean SIGTERM drain"
