@@ -24,6 +24,11 @@
 // unhedged p99 cold-boot latency over the hedged one — the hedged-fetch
 // acceptance bar (> 1x, i.e. hedging must cut the tail) is checked
 // against it.
+//
+// BenchmarkIndexChurn produces a synthetic gossip_convergence result
+// carrying its "converge-rounds" metric (rounds for the decentralized
+// index to converge after an owner crash) and steady-state churn ns/op
+// — the CI churn gate checks the round bound against it.
 package main
 
 import (
@@ -60,6 +65,7 @@ func main() {
 	results = append(results, overheadPairs(results)...)
 	results = append(results, stormScaling(results)...)
 	results = append(results, hedgeGain(results)...)
+	results = append(results, gossipConvergence(results)...)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
@@ -176,6 +182,45 @@ func hedgeGain(results []result) []result {
 		Procs:      1,
 		Iterations: int64(len(unhedged)),
 		Metrics:    map[string]float64{"p99-speedup-x": avg(unhedged) / h},
+	}}
+}
+
+// gossipConvergence derives the gossip_convergence result from
+// BenchmarkIndexChurn: the converge-rounds metric (owner-crash
+// convergence bound measured by the benchmark's probe) alongside the
+// steady-state churn ns/op, samples averaged as in overheadPairs.
+func gossipConvergence(results []result) []result {
+	var rounds, nsop []float64
+	for _, r := range results {
+		if r.Name != "BenchmarkIndexChurn" {
+			continue
+		}
+		if v, ok := r.Metrics["converge-rounds"]; ok {
+			rounds = append(rounds, v)
+		}
+		if v, ok := r.Metrics["ns/op"]; ok {
+			nsop = append(nsop, v)
+		}
+	}
+	if len(rounds) == 0 {
+		return nil
+	}
+	avg := func(vs []float64) float64 {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		return s / float64(len(vs))
+	}
+	m := map[string]float64{"converge-rounds": avg(rounds)}
+	if len(nsop) > 0 {
+		m["ns/op"] = avg(nsop)
+	}
+	return []result{{
+		Name:       "gossip_convergence",
+		Procs:      1,
+		Iterations: int64(len(rounds)),
+		Metrics:    m,
 	}}
 }
 

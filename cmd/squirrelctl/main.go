@@ -14,6 +14,7 @@
 //	squirrelctl -images 32 -nodes 8 -vms 4
 //	squirrelctl -offline node03          # take one node offline mid-run
 //	squirrelctl -peers                   # peer exchange on; dumps the index
+//	squirrelctl -index gossip -health    # decentralized peer index; health shows per-node views
 //	squirrelctl -health                  # crash/rot/scrub/resilver drama + health dump
 //	squirrelctl -telemetry               # traced run; dumps the telemetry snapshot (JSON + Prometheus)
 //	squirrelctl -trace boot              # traced run; renders the slowest boot's span tree
@@ -76,6 +77,7 @@ func main() {
 		offline   = flag.String("offline", "", "node to take offline during registrations")
 		verify    = flag.Bool("verify", true, "verify boot data against image content")
 		peers     = flag.Bool("peers", false, "enable the peer block exchange, drop one replica to force a peer-served cold boot, and dump the content index")
+		index     = flag.String("index", "", "content-index implementation: central (default) or gossip (decentralized TTL-lease directory; implies -peers)")
 		health    = flag.Bool("health", false, "after the boot wave: crash a node, rot another, scrub, resilver, restart, and dump per-node health at each step")
 		telemetry = flag.Bool("telemetry", false, "trace the whole run (implies -peers -health) and dump the unified telemetry snapshot as JSON and Prometheus text")
 		trace     = flag.String("trace", "", "trace the whole run and render the span tree of the slowest operation of this kind (register, boot, scrub, resilver, sync, gc, restart)")
@@ -92,7 +94,12 @@ func main() {
 		// every op kind fires.
 		*peers, *health = true, true
 	}
-	sess, err := newSession(*addr, *nImages, *nNodes, *peers, *telemetry || *trace != "")
+	if *index == "gossip" {
+		// A decentralized index without the peer exchange has nothing to
+		// resolve.
+		*peers = true
+	}
+	sess, err := newSession(*addr, *nImages, *nNodes, *peers, *telemetry || *trace != "", *index)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(exitCode(err))
@@ -107,7 +114,7 @@ func main() {
 // newSession picks the deployment: a live daemon when addr is set, an
 // in-process simulator otherwise. Both satisfy ctlplane.Session, so
 // run never knows the difference.
-func newSession(addr string, nImages, nNodes int, peers, traced bool) (ctlplane.Session, error) {
+func newSession(addr string, nImages, nNodes int, peers, traced bool, index string) (ctlplane.Session, error) {
 	if addr != "" {
 		return wireclient.Dial(wireclient.Options{Addr: addr})
 	}
@@ -116,6 +123,7 @@ func newSession(addr string, nImages, nNodes int, peers, traced bool) (ctlplane.
 		Nodes:  nNodes,
 		Peers:  peers,
 		Traced: traced,
+		Index:  index,
 	})
 }
 
@@ -213,6 +221,12 @@ func run(ctx context.Context, sess ctlplane.Session, vms int, offline string, ve
 	if peers {
 		fmt.Printf("\npeer content index: %d objects, %d announcements\n",
 			ds.PeerIndexObjects, ds.PeerIndexEntries)
+		if ds.IndexSource == "gossip" {
+			fmt.Printf("  index source: %s (round %d, %d stale leases in live views)\n",
+				ds.IndexSource, ds.GossipRound, ds.GossipStale)
+		} else {
+			fmt.Printf("  index source: %s\n", ds.IndexSource)
+		}
 		fmt.Printf("  %-8s  %-6s  %-12s  %s\n", "node", "active", "served reads", "served bytes")
 		for _, l := range ds.PeerLoads {
 			fmt.Printf("  %-8s  %-6d  %-12d  %d\n", l.NodeID, l.Active, l.ServedReads, l.ServedBytes)
@@ -337,8 +351,15 @@ func printHealth(sess ctlplane.Session) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\n  %-8s  %-11s  %-7s  %-9s  %-9s  %-10s  %s\n",
-		"node", "state", "corrupt", "withdrawn", "breaker", "last scrub", "snapshot")
+	ds, err := sess.Stats()
+	if err != nil {
+		return err
+	}
+	gossiping := ds.IndexSource == "gossip"
+	// The view/stale columns are the gossip directory's per-node lease
+	// view (dashes under the central index, which has no per-node views).
+	fmt.Printf("\n  %-8s  %-11s  %-7s  %-9s  %-9s  %-5s  %-5s  %-10s  %s\n",
+		"node", "state", "corrupt", "withdrawn", "breaker", "view", "stale", "last scrub", "snapshot")
 	for _, st := range sts {
 		scrub, down := "never", ""
 		if !st.LastScrub.IsZero() {
@@ -358,8 +379,13 @@ func printHealth(sess ctlplane.Session) error {
 		if breaker == "" {
 			breaker = "-"
 		}
-		fmt.Printf("  %-8s  %-11s  %-7d  %-9v  %-9s  %-10s  %s%s\n",
-			st.NodeID, st.State, st.CorruptBlocks, st.Withdrawn, breaker, scrub, snap, down)
+		view, stale := "-", "-"
+		if gossiping {
+			view = fmt.Sprintf("%d", st.ViewLeases)
+			stale = fmt.Sprintf("%d", st.ViewStale)
+		}
+		fmt.Printf("  %-8s  %-11s  %-7d  %-9v  %-9s  %-5s  %-5s  %-10s  %s%s\n",
+			st.NodeID, st.State, st.CorruptBlocks, st.Withdrawn, breaker, view, stale, scrub, snap, down)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 //	squirreld                                  # listen on 127.0.0.1:7677
 //	squirreld -addr :7677 -images 32 -nodes 16
 //	squirreld -peers -traced                   # peer exchange + telemetry on
+//	squirreld -index gossip                    # decentralized peer index, rounds on a ticker
 //	squirreld -version
 //
 // SIGTERM/SIGINT trigger graceful shutdown: the listener closes, no
@@ -39,6 +40,8 @@ func main() {
 		nImages     = flag.Int("images", 16, "corpus size (images the deployment can register)")
 		nNodes      = flag.Int("nodes", 8, "compute nodes")
 		peers       = flag.Bool("peers", false, "enable the peer block exchange (with circuit breakers)")
+		index       = flag.String("index", "", "content-index implementation: central (default) or gossip (decentralized TTL-lease directory; implies -peers)")
+		gossipEvery = flag.Duration("gossip-interval", 2*time.Second, "wall-clock gossip round interval when -index gossip")
 		traced      = flag.Bool("traced", false, "enable span tracing and unified telemetry")
 		bootLatency = flag.Duration("boot-latency", 0, "wall-clock per-boot device wait (demo/benchmark realism)")
 		maxConns    = flag.Int("max-conns", daemon.DefaultMaxConns, "concurrent connection limit")
@@ -51,22 +54,47 @@ func main() {
 		return
 	}
 	logger := log.New(os.Stderr, "squirreld: ", log.LstdFlags)
-	if err := run(logger, *addr, *nImages, *nNodes, *peers, *traced, *bootLatency, *maxConns, *drain); err != nil {
+	if *index == "gossip" {
+		*peers = true
+	}
+	if err := run(logger, *addr, *nImages, *nNodes, *peers, *traced, *index, *gossipEvery, *bootLatency, *maxConns, *drain); err != nil {
 		logger.Println(err)
 		os.Exit(1)
 	}
 }
 
-func run(logger *log.Logger, addr string, nImages, nNodes int, peers, traced bool, bootLatency time.Duration, maxConns int, drain time.Duration) error {
+func run(logger *log.Logger, addr string, nImages, nNodes int, peers, traced bool, index string, gossipEvery, bootLatency time.Duration, maxConns int, drain time.Duration) error {
 	local, err := ctlplane.NewLocal(ctlplane.Options{
 		Images:      nImages,
 		Nodes:       nNodes,
 		Peers:       peers,
 		Traced:      traced,
+		Index:       index,
 		BootLatency: bootLatency,
 	})
 	if err != nil {
 		return err
+	}
+	// Under the decentralized index a live daemon runs gossip rounds on
+	// a wall-clock ticker (tests and soaks drive rounds explicitly via
+	// GossipTicks instead, so churn scenarios replay deterministically).
+	if local.Squirrel().Gossip() != nil && gossipEvery > 0 {
+		stopGossip := make(chan struct{})
+		defer close(stopGossip)
+		go func() {
+			tick := time.NewTicker(gossipEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopGossip:
+					return
+				case <-tick.C:
+					if _, err := local.Squirrel().GossipTicks(1); err != nil {
+						return
+					}
+				}
+			}
+		}()
 	}
 	srv := daemon.New(local, daemon.Config{
 		Addr:     addr,

@@ -51,6 +51,7 @@ import (
 	"repro/internal/conc"
 	"repro/internal/corpus"
 	"repro/internal/fault"
+	"repro/internal/gossip"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/peer"
@@ -99,6 +100,16 @@ type Config struct {
 	// Admission bounds per-node boot concurrency (deadline-aware
 	// admission control). The zero value disables it.
 	Admission AdmissionPolicy
+	// Index selects the content-index implementation behind the peer
+	// exchange: IndexCentral (the default, paper-faithful single
+	// registry) or IndexGossip (the decentralized TTL-lease directory in
+	// internal/gossip). Both feed the same peer lookup interface, so
+	// serve slots, hedges, and circuit breakers behave identically.
+	Index IndexMode
+	// Gossip parameterizes the decentralized index when Index is
+	// IndexGossip (seed, fanout, lease TTL, ring owners, clock). Ignored
+	// for IndexCentral.
+	Gossip gossip.Config
 	// Obs enables operation tracing and unified telemetry: every
 	// long-running operation records a span tree, per-op-kind and
 	// per-node aggregates accumulate, and the peer index, fault injector,
@@ -160,10 +171,19 @@ type Squirrel struct {
 	// immutable, so hot paths resolve nodes lock-free.
 	nodes map[string]*cluster.Node
 
-	// peers is the content index of the peer block exchange; internally
+	// peers is the serve-slot/load/breaker half of the peer block
+	// exchange and (in IndexCentral mode) its content index; internally
 	// locked (a leaf in the lock order — core may call it while holding
 	// state, but index callbacks never re-enter core).
 	peers *peer.Index
+	// idx is the content-index chokepoint every announce, retraction,
+	// and holder lookup routes through: centralIndex over peers, or
+	// gossipIndex over the decentralized directory. Leaf-locked like
+	// peers.
+	idx contentIndex
+	// gossip is the decentralized directory when cfg.Index is
+	// IndexGossip, nil otherwise.
+	gossip *gossip.Directory
 	// gates holds one admission gate per compute node; built once in New
 	// and immutable, each gate internally locked (a leaf like the index).
 	gates map[string]*bootGate
@@ -246,6 +266,7 @@ func New(cfg Config, cl *cluster.Cluster, pfs *cluster.PFS) (*Squirrel, error) {
 	}
 	s.faults.Store(cfg.Faults)
 	s.peers.SetBreakerPolicy(cfg.Peer.Breaker)
+	buildIndex(s)
 	if s.tel != nil {
 		// One registry: the peer index, the fault injector, and every
 		// volume account into the telemetry counter set instead of
@@ -288,6 +309,9 @@ func (s *Squirrel) BootReadSizes() *metrics.Histogram { return s.bootReads }
 func (s *Squirrel) SetFaults(inj *fault.Injector) {
 	if s.tel != nil {
 		inj.SetCounters(s.tel.Counters())
+	}
+	if s.gossip != nil {
+		s.gossip.SetInjector(inj)
 	}
 	s.faults.Store(inj)
 }
@@ -334,7 +358,7 @@ func (s *Squirrel) announceHoldingsLocked(nodeID string) {
 		return
 	}
 	if len(s.damaged[nodeID]) > 0 || s.cl.Unreachable(nodeID) {
-		s.peers.WithdrawNode(nodeID)
+		s.idx.Retract(nodeID)
 		return
 	}
 	var held []string
@@ -343,7 +367,7 @@ func (s *Squirrel) announceHoldingsLocked(nodeID string) {
 			held = append(held, obj)
 		}
 	}
-	s.peers.SetHoldings(nodeID, held)
+	s.idx.SetHoldings(nodeID, held)
 }
 
 // CCVolume returns a compute node's cVolume.
@@ -392,9 +416,10 @@ func (s *Squirrel) SetOnline(nodeID string, up bool) error {
 			s.injector().Counters().Add("recover.rollback", 1)
 		}
 		delete(s.downSince, nodeID)
+		s.idx.NodeUp(nodeID)
 		s.announceHoldingsLocked(nodeID)
 	} else {
-		s.peers.WithdrawNode(nodeID)
+		s.idx.NodeDown(nodeID)
 	}
 	return nil
 }
@@ -893,7 +918,7 @@ func (s *Squirrel) crashReplica(nodeID string, at time.Time, inj *fault.Injector
 	s.lagging[nodeID] = true
 	s.downSince[nodeID] = at
 	s.state.Unlock()
-	s.peers.WithdrawNode(nodeID)
+	s.idx.NodeDown(nodeID)
 	inj.Counters().Add("repair.crashed", 1)
 }
 
@@ -912,7 +937,7 @@ func (s *Squirrel) tornReplica(op, nodeID string, st *zvol.Stream, at time.Time,
 	s.lagging[nodeID] = true
 	s.downSince[nodeID] = at
 	s.state.Unlock()
-	s.peers.WithdrawNode(nodeID)
+	s.idx.NodeDown(nodeID)
 	inj.Counters().Add("repair.torn", 1)
 }
 
@@ -1012,7 +1037,7 @@ func (s *Squirrel) Deregister(id string) error {
 	// Replicas may physically hold the object until the next snapshot
 	// propagates the delete, but a deregistered image is not servable:
 	// withdraw it from the peer index immediately.
-	s.peers.WithdrawObject(id)
+	s.idx.WithdrawObject(id)
 	return nil
 }
 
@@ -1064,6 +1089,6 @@ func (s *Squirrel) DropReplica(nodeID, imageID string) error {
 			return err
 		}
 	}
-	s.peers.Withdraw(imageID, nodeID)
+	s.idx.Withdraw(imageID, nodeID)
 	return nil
 }

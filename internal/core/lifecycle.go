@@ -61,7 +61,7 @@ func (s *Squirrel) CrashNode(nodeID string, at time.Time) error {
 	s.online[nodeID] = false
 	s.downSince[nodeID] = at
 	s.state.Unlock()
-	s.peers.WithdrawNode(nodeID)
+	s.idx.NodeDown(nodeID)
 	s.injector().Counters().Add("life.crash", 1)
 	return nil
 }
@@ -130,6 +130,7 @@ func (s *Squirrel) RestartNode(nodeID string, at time.Time) (RecoveryReport, err
 	}
 	s.online[nodeID] = true
 	delete(s.downSince, nodeID)
+	s.idx.NodeUp(nodeID)
 	s.announceHoldingsLocked(nodeID) // no-op withdrawal if damaged
 	s.state.Unlock()
 	inj.Counters().Add("life.restart", 1)
@@ -223,8 +224,10 @@ func (s *Squirrel) scrubGuarded(parent *obs.Span, nodeID string, at time.Time) z
 		delete(s.damaged, nodeID)
 	} else {
 		s.damaged[nodeID] = append([]zvol.BlockRef(nil), rep.Damaged...)
-		// A rotten node must not serve peers until resilvered.
-		s.peers.WithdrawNode(nodeID)
+		// A rotten node must not serve peers until resilvered; it knows
+		// its own damage, so this retraction is self-initiated and works
+		// in both index modes.
+		s.idx.Retract(nodeID)
 	}
 	s.state.Unlock()
 	ctr := s.injector().Counters()
@@ -415,7 +418,7 @@ func (s *Squirrel) fetchTrueBlock(nodeID string, node *cluster.Node, ccv *zvol.V
 	// damaged nodes. The source read is checksum-verified on the source
 	// volume, so a latently rotten peer fails the read instead of
 	// donating rot.
-	for _, id := range s.peers.Holders(ref.Object) {
+	for _, id := range s.idx.Holders(ref.Object, nodeID) {
 		s.state.RLock()
 		bad := id == nodeID || !s.online[id] || s.lagging[id] || len(s.damaged[id]) > 0
 		srcv := s.cc[id]
@@ -438,7 +441,7 @@ func (s *Squirrel) fetchTrueBlock(nodeID string, node *cluster.Node, ccv *zvol.V
 			s.online[id] = false
 			s.lagging[id] = true
 			s.state.Unlock()
-			s.peers.WithdrawNode(id)
+			s.idx.NodeDown(id)
 			inj.Counters().Add("repair.crashed", 1)
 			continue
 		}
@@ -527,6 +530,13 @@ type NodeStatus struct {
 	Breaker string
 	// Unreachable reports the node sits across an open network cut.
 	Unreachable bool
+
+	// ViewLeases / ViewStale size the node's local gossip view: live
+	// leases it carries for the ranges it owns, and expired leases a
+	// round has yet to prune (both zero in central mode — the manager
+	// holds the only view).
+	ViewLeases int
+	ViewStale  int
 }
 
 // Health reports per-node lifecycle state, sorted by node ID — what
@@ -543,9 +553,12 @@ func (s *Squirrel) Health() []NodeStatus {
 			CorruptBlocks: len(s.damaged[id]),
 			LastScrub:     s.lastScrub[id],
 			DownSince:     s.downSince[id],
-			Withdrawn:     s.peers.AnnouncedBy(id) == 0,
+			Withdrawn:     s.idx.AnnouncedBy(id) == 0,
 			Breaker:       s.peers.BreakerState(id),
 			Unreachable:   s.cl.Unreachable(id),
+		}
+		if s.gossip != nil {
+			st.ViewLeases, st.ViewStale = s.gossip.ViewStats(id)
 		}
 		if snap := v.LatestSnapshot(); snap != nil {
 			st.Snapshot = snap.Name

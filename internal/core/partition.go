@@ -48,9 +48,12 @@ func (s *Squirrel) PartitionNodes(ids ...string) error {
 	s.cl.Partition(ids)
 	s.state.Lock()
 	for _, id := range ids {
-		// Stranded holders leave the index immediately: the cut makes them
-		// unservable no matter how healthy their replicas are.
-		s.peers.WithdrawNode(id)
+		// Stranded holders leave the central index immediately: the cut
+		// makes them unservable no matter how healthy their replicas
+		// are. The gossip index has no registrar to tell — cross-cut
+		// lookups simply can't reach the stranded owners, and leases the
+		// minority planted on majority views decay by TTL.
+		s.idx.Strand(id)
 		sp.Annotate("cut."+id, 1)
 	}
 	s.state.Unlock()

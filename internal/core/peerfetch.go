@@ -198,16 +198,22 @@ func (f *peerFetcher) transferHedged(fsp *obs.Span, tried map[string]bool,
 	return "", false
 }
 
-// acquire reserves a serve slot on the best eligible holder. Deployment
-// eligibility (online, reachable, not lagging, replica actually present)
-// is snapshotted under the state read-lock first; the index is then
-// consulted without core locks held, keeping lock order one-way (state
-// before index locks, never the reverse).
+// acquire reserves a serve slot on the best eligible holder. Holders
+// come from the configured content index as seen from the booting node
+// (exact for central, a bounded-staleness owner view for gossip);
+// deployment eligibility (online, reachable, not lagging, replica
+// actually present) is then snapshotted under the state read-lock, and
+// the serve-slot index is consulted without core locks held, keeping
+// lock order one-way (state before index locks, never the reverse).
+// The eligibility filter is also what makes gossip staleness safe: a
+// lease whose holder crashed a moment ago resolves here, fails the
+// online check, and is never fetched from.
 func (f *peerFetcher) acquire(tried map[string]bool) (string, func(int64), bool, bool) {
 	s := f.s
+	holders := s.idx.Holders(f.imageID, f.bootNode.ID)
 	s.state.RLock()
 	eligible := make(map[string]bool)
-	for _, id := range s.peers.Holders(f.imageID) {
+	for _, id := range holders {
 		if tried[id] || id == f.bootNode.ID || !s.online[id] || s.lagging[id] ||
 			len(s.damaged[id]) > 0 || !s.cl.Reachable(f.bootNode.ID, id) {
 			continue
@@ -217,7 +223,7 @@ func (f *peerFetcher) acquire(tried map[string]bool) (string, func(int64), bool,
 		}
 	}
 	s.state.RUnlock()
-	return s.peers.Acquire(f.imageID, f.policy.MaxServeSlots,
+	return s.peers.AcquireFrom(holders, f.policy.MaxServeSlots,
 		func(id string) bool { return !eligible[id] })
 }
 
@@ -261,7 +267,7 @@ func (f *peerFetcher) transfer(src string, dst []byte, base int64, release func(
 		s.online[src] = false
 		s.lagging[src] = true
 		s.state.Unlock()
-		s.peers.WithdrawNode(src)
+		s.idx.NodeDown(src)
 		ctr.Add("peer.crash", 1)
 		return done(0, false)
 	}

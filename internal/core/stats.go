@@ -34,6 +34,17 @@ type DeploymentStats struct {
 	// (object, node) announcements.
 	PeerIndexObjects int
 	PeerIndexEntries int
+	// IndexSource names the content-index implementation serving holder
+	// lookups ("central" | "gossip").
+	IndexSource string
+	// GossipRound is the decentralized index's completed round count
+	// (zero in central mode).
+	GossipRound int64
+	// GossipStale counts dead entries (expired leases and retraction
+	// tombstones) still stored across live gossip views — entries lookups
+	// already refuse to serve and converged rounds prune (zero in central
+	// mode, where staleness cannot exist).
+	GossipStale int
 	// PeerLoads is the per-node serve load of the peer exchange, sorted
 	// by node ID (nodes that never served are absent).
 	PeerLoads []peer.NodeLoad
@@ -49,9 +60,14 @@ func (s *Squirrel) Stats() DeploymentStats {
 		LaggingNodes:     len(s.lagging),
 		DamagedNodes:     len(s.damaged),
 		SCVolume:         s.sc.Stats(),
-		PeerIndexObjects: s.peers.Objects(),
-		PeerIndexEntries: s.peers.Entries(),
+		PeerIndexObjects: s.idx.Objects(),
+		PeerIndexEntries: s.idx.Entries(),
+		IndexSource:      s.idx.Source(),
 		PeerLoads:        s.peers.Loads(),
+	}
+	if s.gossip != nil {
+		ds.GossipRound = s.gossip.Round()
+		ds.GossipStale = s.gossip.StaleTotal()
 	}
 	latest := ""
 	if snap := s.sc.LatestSnapshot(); snap != nil {

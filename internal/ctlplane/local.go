@@ -30,6 +30,10 @@ type Options struct {
 	Peers bool
 	// Traced enables span tracing and unified telemetry.
 	Traced bool
+	// Index selects the content-index implementation behind the peer
+	// exchange: "" or "central" for the paper-faithful manager registry,
+	// "gossip" for the decentralized TTL-lease directory.
+	Index string
 	// BootLatency is core.Config.BootLatency (wall-clock device wait per
 	// boot; zero disables).
 	BootLatency time.Duration
@@ -71,6 +75,16 @@ func NewLocal(opts Options) (*Local, error) {
 		return nil, err
 	}
 	cfg := core.DefaultConfig()
+	switch opts.Index {
+	case "", core.IndexCentral.String():
+		// The default: central registry.
+	case core.IndexGossip.String():
+		cfg.Index = core.IndexGossip
+		// Zero-valued gossip.Config: the directory applies its own
+		// defaults (fanout 2, TTL 30s, 2 owners, wall clock).
+	default:
+		return nil, fmt.Errorf("ctlplane: unknown index mode %q (want central or gossip)", opts.Index)
+	}
 	if opts.Peers {
 		cfg.Peer = peer.DefaultPolicy()
 		cfg.Peer.Breaker = peer.DefaultBreakerPolicy()

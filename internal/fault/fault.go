@@ -108,11 +108,20 @@ type Plan struct {
 	// (or an equally slow hedge) absorbs it. Accounted in reports, never
 	// slept.
 	SlowSec float64
+
+	// GossipDrop is the gossip-plane lane: P(one index message — a lease
+	// refresh to an owner, or a push/pull digest exchange — is lost) per
+	// (op, src, dst, round) when struck via DropGossip under "gossip:*"
+	// op keys. Like Rot and Slow it sits outside the per-attempt
+	// transfer distribution: losing index chatter must not perturb which
+	// data transfers fault, and vice versa. The anti-entropy rounds
+	// exist to absorb exactly this lane.
+	GossipDrop float64
 }
 
 // Validate rejects nonsensical plans.
 func (p Plan) Validate() error {
-	for _, pr := range []float64{p.Drop, p.Truncate, p.Corrupt, p.Crash, p.Torn, p.Rot, p.Slow} {
+	for _, pr := range []float64{p.Drop, p.Truncate, p.Corrupt, p.Crash, p.Torn, p.Rot, p.Slow, p.GossipDrop} {
 		if pr < 0 || pr > 1 {
 			return fmt.Errorf("fault: probability %v out of [0,1]", pr)
 		}
@@ -261,6 +270,23 @@ func (in *Injector) Decide(op, dst string, attempt int) Kind {
 		in.counters.Add("fault."+k.String(), 1)
 	}
 	return k
+}
+
+// DropGossip reports whether one gossip-plane message from src to dst
+// in the given round is lost. op is a "gossip:*" key naming the message
+// class ("gossip:refresh", "gossip:xchg"). Deterministic in
+// (seed, op, src, dst, round) and independent of the transfer lanes, so
+// turning index-message loss on replays the same data-plane faults.
+// Nil-safe.
+func (in *Injector) DropGossip(op, src, dst string, round int64) bool {
+	if in == nil || in.plan.GossipDrop <= 0 {
+		return false
+	}
+	if uniform(in.roll(op, src+"\x00"+dst, int(round), 9)) >= in.plan.GossipDrop {
+		return false
+	}
+	in.counters.Add("fault.gossip_drop", 1)
+	return true
 }
 
 // Note records an externally decided fault of kind k in the injector's

@@ -1,0 +1,70 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkIndexChurn measures announce + lookup throughput while the
+// membership churns: every iteration refreshes one node's holdings and
+// resolves one object, and every 64th iteration crashes or restarts a
+// node and runs a gossip round. The converge-rounds metric is the
+// measured bound the CI churn job gates: rounds from a cold owner crash
+// until every live view answers every object exactly.
+func BenchmarkIndexChurn(b *testing.B) {
+	const (
+		nodes   = 32
+		objects = 128
+	)
+	clk := newFakeClock()
+	ids := nodeIDs(nodes)
+	objs := make([]string, objects)
+	for i := range objs {
+		objs[i] = fmt.Sprintf("img%03d", i)
+	}
+	build := func(ttl time.Duration) *Directory {
+		d := New(Config{Seed: 1337, TTL: ttl, Fanout: 3, Owners: 2, Clock: clk.Now}, ids, nil)
+		for i, n := range ids {
+			held := make([]string, 0, objects/4)
+			for j := i; j < objects; j += nodes / 8 {
+				held = append(held, objs[j])
+			}
+			d.SetHoldings(n, held)
+		}
+		return d
+	}
+
+	// Measured convergence bound: crash the busiest primary owner plus a
+	// random member, then count rounds to exact convergence. The bound
+	// decomposes as TTL rounds (the dead holders' own leases must age
+	// out) plus ownership hand-off; an 8-tick TTL keeps the hand-off
+	// share visible instead of drowning it in lease decay.
+	d := build(8 * time.Second)
+	d.MarkDown(d.Owners(objs[0])[0])
+	d.MarkDown("cc17")
+	convergeRounds := 0
+	for ; convergeRounds < 64 && !converged(d, objs); convergeRounds++ {
+		clk.Advance(time.Second)
+		d.Tick()
+	}
+	if !converged(d, objs) {
+		b.Fatal("benchmark deployment failed to converge")
+	}
+
+	d = build(30 * time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := ids[i%nodes]
+		d.SetHoldings(n, []string{objs[i%objects], objs[(i*7)%objects]})
+		d.Lookup(n, objs[(i*13)%objects])
+		if i%64 == 63 {
+			victim := ids[(i/64)%nodes]
+			d.MarkDown(victim)
+			d.Tick()
+			d.MarkUp(victim)
+		}
+	}
+	// After ResetTimer, or it would be cleared with the timer state.
+	b.ReportMetric(float64(convergeRounds), "converge-rounds")
+}

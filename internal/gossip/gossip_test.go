@@ -1,0 +1,385 @@
+package gossip
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// fakeClock steps lease time deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2014, 6, 23, 9, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func nodeIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("cc%02d", i+1)
+	}
+	return out
+}
+
+// cutLinks is a Links with an explicit minority cut, mirroring
+// cluster.Cluster's reachability model.
+type cutLinks struct {
+	mu  sync.Mutex
+	cut map[string]bool
+}
+
+func (c *cutLinks) Reachable(a, b string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cut[a] == c.cut[b]
+}
+
+func (c *cutLinks) partition(ids ...string) {
+	c.mu.Lock()
+	c.cut = map[string]bool{}
+	for _, id := range ids {
+		c.cut[id] = true
+	}
+	c.mu.Unlock()
+}
+
+func (c *cutLinks) heal() {
+	c.mu.Lock()
+	c.cut = nil
+	c.mu.Unlock()
+}
+
+// TestLeaseExpiryFakeClock is the lease state machine under a stepped
+// clock: an unrefreshed entry is gone from lookups the instant its TTL
+// passes, and one refresh buys exactly one more TTL — no more.
+func TestLeaseExpiryFakeClock(t *testing.T) {
+	clk := newFakeClock()
+	ttl := 10 * time.Second
+	d := New(Config{Seed: 1, TTL: ttl, Clock: clk.Now}, nodeIDs(4), nil)
+
+	d.SetHoldings("cc01", []string{"imgA"})
+	if got := d.Lookup("cc02", "imgA"); !reflect.DeepEqual(got, []string{"cc01"}) {
+		t.Fatalf("fresh lease invisible: Lookup = %v", got)
+	}
+
+	// Step to one instant before expiry: still served.
+	clk.Advance(ttl - time.Nanosecond)
+	if got := d.Lookup("cc02", "imgA"); !reflect.DeepEqual(got, []string{"cc01"}) {
+		t.Fatalf("lease expired early: Lookup = %v", got)
+	}
+	// Cross the TTL with no refresh: gone from every lookup, no round
+	// needed.
+	clk.Advance(time.Nanosecond)
+	if got := d.Lookup("cc02", "imgA"); len(got) != 0 {
+		t.Fatalf("expired lease served: Lookup = %v", got)
+	}
+	if got := d.Lookup("cc01", "imgA"); len(got) != 0 {
+		t.Fatalf("expired lease served from own view: Lookup = %v", got)
+	}
+
+	// Refresh: the entry comes back and survives exactly one more TTL.
+	d.SetHoldings("cc01", []string{"imgA"})
+	refreshed := clk.Now()
+	clk.Advance(ttl - time.Millisecond)
+	if got := d.Lookup("cc02", "imgA"); !reflect.DeepEqual(got, []string{"cc01"}) {
+		t.Fatalf("refreshed lease gone before its TTL: Lookup = %v", got)
+	}
+	clk.Advance(time.Millisecond)
+	if got := d.Lookup("cc02", "imgA"); len(got) != 0 {
+		t.Fatalf("refreshed lease outlived its TTL (refreshed %v, now %v): Lookup = %v",
+			refreshed, clk.Now(), got)
+	}
+
+	// Rounds prune what expiry already hid.
+	if stale := d.StaleTotal(); stale == 0 {
+		t.Fatal("expected stale (expired, unpruned) entries before the round")
+	}
+	d.Tick()
+	if stale := d.StaleTotal(); stale != 0 {
+		t.Fatalf("round left %d stale entries unpruned", stale)
+	}
+}
+
+// TestTickRefreshExtendsLease: a holder that stays up never loses its
+// advertisement — each round's refresh pushes expiry out one TTL.
+func TestTickRefreshExtendsLease(t *testing.T) {
+	clk := newFakeClock()
+	d := New(Config{Seed: 2, TTL: 3 * time.Second, Clock: clk.Now}, nodeIDs(4), nil)
+	d.SetHoldings("cc03", []string{"imgB"})
+	for i := 0; i < 10; i++ {
+		clk.Advance(time.Second) // 10s total, far past one TTL
+		d.Tick()
+		if got := d.Lookup("cc01", "imgB"); !reflect.DeepEqual(got, []string{"cc03"}) {
+			t.Fatalf("round %d: refreshed holder lost: Lookup = %v", i+1, got)
+		}
+	}
+}
+
+func TestWithdrawTombstone(t *testing.T) {
+	clk := newFakeClock()
+	d := New(Config{Seed: 3, TTL: 30 * time.Second, Clock: clk.Now}, nodeIDs(4), nil)
+	d.SetHoldings("cc01", []string{"imgA", "imgB"})
+	d.SetHoldings("cc02", []string{"imgA"})
+	d.Withdraw("imgA", "cc01")
+	if got := d.Lookup("cc03", "imgA"); !reflect.DeepEqual(got, []string{"cc02"}) {
+		t.Fatalf("withdrawn advert still served: Lookup = %v", got)
+	}
+	if got := d.Lookup("cc03", "imgB"); !reflect.DeepEqual(got, []string{"cc01"}) {
+		t.Fatalf("withdraw bled across objects: Lookup = %v", got)
+	}
+	d.WithdrawObject("imgB")
+	if got := d.Lookup("cc03", "imgB"); len(got) != 0 {
+		t.Fatalf("deregistered object still served: Lookup = %v", got)
+	}
+	// SetHoldings diff retracts vanished objects the same way.
+	d.SetHoldings("cc02", nil)
+	if got := d.Lookup("cc03", "imgA"); len(got) != 0 {
+		t.Fatalf("diff retraction missed: Lookup = %v", got)
+	}
+}
+
+// TestCrashLeasesDecayByTTL: nobody retracts a crashed holder's leases;
+// they expire on schedule and rounds prune them.
+func TestCrashLeasesDecayByTTL(t *testing.T) {
+	clk := newFakeClock()
+	ttl := 5 * time.Second
+	d := New(Config{Seed: 4, TTL: ttl, Clock: clk.Now}, nodeIDs(6), nil)
+	for _, n := range nodeIDs(6) {
+		d.SetHoldings(n, []string{"imgA"})
+	}
+	d.MarkDown("cc04")
+	// Within TTL the dead node's lease is still visible — bounded
+	// staleness, the price of no central registry.
+	if got := d.Lookup("cc01", "imgA"); len(got) != 6 {
+		t.Fatalf("leases vanished at crash instant: Lookup = %v", got)
+	}
+	// Rounds advance and refresh the live five; the dead lease ages out.
+	for i := 0; i < 6; i++ {
+		clk.Advance(time.Second)
+		d.Tick()
+	}
+	want := []string{"cc01", "cc02", "cc03", "cc05", "cc06"}
+	if got := d.Lookup("cc01", "imgA"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("dead holder outlived its TTL: Lookup = %v, want %v", got, want)
+	}
+}
+
+// converged reports whether every live node's lookup of every object
+// matches the authoritative holdings exactly.
+func converged(d *Directory, objs []string) bool {
+	d.mu.Lock()
+	truth := make(map[string][]string)
+	for _, obj := range objs {
+		for _, n := range d.aliveSortedLocked() {
+			if d.holdings[n][obj] {
+				truth[obj] = append(truth[obj], n)
+			}
+		}
+	}
+	live := d.aliveSortedLocked()
+	d.mu.Unlock()
+	for _, obj := range objs {
+		for _, q := range live {
+			if !reflect.DeepEqual(d.Lookup(q, obj), truth[obj]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestOwnerCrashReReplicates: crashing an object's primary owner moves
+// ownership to the ring successor, and refresh + anti-entropy re-warm
+// the new owner within a couple of rounds.
+func TestOwnerCrashReReplicates(t *testing.T) {
+	clk := newFakeClock()
+	ids := nodeIDs(8)
+	// TTL of 4 ticks: the crashed owners are holders too, so their own
+	// leases must age out before lookups match the live truth — the
+	// convergence bound is TTL rounds for decay plus ~2 for ownership
+	// hand-off.
+	d := New(Config{Seed: 5, TTL: 4 * time.Second, Fanout: 2, Clock: clk.Now}, ids, nil)
+	objs := []string{"imgA", "imgB", "imgC", "imgD"}
+	for i, n := range ids {
+		d.SetHoldings(n, objs[:1+i%len(objs)])
+	}
+	if !converged(d, objs) {
+		t.Fatal("not converged after initial announcements")
+	}
+	// Crash every object's primary owner in turn (worst case for each).
+	owners := map[string]bool{}
+	for _, obj := range objs {
+		owners[d.Owners(obj)[0]] = true
+	}
+	for o := range owners {
+		d.MarkDown(o)
+	}
+	rounds := 0
+	for ; rounds < 8 && !converged(d, objs); rounds++ {
+		clk.Advance(time.Second)
+		d.Tick()
+	}
+	if !converged(d, objs) {
+		t.Fatalf("no convergence within 8 rounds of crashing %d owners", len(owners))
+	}
+	t.Logf("re-replicated after %d owner crashes in %d rounds", len(owners), rounds)
+}
+
+// TestPartitionDivergenceHeals: both sides of a cut keep serving their
+// own side's holders; after the heal the views reconcile within a
+// bounded number of rounds.
+func TestPartitionDivergenceHeals(t *testing.T) {
+	clk := newFakeClock()
+	links := &cutLinks{}
+	ids := nodeIDs(8)
+	d := New(Config{Seed: 6, TTL: 20 * time.Second, Fanout: 2, Clock: clk.Now}, ids, links)
+	for _, n := range ids {
+		d.SetHoldings(n, []string{"imgA"})
+	}
+	links.partition("cc07", "cc08")
+	// Registrations land on both sides while the cut is open.
+	d.SetHoldings("cc07", []string{"imgA", "imgCut"})
+	d.SetHoldings("cc01", []string{"imgA", "imgMaj"})
+	for i := 0; i < 3; i++ {
+		clk.Advance(time.Second)
+		d.Tick()
+	}
+	// Minority lookups see minority holders (own view fallback at
+	// worst); majority lookups never cross the cut.
+	if got := d.Lookup("cc08", "imgCut"); len(got) == 0 {
+		t.Fatal("minority cannot see its own side's adverts during the cut")
+	}
+	links.heal()
+	rounds := 0
+	for ; rounds < 10 && !converged(d, []string{"imgA", "imgCut", "imgMaj"}); rounds++ {
+		clk.Advance(time.Second)
+		d.Tick()
+	}
+	if !converged(d, []string{"imgA", "imgCut", "imgMaj"}) {
+		t.Fatal("views did not reconcile within 10 rounds of the heal")
+	}
+	t.Logf("healed divergence in %d rounds", rounds)
+}
+
+// TestGossipDropLaneBoundedRepair: with a lossy gossip plane the
+// exchange still converges — anti-entropy re-sends until every owner
+// has the freshest lease — and the drop lane accounts its losses.
+func TestGossipDropLaneBoundedRepair(t *testing.T) {
+	clk := newFakeClock()
+	inj, err := fault.New(fault.Plan{Seed: 1337, GossipDrop: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := nodeIDs(8)
+	d := New(Config{Seed: 7, TTL: 30 * time.Second, Fanout: 2, Clock: clk.Now}, ids, nil)
+	d.SetInjector(inj)
+	objs := []string{"imgA", "imgB", "imgC"}
+	for i, n := range ids {
+		d.SetHoldings(n, objs[:1+i%3])
+	}
+	rounds := 0
+	for ; rounds < 12 && !converged(d, objs); rounds++ {
+		clk.Advance(time.Second)
+		d.Tick()
+	}
+	if !converged(d, objs) {
+		t.Fatal("40% message loss defeated anti-entropy within 12 rounds")
+	}
+	if inj.Counters().Get("fault.gossip_drop") == 0 {
+		t.Fatal("lossy plan dropped nothing — lane not wired")
+	}
+}
+
+// TestDeterministicReplay: the same seed and event script produce
+// byte-identical lookups and round accounting.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() ([]RoundReport, map[string][]string) {
+		clk := newFakeClock()
+		inj, err := fault.New(fault.Plan{Seed: 99, GossipDrop: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := nodeIDs(6)
+		d := New(Config{Seed: 42, TTL: 10 * time.Second, Fanout: 2, Clock: clk.Now}, ids, nil)
+		d.SetInjector(inj)
+		objs := []string{"imgA", "imgB"}
+		for i, n := range ids {
+			d.SetHoldings(n, objs[:1+i%2])
+		}
+		d.MarkDown("cc03")
+		var reps []RoundReport
+		for i := 0; i < 5; i++ {
+			clk.Advance(time.Second)
+			reps = append(reps, d.Tick())
+		}
+		d.MarkUp("cc03")
+		d.SetHoldings("cc03", []string{"imgA"})
+		for i := 0; i < 3; i++ {
+			clk.Advance(time.Second)
+			reps = append(reps, d.Tick())
+		}
+		looks := make(map[string][]string)
+		for _, q := range ids {
+			for _, obj := range objs {
+				looks[q+"/"+obj] = d.Lookup(q, obj)
+			}
+		}
+		return reps, looks
+	}
+	r1, l1 := run()
+	r2, l2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("round reports diverged:\n%v\n%v", r1, r2)
+	}
+	if !reflect.DeepEqual(l1, l2) {
+		t.Fatalf("lookups diverged:\n%v\n%v", l1, l2)
+	}
+}
+
+// TestRestartRejoinsEmpty: a restarted node comes back with a wiped
+// view and is re-warmed by refresh + anti-entropy, not by ghosts of its
+// pre-crash memory.
+func TestRestartRejoinsEmpty(t *testing.T) {
+	clk := newFakeClock()
+	ids := nodeIDs(6)
+	d := New(Config{Seed: 8, TTL: 10 * time.Second, Fanout: 2, Clock: clk.Now}, ids, nil)
+	for _, n := range ids {
+		d.SetHoldings(n, []string{"imgA"})
+	}
+	d.MarkDown("cc02")
+	// The world moves on while cc02 is dead: cc05 drops its replica.
+	d.Withdraw("imgA", "cc05")
+	d.MarkUp("cc02")
+	if leases, stale := d.ViewStats("cc02"); leases != 0 || stale != 0 {
+		t.Fatalf("restarted view not empty: %d live, %d stale", leases, stale)
+	}
+	d.SetHoldings("cc02", []string{"imgA"})
+	rounds := 0
+	for ; rounds < 6 && !converged(d, []string{"imgA"}); rounds++ {
+		clk.Advance(time.Second)
+		d.Tick()
+	}
+	want := []string{"cc01", "cc02", "cc03", "cc04", "cc06"}
+	if got := d.Lookup("cc02", "imgA"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restart warm-up wrong: Lookup = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,132 @@
+package gossip
+
+import (
+	"sort"
+)
+
+// Ring is the consistent-hash ownership layer of the decentralized
+// index: each cache object's advertisement set is owned by the
+// Owners() successors of H(object) on the ring, so an advertiser knows
+// exactly which views to refresh and a lookup knows exactly which views
+// to ask — O(1) hops, no flooding. Virtual nodes smooth the ownership
+// distribution; membership changes (crash, restart) move only the
+// ranges adjacent to the changed node, and the next refresh round
+// re-populates the new owners (automatic re-replication).
+//
+// The ring is not safe for concurrent use; the Directory serializes
+// access under its own mutex.
+type Ring struct {
+	vnodes int
+	nodes  map[string]bool
+	// points is the sorted ring: vnode hash → owning node.
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// member (minimum 1).
+func NewRing(vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]bool)}
+}
+
+// Add joins a node to the ring (idempotent).
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: vnodeHash(node, i), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break lexically so the walk
+		// order is deterministic regardless of insertion order.
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Remove drops a node from the ring (idempotent).
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Has reports ring membership.
+func (r *Ring) Has(node string) bool { return r.nodes[node] }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Owners returns the n distinct members that own key: the successors of
+// H(key) walking clockwise. Fewer than n members returns all of them,
+// nearest first. The order is significant — lookups ask owners in this
+// order, so the primary owner absorbs most lookup traffic for its keys.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// vnodeHash positions one virtual node on the ring.
+func vnodeHash(node string, replica int) uint64 {
+	return splitmix(fnv1a(node) ^ uint64(replica)*0x9e3779b97f4a7c15)
+}
+
+// keyHash positions a cache object on the ring.
+func keyHash(key string) uint64 { return splitmix(fnv1a(key)) }
+
+// fnv1a folds a string into 64 bits.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// splitmix finalizes a hash with good avalanche (same finalizer the
+// fault injector uses, so ring placement is stable and well mixed
+// without pulling in a full RNG).
+func splitmix(h uint64) uint64 {
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}

@@ -43,6 +43,7 @@ const (
 	OpCacheRead = "cacheRead"
 	OpPFSRead   = "pfsRead"
 	OpPartition = "partition"
+	OpGossip    = "gossip.round"
 )
 
 // DefaultRingSize bounds the completed-operation ring when New is given

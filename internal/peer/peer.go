@@ -312,22 +312,49 @@ func (ix *Index) Loads() []NodeLoad {
 // "holders exist but all are at capacity" from "no eligible holder" —
 // excluded and breaker-open holders never count as busy.
 func (ix *Index) Acquire(obj string, maxSlots int, exclude func(node string) bool) (src string, release func(served int64), ok, busy bool) {
+	skip := ix.composeSkip(exclude)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	cands := make([]string, 0, len(ix.holders[obj]))
+	for node := range ix.holders[obj] {
+		cands = append(cands, node)
+	}
+	return ix.acquireLocked(cands, maxSlots, skip)
+}
+
+// AcquireFrom is Acquire over an externally supplied candidate set
+// instead of the central holder map: the decentralized (gossip) index
+// resolves holders through its own bounded-staleness views and hands
+// them here, so slot accounting, least-loaded selection, and the
+// circuit breakers compose identically whichever index produced the
+// candidates. The release contract and the ok/busy semantics match
+// Acquire exactly.
+func (ix *Index) AcquireFrom(holders []string, maxSlots int, exclude func(node string) bool) (src string, release func(served int64), ok, busy bool) {
+	skip := ix.composeSkip(exclude)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.acquireLocked(holders, maxSlots, skip)
+}
+
+// composeSkip stacks the breaker check onto the caller's exclusion
+// predicate: a caller-excluded holder is skipped before its breaker is
+// consulted, so ineligible nodes (offline, already tried) never tick an
+// open breaker's cooldown.
+func (ix *Index) composeSkip(exclude func(node string) bool) func(node string) bool {
+	if !ix.bpolEnabled() {
+		return exclude
+	}
+	return func(node string) bool {
+		return (exclude != nil && exclude(node)) || ix.breakerSkip(node)
+	}
+}
+
+func (ix *Index) acquireLocked(cands []string, maxSlots int, skip func(node string) bool) (src string, release func(served int64), ok, busy bool) {
 	if maxSlots <= 0 {
 		maxSlots = DefaultMaxServeSlots
 	}
-	// Breakers ride the exclusion hook: a caller-excluded holder is
-	// skipped before its breaker is consulted, so ineligible nodes
-	// (offline, already tried) never tick an open breaker's cooldown.
-	skip := exclude
-	if ix.bpolEnabled() {
-		skip = func(node string) bool {
-			return (exclude != nil && exclude(node)) || ix.breakerSkip(node)
-		}
-	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	var best *load
-	for node := range ix.holders[obj] {
+	for _, node := range cands {
 		if skip != nil && skip(node) {
 			continue
 		}

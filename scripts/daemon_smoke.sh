@@ -17,16 +17,24 @@ go build -race -o "$bin/squirrelctl" ./cmd/squirrelctl
 "$bin/squirreld" -version
 "$bin/squirrelctl" -version
 
-addr=127.0.0.1:17677
-"$bin/squirreld" -addr "$addr" -peers -traced &
+# Bind an ephemeral port — ask the kernel with :0, then parse the bound
+# address out of the daemon's "listening on" log line. A fixed port
+# would collide with a concurrent run (or anything else) on a shared CI
+# host.
+log="$bin/squirreld.log"
+"$bin/squirreld" -addr 127.0.0.1:0 -peers -traced 2>"$log" &
 daemon=$!
 trap 'rm -rf "$bin"; kill "$daemon" 2>/dev/null || true' EXIT
 
-# Wait for the listener (the client retries, but don't burn its budget).
-for _ in $(seq 50); do
-  if (exec 3<>"/dev/tcp/127.0.0.1/17677") 2>/dev/null; then exec 3>&- 3<&-; break; fi
+addr=
+for _ in $(seq 100); do
+  addr="$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$log" | head -n1)"
+  [ -n "$addr" ] && break
+  kill -0 "$daemon" 2>/dev/null || { echo "squirreld died before listening:"; cat "$log"; exit 1; }
   sleep 0.1
 done
+[ -n "$addr" ] || { echo "no 'listening on' line in squirreld log:"; cat "$log"; exit 1; }
+echo "squirreld bound $addr"
 
 out="$("$bin/squirrelctl" -addr "$addr" -vms 2 -telemetry)"
 echo "$out"
