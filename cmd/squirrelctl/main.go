@@ -19,6 +19,8 @@
 //	squirrelctl -telemetry               # traced run; dumps the telemetry snapshot (JSON + Prometheus)
 //	squirrelctl -trace boot              # traced run; renders the slowest boot's span tree
 //	squirrelctl -addr 127.0.0.1:7677 -telemetry   # same, against a live squirreld
+//	squirrelctl -addr 127.0.0.1:7677 -trace boot  # ONE tree spanning client dial → daemon dispatch → core boot
+//	squirrelctl -watch 3 -watch-interval 500ms    # stream live telemetry deltas during the run
 //	squirrelctl -version
 package main
 
@@ -34,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctlplane"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/version"
 	"repro/internal/wireclient"
 )
@@ -81,6 +84,8 @@ func main() {
 		health    = flag.Bool("health", false, "after the boot wave: crash a node, rot another, scrub, resilver, restart, and dump per-node health at each step")
 		telemetry = flag.Bool("telemetry", false, "trace the whole run (implies -peers -health) and dump the unified telemetry snapshot as JSON and Prometheus text")
 		trace     = flag.String("trace", "", "trace the whole run and render the span tree of the slowest operation of this kind (register, boot, scrub, resilver, sync, gc, restart)")
+		watchN    = flag.Int("watch", 0, "stream this many live telemetry updates during the run (in-process: implies tracing; with -addr: the daemon must run -traced)")
+		watchIvl  = flag.Duration("watch-interval", time.Second, "interval between -watch updates")
 		addr      = flag.String("addr", "", "drive a live squirreld at this TCP address instead of an in-process deployment")
 		showVer   = flag.Bool("version", false, "print version and exit")
 	)
@@ -99,13 +104,14 @@ func main() {
 		// resolve.
 		*peers = true
 	}
-	sess, err := newSession(*addr, *nImages, *nNodes, *peers, *telemetry || *trace != "", *index)
+	traced := *telemetry || *trace != "" || *watchN > 0
+	sess, err := newSession(*addr, *nImages, *nNodes, *peers, traced, *index)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(exitCode(err))
 	}
 	defer sess.Close()
-	if err := run(context.Background(), sess, *vms, *offline, *verify, *peers, *health, *telemetry, *trace); err != nil {
+	if err := run(context.Background(), sess, *vms, *offline, *verify, *peers, *health, *telemetry, *trace, *watchN, *watchIvl); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(exitCode(err))
 	}
@@ -113,10 +119,16 @@ func main() {
 
 // newSession picks the deployment: a live daemon when addr is set, an
 // in-process simulator otherwise. Both satisfy ctlplane.Session, so
-// run never knows the difference.
+// run never knows the difference. A traced daemon session gets its own
+// client-side telemetry, which is what lets -trace render one tree
+// spanning both processes.
 func newSession(addr string, nImages, nNodes int, peers, traced bool, index string) (ctlplane.Session, error) {
 	if addr != "" {
-		return wireclient.Dial(wireclient.Options{Addr: addr})
+		o := wireclient.Options{Addr: addr}
+		if traced {
+			o.Obs = obs.New(0)
+		}
+		return wireclient.Dial(o)
 	}
 	return ctlplane.NewLocal(ctlplane.Options{
 		Images: nImages,
@@ -127,12 +139,23 @@ func newSession(addr string, nImages, nNodes int, peers, traced bool, index stri
 	})
 }
 
-func run(ctx context.Context, sess ctlplane.Session, vms int, offline string, verify, peers, health, telemetry bool, trace string) error {
+func run(ctx context.Context, sess ctlplane.Session, vms int, offline string, verify, peers, health, telemetry bool, trace string, watchN int, watchIvl time.Duration) error {
 	info, err := sess.Info()
 	if err != nil {
 		return err
 	}
 	images, nodes := info.Images, info.ComputeNodes
+
+	// The watch stream runs concurrently with the script, so its deltas
+	// show live operation counts moving; run waits for the stream to
+	// finish before dumping the final snapshot.
+	var watchDone chan error
+	if watchN > 0 {
+		watchDone = make(chan error, 1)
+		go func() {
+			watchDone <- sess.Watch(ctx, ctlplane.WatchArgs{Every: watchIvl, Count: watchN}, printWatch)
+		}()
+	}
 
 	t0 := time.Date(2014, 6, 23, 9, 0, 0, 0, time.UTC)
 	fmt.Printf("registering %d images on a %d-node cluster...\n", len(images), len(nodes))
@@ -255,6 +278,11 @@ func run(ctx context.Context, sess ctlplane.Session, vms int, offline string, ve
 	}
 	fmt.Printf("\ngarbage collection destroyed %d old snapshots\n", n)
 
+	if watchDone != nil {
+		if err := <-watchDone; err != nil {
+			return err
+		}
+	}
 	if telemetry {
 		dump, err := sess.Telemetry()
 		if err != nil {
@@ -264,11 +292,33 @@ func run(ctx context.Context, sess ctlplane.Session, vms int, offline string, ve
 		fmt.Printf("\n--- telemetry snapshot (Prometheus text) ---\n%s", dump.Prometheus)
 	}
 	if trace != "" {
-		tree, err := sess.TraceSlowest(trace)
+		var tree string
+		var err error
+		if mc, ok := sess.(interface{ TraceMerged(string) (string, error) }); ok {
+			// Daemon session with client-side tracing: render the merged
+			// tree spanning dial → rpc → daemon dispatch → core operation.
+			tree, err = mc.TraceMerged(trace)
+		} else {
+			tree, err = sess.TraceSlowest(trace)
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Printf("\n--- slowest %q operation ---\n%s", trace, tree)
+	}
+	return nil
+}
+
+// printWatch renders one live telemetry delta from the -watch stream.
+func printWatch(u ctlplane.WatchUpdate) error {
+	fmt.Printf("watch #%d: spans=%d gossip round=%d stale=%d\n",
+		u.Seq, u.SpansRecorded, u.GossipRound, u.GossipStale)
+	for _, op := range u.Ops {
+		fmt.Printf("  watch %-14s count=%-6d delta=%-5d errs=%-4d p50=%.2fms p99=%.2fms\n",
+			op.Kind, op.Count, op.Delta, op.Errors, op.P50Ms, op.P99Ms)
+	}
+	if len(u.Counters) > 0 {
+		fmt.Printf("  watch %d counters changed\n", len(u.Counters))
 	}
 	return nil
 }

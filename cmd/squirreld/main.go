@@ -11,6 +11,7 @@
 //	squirreld -addr :7677 -images 32 -nodes 16
 //	squirreld -peers -traced                   # peer exchange + telemetry on
 //	squirreld -index gossip                    # decentralized peer index, rounds on a ticker
+//	squirreld -traced -metrics-addr :9090      # live /metrics + /telemetry HTTP surface
 //	squirreld -version
 //
 // SIGTERM/SIGINT trigger graceful shutdown: the listener closes, no
@@ -24,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +46,9 @@ func main() {
 		index       = flag.String("index", "", "content-index implementation: central (default) or gossip (decentralized TTL-lease directory; implies -peers)")
 		gossipEvery = flag.Duration("gossip-interval", 2*time.Second, "wall-clock gossip round interval when -index gossip")
 		traced      = flag.Bool("traced", false, "enable span tracing and unified telemetry")
+		obsRing     = flag.Int("obs-ring", 0, "completed-operation trace ring size (default obs.DefaultRingSize; needs -traced)")
+		sampleEvery = flag.Int("sample-every", 0, "head-sample tracing: trace every Nth root operation (0 or 1 traces everything; needs -traced)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live telemetry over HTTP at this address (/metrics Prometheus, /telemetry JSON; needs -traced)")
 		bootLatency = flag.Duration("boot-latency", 0, "wall-clock per-boot device wait (demo/benchmark realism)")
 		maxConns    = flag.Int("max-conns", daemon.DefaultMaxConns, "concurrent connection limit")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before in-flight requests are cancelled")
@@ -57,13 +63,13 @@ func main() {
 	if *index == "gossip" {
 		*peers = true
 	}
-	if err := run(logger, *addr, *nImages, *nNodes, *peers, *traced, *index, *gossipEvery, *bootLatency, *maxConns, *drain); err != nil {
+	if err := run(logger, *addr, *metricsAddr, *nImages, *nNodes, *obsRing, *sampleEvery, *peers, *traced, *index, *gossipEvery, *bootLatency, *maxConns, *drain); err != nil {
 		logger.Println(err)
 		os.Exit(1)
 	}
 }
 
-func run(logger *log.Logger, addr string, nImages, nNodes int, peers, traced bool, index string, gossipEvery, bootLatency time.Duration, maxConns int, drain time.Duration) error {
+func run(logger *log.Logger, addr, metricsAddr string, nImages, nNodes, obsRing, sampleEvery int, peers, traced bool, index string, gossipEvery, bootLatency time.Duration, maxConns int, drain time.Duration) error {
 	local, err := ctlplane.NewLocal(ctlplane.Options{
 		Images:      nImages,
 		Nodes:       nNodes,
@@ -71,6 +77,8 @@ func run(logger *log.Logger, addr string, nImages, nNodes int, peers, traced boo
 		Traced:      traced,
 		Index:       index,
 		BootLatency: bootLatency,
+		ObsRingSize: obsRing,
+		SampleEvery: sampleEvery,
 	})
 	if err != nil {
 		return err
@@ -100,9 +108,28 @@ func run(logger *log.Logger, addr string, nImages, nNodes int, peers, traced boo
 		Addr:     addr,
 		MaxConns: maxConns,
 		Logf:     logger.Printf,
+		Tel:      local.Squirrel().Telemetry(),
 	})
 	if err := srv.Listen(); err != nil {
 		return err
+	}
+
+	// The live telemetry surface is a plain HTTP mux on its own listener,
+	// so a scrape can never interfere with control-plane framing.
+	if metricsAddr != "" {
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("squirreld: metrics listen %s: %w", metricsAddr, err)
+		}
+		defer mln.Close()
+		logger.Printf("metrics listening on %s (/metrics Prometheus, /telemetry JSON)", mln.Addr())
+		msrv := &http.Server{Handler: daemon.MetricsHandler(local.Squirrel().Telemetry())}
+		defer msrv.Close()
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				logger.Printf("metrics server: %v", err)
+			}
+		}()
 	}
 
 	sig := make(chan os.Signal, 2)

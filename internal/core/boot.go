@@ -91,7 +91,10 @@ func (s *Squirrel) Boot(ctx context.Context, req BootRequest) (BootReport, error
 	if !online {
 		return BootReport{}, fmt.Errorf("%w: %s", ErrNodeOffline, nodeID)
 	}
-	sp := s.tr.StartOp(obs.OpBoot, nodeID, id)
+	// The boot span parents under whatever span the context carries —
+	// nothing in-process, the daemon's dispatch span over the wire — so
+	// one request renders as one tree across processes.
+	sp := s.tr.Op(obs.SpanFromContext(ctx), obs.OpBoot, nodeID, id)
 	fail := func(err error) (BootReport, error) {
 		sp.Fail(err)
 		sp.Finish()
@@ -240,19 +243,31 @@ func (s *Squirrel) recordBootLanes(sp *obs.Span, cb *chainBackend) {
 	if sp == nil {
 		return
 	}
+	// Lane children are built detached and adopted in one batch: a single
+	// parent-lock acquisition instead of one per lane on the boot path.
+	var lanes [2]*obs.Span
+	n := 0
 	if cb.cacheBytes > 0 {
-		c := sp.Child(obs.OpCacheRead, cb.node.ID, cb.id)
+		c := sp.NewDetached(obs.OpCacheRead, cb.node.ID, cb.id)
 		c.AddBytes(cb.cacheBytes)
 		c.AddSim(float64(cb.cacheBytes) / disk.DAS4Model().ReadBps)
-		c.Finish()
+		lanes[n] = c
+		n++
 	}
 	if cb.networkBytes > 0 {
-		c := sp.Child(obs.OpPFSRead, cb.node.ID, cb.id)
+		c := sp.NewDetached(obs.OpPFSRead, cb.node.ID, cb.id)
 		c.AddBytes(cb.networkBytes)
 		c.AddSim(s.cl.Fabric.TransferSec(cb.networkBytes))
 		c.Annotate("indexed_bytes", cb.pfsIndexed)
 		c.Annotate("gap_bytes", cb.networkBytes-cb.pfsIndexed)
-		c.Finish()
+		lanes[n] = c
+		n++
+	}
+	if n > 0 {
+		sp.Adopt(lanes[:n]...)
+		for _, c := range lanes[:n] {
+			c.Finish()
+		}
 	}
 }
 

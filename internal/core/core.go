@@ -116,6 +116,11 @@ type Config struct {
 	// and zvol volumes account into one shared counter registry. nil
 	// (the default) disables all of it with zero behavioral difference.
 	Obs *obs.Telemetry
+	// ObsRingSize bounds the completed-span ring. When Obs is set it
+	// must already carry its ring and this field is ignored; when Obs is
+	// nil and ObsRingSize is positive, New builds a Telemetry with a
+	// ring of that size — the config-only way to enable tracing.
+	ObsRingSize int
 }
 
 // RepairPolicy bounds per-replica registration repair.
@@ -242,6 +247,9 @@ func New(cfg Config, cl *cluster.Cluster, pfs *cluster.PFS) (*Squirrel, error) {
 		return nil, err
 	}
 	cfg.Peer = cfg.Peer.Normalize()
+	if cfg.Obs == nil && cfg.ObsRingSize > 0 {
+		cfg.Obs = obs.New(cfg.ObsRingSize)
+	}
 	s := &Squirrel{
 		cfg:        cfg,
 		cl:         cl,
@@ -538,7 +546,7 @@ func (s *Squirrel) Register(ctx context.Context, req RegisterRequest) (RegisterR
 	if dup {
 		return RegisterReport{}, fmt.Errorf("%w: %s", ErrRegistered, im.ID)
 	}
-	sp := s.tr.StartOp(obs.OpRegister, "", im.ID)
+	sp := s.tr.Op(obs.SpanFromContext(ctx), obs.OpRegister, "", im.ID)
 	rep, err := s.register(ctx, sp, im, at)
 	sp.AddBytes(rep.DiffBytes)
 	sp.AddSim(rep.XferSec + rep.RepairSec)

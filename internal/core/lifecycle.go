@@ -203,7 +203,7 @@ func (s *Squirrel) ScrubAll(ctx context.Context, at time.Time) (map[string]zvol.
 			return out, fmt.Errorf("core: scrub pass: %w", err)
 		}
 		nl := s.nodeLocks.lock(id)
-		out[id] = s.scrubGuarded(nil, id, at)
+		out[id] = s.scrubGuarded(obs.SpanFromContext(ctx), id, at)
 		nl.Unlock()
 	}
 	return out, nil
@@ -304,7 +304,7 @@ func (s *Squirrel) ResilverAll(ctx context.Context, at time.Time) ([]ResilverRep
 			return out, fmt.Errorf("core: resilver pass: %w", err)
 		}
 		nl := s.nodeLocks.lock(id)
-		rep, err := s.resilverCtx(ctx, nil, id, at)
+		rep, err := s.resilverCtx(ctx, obs.SpanFromContext(ctx), id, at)
 		nl.Unlock()
 		if err != nil {
 			return out, err

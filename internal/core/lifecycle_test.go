@@ -38,7 +38,10 @@ func lifecycleDeployment(t testing.TB, computeNodes int, plan fault.Plan) (*Squi
 	cfg.Peer = peer.DefaultPolicy()
 	// Telemetry rides along on every lifecycle scenario: the chaos soak
 	// asserts no traced operation ends in an unrecovered error state.
-	cfg.Obs = obs.New(0)
+	// The ring is sized far beyond any soak's op count — the FailedRoots
+	// gate is only as strong as the ring is deep, so eviction must never
+	// hide a failed root (the always-on default is deliberately small).
+	cfg.Obs = obs.New(8192)
 	sq, err := New(cfg, cl, pfs)
 	if err != nil {
 		t.Fatal(err)

@@ -63,7 +63,7 @@ func (s *Squirrel) SyncNode(ctx context.Context, nodeID string) (SyncReport, err
 		return SyncReport{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
 	}
 	defer s.nodeLocks.lock(nodeID).Unlock()
-	return s.syncNodeGuarded(nil, nodeID)
+	return s.syncNodeGuarded(obs.SpanFromContext(ctx), nodeID)
 }
 
 // syncNodeGuarded wraps the sync body in a span: a root "sync" operation

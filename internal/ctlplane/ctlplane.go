@@ -90,6 +90,12 @@ type Session interface {
 	Telemetry() (TelemetryDump, error)
 	// TraceSlowest renders the span tree of the slowest op of a kind.
 	TraceSlowest(kind string) (string, error)
+	// Watch streams args.Count periodic telemetry deltas, one per
+	// args.Every interval, calling fn for each. A non-nil error from fn
+	// ends the watch early and is returned; ctx cancellation ends it
+	// with ctx's error. Over the wire the updates ride FlagStream
+	// frames on the existing connection.
+	Watch(ctx context.Context, args WatchArgs, fn func(WatchUpdate) error) error
 
 	// ResetNetCounters zeroes every node's NIC counters.
 	ResetNetCounters() error

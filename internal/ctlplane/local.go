@@ -37,6 +37,12 @@ type Options struct {
 	// BootLatency is core.Config.BootLatency (wall-clock device wait per
 	// boot; zero disables).
 	BootLatency time.Duration
+	// ObsRingSize bounds the completed-span ring when tracing is on
+	// (obs.DefaultRingSize when <= 0).
+	ObsRingSize int
+	// SampleEvery head-samples root operations when tracing is on: only
+	// every Nth operation is traced (0 or 1 traces everything).
+	SampleEvery int
 }
 
 // Local is the in-process Session: a deployment owned by the calling
@@ -90,8 +96,9 @@ func NewLocal(opts Options) (*Local, error) {
 		cfg.Peer.Breaker = peer.DefaultBreakerPolicy()
 	}
 	if opts.Traced {
-		cfg.Obs = obs.New(0)
+		cfg.Obs = obs.NewWith(obs.Config{RingSize: opts.ObsRingSize, SampleEvery: opts.SampleEvery})
 	}
+	cfg.ObsRingSize = opts.ObsRingSize
 	cfg.BootLatency = opts.BootLatency
 	sq, err := core.New(cfg, cl, pfs)
 	if err != nil {
@@ -216,7 +223,9 @@ func (l *Local) TraceSlowest(kind string) (string, error) {
 	if tel == nil {
 		return "", fmt.Errorf("ctlplane: telemetry disabled on this deployment (enable tracing)")
 	}
-	sp := tel.SlowestRoot(kind)
+	// SlowestSpan (not SlowestRoot): under a daemon, operations live as
+	// children of rpc.dispatch roots, so the search walks whole trees.
+	sp := tel.SlowestSpan(kind)
 	if sp == nil {
 		return "", fmt.Errorf("no completed %q operation in the trace ring (kinds: register, boot, scrub, resilver, sync, gc, restart)", kind)
 	}

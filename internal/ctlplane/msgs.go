@@ -1,6 +1,10 @@
 package ctlplane
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 // Wire message bodies. Each wireproto frame type carries one of these,
 // JSON-encoded: the framing is binary (internal/wireproto), the bodies
@@ -31,6 +35,10 @@ import "time"
 //	TTrace       — TraceArgs                    → TextReply
 //	TNetReset    — (none)                       → (none)
 //	TNetRx       — (none)                       → BytesReply
+//	TWatch       — WatchArgs                    → WatchUpdate stream frames
+//	                                              (FlagStream), then an
+//	                                              empty final response
+//	TTraceTree   — TraceTreeArgs                → TraceTreeReply
 type (
 	// RegisterArgs asks for one registration by corpus image ID.
 	RegisterArgs struct {
@@ -84,5 +92,48 @@ type (
 	// TextReply is a rendered text blob (span trees).
 	TextReply struct {
 		Text string
+	}
+
+	// WatchArgs shapes a streaming telemetry watch: one WatchUpdate per
+	// Every interval, Count updates total. Count must be ≥ 1 so a wire
+	// stream always terminates; Every defaults to a second when zero.
+	WatchArgs struct {
+		Every time.Duration
+		Count int
+	}
+	// WatchOp is one op kind's row in a watch update. Count/Errors are
+	// cumulative; Delta is the count change since the previous update
+	// of this watch; quantiles are cumulative wall milliseconds.
+	WatchOp struct {
+		Kind   string
+		Count  int64
+		Delta  int64
+		Errors int64
+		P50Ms  float64
+		P99Ms  float64
+	}
+	// WatchUpdate is one periodic telemetry delta: per-op rows (sorted
+	// by kind), the counters that changed since the previous update
+	// (cumulative values), and the gossip directory's round/stale
+	// gauges. Seq counts updates within the watch, starting at 1.
+	WatchUpdate struct {
+		Seq           int
+		SpansRecorded uint64
+		Ops           []WatchOp
+		Counters      map[string]int64
+		GossipRound   int64
+		GossipStale   int
+	}
+
+	// TraceTreeArgs asks for the daemon-side dispatch trees recorded
+	// under one client trace ID.
+	TraceTreeArgs struct {
+		TraceID uint64
+	}
+	// TraceTreeReply carries the serialized dispatch trees, oldest
+	// first. Each tree's RemoteParent names the client span it belongs
+	// under.
+	TraceTreeReply struct {
+		Trees []*obs.TreeDump
 	}
 )

@@ -1,0 +1,90 @@
+package ctlplane
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// watcher folds successive telemetry snapshots into WatchUpdate deltas:
+// per-op count deltas against the previous update and only the counters
+// that moved. One watcher serves one watch stream; the first update's
+// deltas are against zero, i.e. cumulative.
+type watcher struct {
+	seq      int
+	prevOps  map[string]int64
+	prevCtrs map[string]int64
+}
+
+func newWatcher() *watcher {
+	return &watcher{prevOps: make(map[string]int64), prevCtrs: make(map[string]int64)}
+}
+
+// update builds the next WatchUpdate from a snapshot and the gossip
+// gauges. Snapshot.Ops is already kind-sorted, so rows come out in a
+// stable order.
+func (w *watcher) update(snap obs.Snapshot, gossipRound int64, gossipStale int) WatchUpdate {
+	w.seq++
+	u := WatchUpdate{
+		Seq:           w.seq,
+		SpansRecorded: snap.SpansRecorded,
+		GossipRound:   gossipRound,
+		GossipStale:   gossipStale,
+	}
+	for _, op := range snap.Ops {
+		u.Ops = append(u.Ops, WatchOp{
+			Kind:   op.Kind,
+			Count:  op.Count,
+			Delta:  op.Count - w.prevOps[op.Kind],
+			Errors: op.Errors,
+			P50Ms:  op.P50Ms,
+			P99Ms:  op.P99Ms,
+		})
+		w.prevOps[op.Kind] = op.Count
+	}
+	for name, v := range snap.Counters {
+		if v != w.prevCtrs[name] {
+			if u.Counters == nil {
+				u.Counters = make(map[string]int64)
+			}
+			u.Counters[name] = v
+			w.prevCtrs[name] = v
+		}
+	}
+	return u
+}
+
+// Watch implements Session: args.Count periodic deltas, one per
+// args.Every (default one second), built from live snapshots of the
+// deployment's telemetry. The daemon serves its TWatch stream by
+// delegating here, so both transports emit identical update schemas.
+func (l *Local) Watch(ctx context.Context, args WatchArgs, fn func(WatchUpdate) error) error {
+	tel := l.sq.Telemetry()
+	if tel == nil {
+		return fmt.Errorf("ctlplane: telemetry disabled on this deployment (enable tracing)")
+	}
+	if args.Count < 1 {
+		return fmt.Errorf("ctlplane: watch needs Count >= 1")
+	}
+	every := args.Every
+	if every <= 0 {
+		every = time.Second
+	}
+	w := newWatcher()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for i := 0; i < args.Count; i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+		stats := l.sq.Stats()
+		if err := fn(w.update(tel.Snapshot(), stats.GossipRound, stats.GossipStale)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

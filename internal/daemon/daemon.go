@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctlplane"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/version"
 	"repro/internal/wireproto"
 )
@@ -49,6 +50,11 @@ type Config struct {
 	// Logf, when set, receives one line per lifecycle event (listen,
 	// serve, drain). nil is silent — tests want quiet servers.
 	Logf func(format string, args ...any)
+	// Tel, when set, is the deployment's telemetry: every request frame
+	// opens an rpc.dispatch span (continuing the client's trace when the
+	// frame carries FlagTrace), and the TTraceTree op serves dispatch
+	// trees from its ring. nil disables daemon-side dispatch spans.
+	Tel *obs.Telemetry
 }
 
 // Defaults for Config zero values.
@@ -229,13 +235,14 @@ func (s *Server) handleConn(c net.Conn) {
 	if err != nil {
 		return
 	}
-	if ver != wireproto.Version {
+	agreed, ok := wireproto.Negotiate(ver)
+	if !ok {
 		_ = wireproto.WriteHelloReply(c, wireproto.HelloVersionMismatch,
-			fmt.Sprintf("protocol version mismatch: server %s speaks v%d, client sent v%d",
-				version.Build, wireproto.Version, ver))
+			fmt.Sprintf("protocol version mismatch: server %s speaks v%d (accepts ≥ v%d), client sent v%d",
+				version.Build, wireproto.Version, wireproto.MinVersion, ver))
 		return
 	}
-	if err := wireproto.WriteHelloReply(c, wireproto.HelloOK, ""); err != nil {
+	if err := wireproto.WriteHelloReplyVersion(c, agreed, wireproto.HelloOK, ""); err != nil {
 		return
 	}
 	_ = c.SetReadDeadline(time.Time{})
@@ -256,6 +263,21 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 		if s.draining.Load() {
 			out <- errorFrame(f, ctlplane.ErrDraining)
+			continue
+		}
+		if agreed < 2 && (f.Type == wireproto.TWatch || f.Type == wireproto.TTraceTree) {
+			out <- errorFrame(f, fmt.Errorf("%w: frame type %d needs protocol v2 (negotiated v%d)",
+				errBadRequest, f.Type, agreed))
+			continue
+		}
+		if f.Type == wireproto.TWatch {
+			// Streaming reply: the handler pushes FlagStream elements onto
+			// the shared write channel itself, then a final plain response.
+			pending.Add(1)
+			go func(f wireproto.Frame) {
+				defer pending.Done()
+				s.serveWatch(f, out)
+			}(f)
 			continue
 		}
 		pending.Add(1)
@@ -292,17 +314,47 @@ func (s *Server) writeLoop(c net.Conn, out <-chan wireproto.Frame, done chan<- s
 	}
 }
 
+// dispatchSpan opens the daemon-side span for one request frame. A
+// frame carrying FlagTrace continues the client's trace (the dispatch
+// tree records the client's trace ID and issuing span, so TTraceTree
+// can ship it back for grafting); an untraced frame opens an ordinary —
+// head-sampled — root. The TTraceTree op itself is never spanned: its
+// dispatches must not appear inside the traces they retrieve.
+func (s *Server) dispatchSpan(f wireproto.Frame) *obs.Span {
+	tr := s.cfg.Tel.Tracer()
+	if tr == nil || f.Type == wireproto.TTraceTree {
+		return nil
+	}
+	var sp *obs.Span
+	if f.Flags&wireproto.FlagTrace != 0 {
+		sp = tr.StartRemoteOp(obs.OpDispatch, "", "", f.TraceID, f.SpanID)
+	} else {
+		sp = tr.StartOp(obs.OpDispatch, "", "")
+	}
+	sp.Annotate("op."+wireproto.TypeName(f.Type), 1)
+	return sp
+}
+
 // dispatch decodes one request, runs it against the session, and
 // encodes the response (or error) frame. A handler panic is converted
 // into an error frame rather than killing the daemon.
 func (s *Server) dispatch(f wireproto.Frame) (resp wireproto.Frame) {
+	sp := s.dispatchSpan(f)
 	defer func() {
 		if r := recover(); r != nil {
 			resp = errorFrame(f, fmt.Errorf("daemon: panic serving frame type %d: %v", f.Type, r))
 		}
+		if resp.IsError() {
+			sp.Annotate("error", 1)
+		}
+		// Finished before the response frame is handed to the write loop,
+		// so by the time the client sees the reply the dispatch tree is in
+		// the telemetry ring and a TraceMerged fetch will find it.
+		sp.Finish()
 	}()
-	result, err := s.handle(s.ctx, f.Type, f.Payload)
+	result, err := s.handle(obs.ContextWithSpan(s.ctx, sp), f.Type, f.Payload)
 	if err != nil {
+		sp.Fail(err)
 		return errorFrame(f, err)
 	}
 	var payload []byte
@@ -313,6 +365,40 @@ func (s *Server) dispatch(f wireproto.Frame) (resp wireproto.Frame) {
 		}
 	}
 	return wireproto.Frame{Type: f.Type, Flags: wireproto.FlagResponse, ReqID: f.ReqID, Payload: payload}
+}
+
+// serveWatch runs one TWatch exchange: it delegates to the session's
+// Watch (so local and wire watches emit identical update schemas) and
+// ships every update as a FlagStream frame, then terminates the stream
+// with a final plain response — or an error frame if the watch failed
+// before completing.
+func (s *Server) serveWatch(f wireproto.Frame, out chan<- wireproto.Frame) {
+	sp := s.dispatchSpan(f)
+	args, err := decode[ctlplane.WatchArgs](f.Payload)
+	if err == nil {
+		err = s.sess.Watch(obs.ContextWithSpan(s.ctx, sp), args, func(u ctlplane.WatchUpdate) error {
+			payload, merr := json.Marshal(u)
+			if merr != nil {
+				return fmt.Errorf("daemon: encode watch update: %w", merr)
+			}
+			sp.Annotate("updates", 1)
+			out <- wireproto.Frame{
+				Type:    wireproto.TWatch,
+				Flags:   wireproto.FlagResponse | wireproto.FlagStream,
+				ReqID:   f.ReqID,
+				Payload: payload,
+			}
+			return nil
+		})
+	}
+	if err != nil {
+		sp.Fail(err)
+		sp.Finish()
+		out <- errorFrame(f, err)
+		return
+	}
+	sp.Finish()
+	out <- wireproto.Frame{Type: wireproto.TWatch, Flags: wireproto.FlagResponse, ReqID: f.ReqID}
 }
 
 // errorFrame wraps err as the error response to frame f, mapping the
@@ -451,6 +537,15 @@ func (s *Server) handle(ctx context.Context, t uint8, body []byte) (any, error) 
 			return nil, err
 		}
 		return ctlplane.TextReply{Text: text}, nil
+	case wireproto.TTraceTree:
+		a, err := decode[ctlplane.TraceTreeArgs](body)
+		if err != nil {
+			return nil, err
+		}
+		if s.cfg.Tel == nil {
+			return nil, fmt.Errorf("daemon: telemetry disabled on this deployment (start with tracing)")
+		}
+		return ctlplane.TraceTreeReply{Trees: s.cfg.Tel.RemoteDumps(a.TraceID)}, nil
 	case wireproto.TNetReset:
 		return nil, s.sess.ResetNetCounters()
 	case wireproto.TNetRx:

@@ -1,0 +1,39 @@
+package daemon
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// MetricsHandler serves a deployment's live telemetry over HTTP:
+//
+//	GET /metrics    Prometheus text exposition (text/plain; version 0.0.4)
+//	GET /telemetry  the full snapshot as JSON
+//
+// Every request takes a fresh obs.Snapshot, so scrapes always see
+// current counters and histograms; rows are deterministically sorted
+// (obs guarantees it), so successive scrapes diff cleanly. squirreld
+// mounts this on -metrics-addr; tests mount it on httptest servers.
+func MetricsHandler(tel *obs.Telemetry) http.Handler {
+	mux := http.NewServeMux()
+	if tel == nil {
+		unavailable := func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "telemetry disabled on this deployment (start squirreld with -traced)", http.StatusServiceUnavailable)
+		}
+		mux.HandleFunc("/metrics", unavailable)
+		mux.HandleFunc("/telemetry", unavailable)
+		return mux
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := tel.Snapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(snap.Prometheus()))
+	})
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		snap := tel.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(snap.JSON()))
+	})
+	return mux
+}

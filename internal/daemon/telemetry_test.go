@@ -1,0 +1,302 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctlplane"
+	"repro/internal/obs"
+	"repro/internal/wireclient"
+)
+
+// startTraced brings up a daemon over a traced deployment with the
+// daemon's dispatch spans landing in the deployment's own telemetry —
+// the configuration squirreld -traced runs.
+func startTraced(t *testing.T, opts ctlplane.Options) (string, *ctlplane.Local) {
+	t.Helper()
+	opts.Traced = true
+	local, err := ctlplane.NewLocal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(local, Config{Addr: "127.0.0.1:0", Tel: local.Squirrel().Telemetry()})
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		if err := <-served; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv.Addr().String(), local
+}
+
+// dialTraced opens a wire session with client-side tracing, so frames
+// carry trace context and TraceMerged can graft the daemon's halves.
+func dialTraced(t *testing.T, addr string) *wireclient.Client {
+	t.Helper()
+	c, err := wireclient.Dial(wireclient.Options{Addr: addr, Obs: obs.New(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// renderedLine is one line of a rendered trace: its indentation depth
+// and leading op kind.
+type renderedLine struct {
+	depth int
+	kind  string
+}
+
+func lineDepths(tree string) []renderedLine {
+	var out []renderedLine
+	for _, ln := range strings.Split(strings.TrimRight(tree, "\n"), "\n") {
+		trimmed := strings.TrimLeft(ln, " ")
+		out = append(out, renderedLine{
+			depth: (len(ln) - len(trimmed)) / 2,
+			kind:  strings.Fields(trimmed)[0],
+		})
+	}
+	return out
+}
+
+// TestWireTraceMergedSingleTree is the acceptance proof for wire trace
+// propagation: after a boot driven over TCP, the client renders ONE
+// tree spanning both processes — its session root, the dial attempt,
+// the boot RPC, the daemon's dispatch continuation grafted under it,
+// and the core boot span under that.
+func TestWireTraceMergedSingleTree(t *testing.T) {
+	addr, _ := startTraced(t, ctlplane.Options{Images: 2, Nodes: 2, Peers: true})
+	c := dialTraced(t, addr)
+
+	ctx := context.Background()
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(ctx, info.Images[0], sessionT0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Boot(ctx, core.BootRequest{Image: info.Images[0], Node: info.ComputeNodes[0], Verify: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	tree, err := c.TraceMerged(obs.OpBoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := lineDepths(tree)
+
+	var roots, dials, rpcs, dispatches, boots int
+	depthOf := map[string]int{}
+	for _, l := range lines {
+		depth, kind := l.depth, l.kind
+		switch kind {
+		case obs.OpSession:
+			roots++
+			if depth != 0 {
+				t.Fatalf("session span at depth %d, want 0:\n%s", depth, tree)
+			}
+		case obs.OpDial:
+			dials++
+			depthOf[kind] = depth
+		case obs.OpRPC:
+			rpcs++
+			depthOf[kind] = depth
+		case obs.OpDispatch:
+			dispatches++
+			depthOf[kind] = depth
+		case obs.OpBoot:
+			boots++
+			depthOf[kind] = depth
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("merged trace has %d roots, want exactly 1 (%s):\n%s", roots, obs.OpSession, tree)
+	}
+	if dials < 1 || depthOf[obs.OpDial] != 1 {
+		t.Fatalf("dial attempt missing or misplaced (n=%d depth=%d):\n%s", dials, depthOf[obs.OpDial], tree)
+	}
+	if rpcs != 1 || depthOf[obs.OpRPC] != 1 {
+		t.Fatalf("want exactly one pruned rpc.call at depth 1, got n=%d depth=%d:\n%s", rpcs, depthOf[obs.OpRPC], tree)
+	}
+	if dispatches != 1 || depthOf[obs.OpDispatch] != 2 {
+		t.Fatalf("daemon dispatch not grafted under the rpc (n=%d depth=%d):\n%s", dispatches, depthOf[obs.OpDispatch], tree)
+	}
+	if boots != 1 || depthOf[obs.OpBoot] != 3 {
+		t.Fatalf("core boot span not under the dispatch (n=%d depth=%d):\n%s", boots, depthOf[obs.OpBoot], tree)
+	}
+	if !strings.Contains(tree, "op.boot=1") {
+		t.Fatalf("rpc annotation missing:\n%s", tree)
+	}
+}
+
+// TestWatchStreamOverWire drives the TWatch stream end to end: a
+// client-side Watch over TCP receives exactly Count in-order updates
+// whose rows reflect the boots that preceded the watch, and an
+// early-abort (callback error) tears the stream down without wedging
+// the connection's read loop.
+func TestWatchStreamOverWire(t *testing.T) {
+	addr, _ := startTraced(t, ctlplane.Options{Images: 2, Nodes: 2})
+	c := dialTraced(t, addr)
+
+	ctx := context.Background()
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range info.Images {
+		if _, err := c.Register(ctx, id, sessionT0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Boot(ctx, core.BootRequest{Image: info.Images[0], Node: info.ComputeNodes[0]}); err != nil {
+		t.Fatal(err)
+	}
+
+	var updates []ctlplane.WatchUpdate
+	err = c.Watch(ctx, ctlplane.WatchArgs{Every: 5 * time.Millisecond, Count: 3}, func(u ctlplane.WatchUpdate) error {
+		updates = append(updates, u)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if len(updates) != 3 {
+		t.Fatalf("got %d updates, want 3", len(updates))
+	}
+	for i, u := range updates {
+		if u.Seq != i+1 {
+			t.Fatalf("update %d has Seq %d", i, u.Seq)
+		}
+		if u.SpansRecorded == 0 {
+			t.Fatalf("update %d reports zero spans recorded", i)
+		}
+	}
+	var boot *ctlplane.WatchOp
+	for i := range updates[0].Ops {
+		if updates[0].Ops[i].Kind == obs.OpBoot {
+			boot = &updates[0].Ops[i]
+		}
+	}
+	if boot == nil || boot.Count < 1 {
+		t.Fatalf("first update has no boot row: %+v", updates[0].Ops)
+	}
+	if boot.Delta != boot.Count {
+		t.Fatalf("first update's delta %d should be cumulative (count %d)", boot.Delta, boot.Count)
+	}
+
+	// Early abort: the callback rejects after one update. The client
+	// must surface the error immediately and keep the connection usable
+	// while the remaining stream frames drain in the background.
+	abort := errors.New("enough")
+	err = c.Watch(ctx, ctlplane.WatchArgs{Every: 5 * time.Millisecond, Count: 50}, func(ctlplane.WatchUpdate) error {
+		return abort
+	})
+	if !errors.Is(err, abort) {
+		t.Fatalf("aborted watch returned %v, want the callback error", err)
+	}
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("connection wedged after aborted watch: %v", err)
+	}
+}
+
+// TestWatchUntracedDaemonErrors pins the failure mode when the
+// deployment has no telemetry: the stream request crosses the wire and
+// comes back as a clean protocol error naming the cure.
+func TestWatchUntracedDaemonErrors(t *testing.T) {
+	addr, _ := startServer(t, ctlplane.Options{Images: 2, Nodes: 2}, Config{})
+	c := dial(t, addr)
+	err := c.Watch(context.Background(), ctlplane.WatchArgs{Every: time.Millisecond, Count: 1}, func(ctlplane.WatchUpdate) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "telemetry disabled") {
+		t.Fatalf("untraced watch returned %v, want telemetry-disabled error", err)
+	}
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("connection unusable after refused watch: %v", err)
+	}
+}
+
+// TestMetricsHandler scrapes the live HTTP surface against a traced
+// deployment that has done real work, and pins the disabled behavior.
+func TestMetricsHandler(t *testing.T) {
+	local, err := ctlplane.NewLocal(ctlplane.Options{Images: 2, Nodes: 2, Traced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	info, _ := local.Info()
+	if _, err := local.Register(ctx, info.Images[0], sessionT0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Boot(ctx, core.BootRequest{Image: info.Images[0], Node: info.ComputeNodes[0]}); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(MetricsHandler(local.Squirrel().Telemetry()))
+	defer ts.Close()
+
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{`squirrel_op_total{kind="boot"} 1`, `squirrel_op_total{kind="register"} 1`, "# TYPE squirrel_op_latency_ms summary"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	res, err = http.Get(ts.URL + "/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jbody, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/telemetry content type %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(jbody, &snap); err != nil {
+		t.Fatalf("/telemetry not JSON: %v\n%s", err, jbody)
+	}
+	if op, ok := snap.Op("boot"); !ok || op.Count != 1 {
+		t.Fatalf("/telemetry snapshot missing boot row: %+v", snap.Ops)
+	}
+
+	// Telemetry off → both endpoints refuse with 503, not empty bodies
+	// a scraper would read as "all counters zero".
+	off := httptest.NewServer(MetricsHandler(nil))
+	defer off.Close()
+	for _, path := range []string{"/metrics", "/telemetry"} {
+		res, err := http.Get(off.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s on untraced deployment: status %d, want 503", path, res.StatusCode)
+		}
+	}
+}

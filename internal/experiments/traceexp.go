@@ -41,7 +41,10 @@ func FigTrace(s Scale) (Table, error) {
 	}
 	cfg := core.DefaultConfig()
 	cfg.Peer = peer.DefaultPolicy()
-	cfg.Obs = obs.New(0)
+	// The table is rebuilt from every boot's span tree, so the ring must
+	// hold the full wave — the small always-on default would evict the
+	// early boots and silently undercount the lanes.
+	cfg.Obs = obs.New(len(repo.Images)*nodes + 16)
 	sq, err := core.New(cfg, cl, pfs)
 	if err != nil {
 		return Table{}, err

@@ -1,0 +1,27 @@
+package obs
+
+import "context"
+
+// spanKey is the context key carrying the ambient parent span. Context
+// propagation is how cross-layer parentage works without threading
+// *Span through every signature: the daemon puts its dispatch span in
+// the request context, and core operations start under whatever span
+// the context carries (or as roots when it carries none).
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the ambient parent span
+// for operations started under it. A nil span is carried too — it
+// parents nothing, which is exactly the untraced behavior.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the ambient parent span carried by ctx, or
+// nil when the context carries none.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

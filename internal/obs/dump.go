@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"strings"
+	"time"
+)
+
+// TreeDump is the wire-serializable form of a span tree. The daemon
+// ships dumps of its dispatch trees to the control client, which grafts
+// them under its own RPC spans by span ID and renders one tree spanning
+// both processes. All times are wall-clock Unix nanoseconds; EndNs is 0
+// for a span still in flight when dumped.
+type TreeDump struct {
+	ID     uint64           `json:"id"`
+	Kind   string           `json:"kind"`
+	Node   string           `json:"node,omitempty"`
+	Image  string           `json:"image,omitempty"`
+	Start  int64            `json:"start_ns"`
+	End    int64            `json:"end_ns,omitempty"`
+	Bytes  int64            `json:"bytes,omitempty"`
+	SimSec float64          `json:"sim_sec,omitempty"`
+	Err    string           `json:"err,omitempty"`
+	Annots map[string]int64 `json:"annots,omitempty"`
+
+	// RemoteTrace/RemoteParent carry the wire trace context stamped on
+	// a dispatch root: the originating client's trace ID and the client
+	// span the tree belongs under. Zero on locally rooted spans and on
+	// children.
+	RemoteTrace  uint64 `json:"remote_trace,omitempty"`
+	RemoteParent uint64 `json:"remote_parent,omitempty"`
+
+	Children []*TreeDump `json:"children,omitempty"`
+}
+
+// DumpTree serializes a span tree. Nil-safe: a nil span dumps to nil.
+func DumpTree(s *Span) *TreeDump {
+	if s == nil {
+		return nil
+	}
+	d := &TreeDump{
+		ID:     s.SpanID(),
+		Kind:   s.Kind(),
+		Node:   s.Node(),
+		Image:  s.Image(),
+		Bytes:  s.Bytes(),
+		SimSec: s.SimSec(),
+		Err:    s.Err(),
+	}
+	d.RemoteTrace, d.RemoteParent = s.RemoteTrace()
+	if an := s.Annotations(); len(an) > 0 {
+		d.Annots = an
+	}
+	s.mu.Lock()
+	d.Start = s.start.UnixNano()
+	if !s.end.IsZero() {
+		d.End = s.end.UnixNano()
+	}
+	s.mu.Unlock()
+	for _, c := range s.Children() {
+		d.Children = append(d.Children, DumpTree(c))
+	}
+	return d
+}
+
+// RemoteDumps collects dumps of every ring tree whose root was started
+// by StartRemoteOp with the given trace ID, oldest first — the
+// daemon-side halves of one client's trace.
+func (t *Telemetry) RemoteDumps(traceID uint64) []*TreeDump {
+	if t == nil || traceID == 0 {
+		return nil
+	}
+	var out []*TreeDump
+	for _, s := range t.Roots() {
+		if rt, _ := s.RemoteTrace(); rt == traceID {
+			out = append(out, DumpTree(s))
+		}
+	}
+	return out
+}
+
+// Wall returns the dump's wall-clock duration (0 while in flight).
+func (d *TreeDump) Wall() time.Duration {
+	if d == nil || d.End == 0 {
+		return 0
+	}
+	return time.Duration(d.End - d.Start)
+}
+
+// Find returns the first dump in d's tree (depth-first, creation
+// order) satisfying pred, or nil.
+func (d *TreeDump) Find(pred func(*TreeDump) bool) *TreeDump {
+	if d == nil {
+		return nil
+	}
+	if pred(d) {
+		return d
+	}
+	for _, c := range d.Children {
+		if f := c.Find(pred); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// FindKind returns the first dump of the given op kind in d's tree.
+func (d *TreeDump) FindKind(kind string) *TreeDump {
+	return d.Find(func(x *TreeDump) bool { return x.Kind == kind })
+}
+
+// Graft attaches remote to the dump in d's tree whose span ID matches
+// remote's RemoteParent — the client span that issued the request the
+// remote tree served. Reports whether a parent was found; an unmatched
+// tree is left unattached so the caller can surface it separately.
+func (d *TreeDump) Graft(remote *TreeDump) bool {
+	if d == nil || remote == nil {
+		return false
+	}
+	parent := d.Find(func(x *TreeDump) bool { return x.ID == remote.RemoteParent })
+	if parent == nil {
+		return false
+	}
+	parent.Children = append(parent.Children, remote)
+	return true
+}
+
+// RenderDump renders a dump tree in the same indented one-span-per-line
+// format as RenderTree, so wire-merged traces read exactly like local
+// ones.
+func RenderDump(d *TreeDump) string {
+	var b strings.Builder
+	renderDumpInto(&b, d, 0)
+	return b.String()
+}
+
+func renderDumpInto(b *strings.Builder, d *TreeDump, depth int) {
+	if d == nil {
+		return
+	}
+	renderLine(b, depth, d.Kind, d.Node, d.Image, d.Wall(), d.SimSec, d.Bytes, d.Annots, d.Err)
+	for _, c := range d.Children {
+		renderDumpInto(b, c, depth+1)
+	}
+}

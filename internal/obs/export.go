@@ -54,30 +54,20 @@ func (t *Telemetry) Snapshot() Snapshot {
 	snap.SpansRecorded = t.tracer.ring.appended()
 	snap.FailedOps = len(t.FailedRoots())
 
-	reg := t.tracer.reg
-	reg.mu.Lock()
-	type opRow struct {
-		kind string
-		agg  opAgg
-	}
-	opRows := make([]opRow, 0, len(reg.ops))
-	for kind, agg := range reg.ops {
-		opRows = append(opRows, opRow{kind, *agg})
-	}
-	for node, agg := range reg.nodes {
+	ops, nodes := t.tracer.reg.merge()
+	for node, agg := range nodes {
 		snap.Nodes = append(snap.Nodes, NodeSummary{Node: node, Count: agg.count, Errors: agg.errors, Bytes: agg.bytes})
 	}
-	reg.mu.Unlock()
 
 	const ms = 1e6 // ns per ms
-	for _, row := range opRows {
-		lat := row.agg.lat.Snapshot()
+	for kind, m := range ops {
+		lat := m.lat.Snapshot()
 		snap.Ops = append(snap.Ops, OpSummary{
-			Kind:   row.kind,
-			Count:  row.agg.count,
-			Errors: row.agg.errors,
-			Bytes:  row.agg.bytes,
-			SimSec: row.agg.simSec,
+			Kind:   kind,
+			Count:  m.count,
+			Errors: m.errors,
+			Bytes:  m.bytes,
+			SimSec: m.simSec,
 			MeanMs: lat.Mean() / ms,
 			P50Ms:  float64(lat.Quantile(0.50)) / ms,
 			P95Ms:  float64(lat.Quantile(0.95)) / ms,

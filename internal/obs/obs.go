@@ -1,7 +1,7 @@
 // Package obs is Squirrel's observability layer: hierarchical operation
-// spans, a bounded lock-free ring of completed operation trees, per-op
-// and per-node aggregation, and a unified telemetry export surface
-// (JSON + Prometheus-style text).
+// spans, a bounded ring of completed operation trees with pooled-span
+// recycling, striped per-op and per-node aggregation, and a unified
+// telemetry export surface (JSON + Prometheus-style text).
 //
 // The paper's evaluation (§5) is entirely about where time and bytes go
 // — cold-boot CDFs, network transfer breakdowns, gain-factor
@@ -12,12 +12,20 @@
 // image, byte counts, fault/retry annotations, and simulated network
 // time alongside wall time.
 //
+// The layer is built for always-on operation. Span objects come from a
+// sync.Pool and are recycled when the completed-operation ring evicts
+// their tree (unless a snapshot reader has been handed the tree, in
+// which case it is left to the garbage collector). Aggregation is
+// striped across mutex shards folded together only at Snapshot time, so
+// concurrent span finishes touch disjoint cache lines instead of one
+// global registry lock. An optional seeded head-sampling knob
+// (Config.SampleEvery) traces every Nth root operation for deployments
+// where even that overhead matters; the default of 1 traces everything.
+//
 // Everything is nil-safe in the style of metrics.CounterSet: a nil
 // *Telemetry, *Tracer, or *Span no-ops every method, so instrumented
-// code paths never branch on "is tracing on". The hot path of a running
-// deployment costs one atomic ring append per completed operation plus
-// a handful of short mutex sections for aggregation; disabled tracing
-// costs a nil check.
+// code paths never branch on "is tracing on". A head-sampled-out root
+// span is a nil *Span too, which makes its whole subtree free.
 package obs
 
 import (
@@ -46,33 +54,87 @@ const (
 	OpGossip    = "gossip.round"
 )
 
-// DefaultRingSize bounds the completed-operation ring when New is given
-// a non-positive size. Retained span trees are live heap the garbage
-// collector rescans every cycle, so the default stays modest: large
-// enough to hold every root op of a chaos soak, small enough that a
-// traced boot wave benchmarks within noise of an untraced one.
-const DefaultRingSize = 512
+// Operation kinds used by the control-plane wire path (PR 9): the
+// client-side session and per-RPC spans squirrelctl records when driving
+// a daemon, and the daemon-side dispatch span each request frame opens.
+// Together with the wire trace context they form one tree per control
+// operation spanning both processes.
+const (
+	OpSession  = "ctl.session"  // one per wireclient connection lifetime
+	OpDial     = "ctl.dial"     // one per TCP dial attempt (retries = siblings)
+	OpRPC      = "rpc.call"     // client side of one request/reply exchange
+	OpDispatch = "rpc.dispatch" // daemon side of one request frame
+	OpWatch    = "ctl.watch"    // streaming telemetry watch session
+)
+
+// DefaultRingSize bounds the completed-operation ring when the
+// configured size is non-positive. Retained span trees are live heap
+// the garbage collector re-marks every cycle — on an allocation-heavy
+// deployment that mark cost, not span recording itself, is what shows
+// up as tracing overhead — so the always-on default stays small: deep
+// enough to hold the recent operations an operator inspects after an
+// incident, shallow enough that a traced boot wave stays within the 5%
+// overhead bar. Consumers that replay whole histories from the ring
+// (chaos soaks, the figtrace experiment) size it explicitly via
+// Config.RingSize.
+const DefaultRingSize = 64
+
+// Config tunes a Telemetry. The zero value is valid: DefaultRingSize
+// ring, trace everything.
+type Config struct {
+	// RingSize bounds the completed-root-operation ring
+	// (DefaultRingSize when <= 0).
+	RingSize int
+
+	// SampleEvery head-samples root operations: only every Nth StartOp
+	// returns a live span; the rest return nil, which makes the whole
+	// operation subtree free. 0 or 1 traces everything. Sampling is
+	// deterministic for a given (SampleEvery, SampleSeed) and call
+	// order. Aggregates and the ring then describe the sampled subset.
+	SampleEvery int
+
+	// SampleSeed offsets which residue class of root operations is
+	// kept, so replicated deployments can sample disjoint phases.
+	SampleSeed int64
+}
 
 // Telemetry is one deployment's observability state: a tracer feeding a
-// registry of per-kind/per-node aggregates, a bounded ring of completed
-// root spans, and the deployment-wide counter set that the fault
-// injector, peer index, and zvol volumes share when observability is
-// enabled (the "one registry" replacing bespoke counter threading).
+// striped registry of per-kind/per-node aggregates, a bounded ring of
+// completed root spans, and the deployment-wide counter set that the
+// fault injector, peer index, and zvol volumes share when observability
+// is enabled (the "one registry" replacing bespoke counter threading).
 type Telemetry struct {
 	tracer   *Tracer
 	counters *metrics.CounterSet
 }
 
 // New builds a Telemetry whose ring keeps the last ringSize completed
-// root operations (DefaultRingSize when ringSize <= 0).
+// root operations (DefaultRingSize when ringSize <= 0) and traces every
+// operation. Shorthand for NewWith(Config{RingSize: ringSize}).
 func New(ringSize int) *Telemetry {
-	if ringSize <= 0 {
-		ringSize = DefaultRingSize
+	return NewWith(Config{RingSize: ringSize})
+}
+
+// NewWith builds a Telemetry from a Config.
+func NewWith(cfg Config) *Telemetry {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultRingSize
 	}
-	return &Telemetry{
-		tracer:   &Tracer{reg: newRegistry(), ring: newRing(ringSize)},
-		counters: metrics.NewCounterSet(),
+	every := uint64(1)
+	if cfg.SampleEvery > 1 {
+		every = uint64(cfg.SampleEvery)
 	}
+	tr := &Tracer{
+		reg:         newRegistry(),
+		ring:        newRing(cfg.RingSize),
+		sampleEvery: every,
+	}
+	if every > 1 {
+		// Offset the kept residue class by the seed so two telemetries
+		// with different seeds keep different (deterministic) subsets.
+		tr.sampleTick.Store(uint64(cfg.SampleSeed) % every)
+	}
+	return &Telemetry{tracer: tr, counters: metrics.NewCounterSet()}
 }
 
 // Tracer returns the span tracer. Nil-safe: a nil Telemetry yields a
@@ -95,6 +157,8 @@ func (t *Telemetry) Counters() *metrics.CounterSet {
 
 // Roots returns the completed root spans currently held by the ring,
 // oldest first. Spans are immutable once completed; the slice is fresh.
+// Handing a tree out pins it: the ring will no longer recycle it into
+// the span pool when it ages out.
 func (t *Telemetry) Roots() []*Span {
 	if t == nil {
 		return nil
@@ -138,6 +202,34 @@ func (t *Telemetry) SlowestRoot(kind string) *Span {
 		}
 		if slowest == nil || s.Wall() > slowest.Wall() {
 			slowest = s
+		}
+	}
+	return slowest
+}
+
+// SlowestSpan generalizes SlowestRoot to spans anywhere inside the
+// ring's trees: the first failed span of that kind if any failed,
+// otherwise the one with the longest wall duration. Daemon-dispatched
+// operations live as children of rpc.dispatch roots, so the trace
+// surface searches whole trees, not just roots.
+func (t *Telemetry) SlowestSpan(kind string) *Span {
+	var slowest *Span
+	for _, root := range t.Roots() {
+		root.walk(func(s *Span) bool {
+			if s.Kind() != kind {
+				return true
+			}
+			if s.Err() != "" {
+				slowest = s
+				return false
+			}
+			if slowest == nil || slowest.Err() == "" && s.Wall() > slowest.Wall() {
+				slowest = s
+			}
+			return true
+		})
+		if slowest != nil && slowest.Err() != "" {
+			break
 		}
 	}
 	return slowest

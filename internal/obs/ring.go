@@ -2,46 +2,69 @@ package obs
 
 import (
 	"sort"
-	"sync/atomic"
+	"sync"
 )
 
-// ring is the bounded lock-free buffer of completed root spans, in the
-// scatter-hoarding spirit: appenders never coordinate, they just claim
-// the next slot with one atomic increment and overwrite whatever
-// operation aged out. Snapshot readers see a consistent-enough view —
-// each slot holds a fully completed (immutable) span tree or nil.
+// ring is the bounded buffer of completed root spans, in the
+// scatter-hoarding spirit: appenders claim the next slot and overwrite
+// whatever operation aged out. The evicted tree is recycled into the
+// span pool — unless a snapshot reader was handed it (the exposed
+// flag), in which case it is left to the garbage collector.
+//
+// The RWMutex replaces the earlier lock-free atomic-slot scheme: slot
+// claims must now be mutually exclusive with snapshot's exposure
+// marking, or an evictor could recycle a tree a reader is walking. The
+// write section is a few stores; root finishes are rare next to the
+// striped aggregation the children take.
 type ring struct {
-	slots []atomic.Pointer[Span]
-	next  atomic.Uint64
+	mu    sync.RWMutex
+	slots []*Span
+	next  uint64
 }
 
 func newRing(size int) *ring {
-	return &ring{slots: make([]atomic.Pointer[Span], size)}
+	return &ring{slots: make([]*Span, size)}
 }
 
-// add appends a completed root span, claiming a slot with one atomic
-// increment. The claimed sequence number is stamped on the span so
-// snapshots can order survivors oldest-first after wraparound.
+// add appends a completed root span, claiming the next slot. The
+// claimed sequence number is stamped on the span so snapshots can order
+// survivors oldest-first after wraparound. The evicted occupant, if
+// any, is recycled when no snapshot ever exposed it: snapshot marks
+// exposure under the read lock, so after add's write section the flag
+// is stable — a later snapshot can no longer reach the evicted span.
 func (r *ring) add(s *Span) {
-	i := r.next.Add(1) - 1
-	s.seq = i
-	r.slots[i%uint64(len(r.slots))].Store(s)
+	r.mu.Lock()
+	s.seq = r.next
+	r.next++
+	i := int(s.seq % uint64(len(r.slots)))
+	old := r.slots[i]
+	r.slots[i] = s
+	r.mu.Unlock()
+	if old != nil && !old.exposed.Load() {
+		recycleTree(old)
+	}
 }
 
 // appended reports how many root spans were ever added (not how many
 // the ring still holds).
 func (r *ring) appended() uint64 {
-	return r.next.Load()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.next
 }
 
-// snapshot collects the spans currently held, oldest first.
+// snapshot collects the spans currently held, oldest first, pinning
+// each against pool recycling before releasing the lock.
 func (r *ring) snapshot() []*Span {
+	r.mu.RLock()
 	out := make([]*Span, 0, len(r.slots))
-	for i := range r.slots {
-		if s := r.slots[i].Load(); s != nil {
+	for _, s := range r.slots {
+		if s != nil {
+			s.exposed.Store(true)
 			out = append(out, s)
 		}
 	}
+	r.mu.RUnlock()
 	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,10 +19,24 @@ import (
 // internal mutex makes cross-goroutine building safe too. A nil *Span
 // no-ops every method and hands out nil children, so a disabled tracer
 // costs instrumented code only nil checks.
+//
+// Span objects are pooled: when the completed-operation ring evicts a
+// tree that no snapshot reader was ever handed, every span in it goes
+// back to the pool and is reused by a later operation. A tree returned
+// by Roots/RootsOf/SlowestRoot/SlowestSpan is pinned (the exposed flag)
+// and ages out to the garbage collector instead, so callers can hold
+// snapshot results indefinitely.
 type Span struct {
-	tr     *Tracer
-	parent *Span
-	seq    uint64 // ring slot ordering, assigned at append time
+	tr      *Tracer
+	parent  *Span
+	seq     uint64      // ring slot ordering, assigned at append time
+	id      uint64      // process-unique span ID (wire trace context)
+	exposed atomic.Bool // handed to a snapshot reader; never recycle
+
+	// Remote trace linkage: the trace/parent span IDs carried in by a
+	// wire request frame (zero for locally rooted operations).
+	rtrace  uint64
+	rparent uint64
 
 	kind  string
 	start time.Time
@@ -38,8 +53,66 @@ type Span struct {
 	finished bool
 }
 
+// spanPool recycles Span objects evicted from the ring. spanID hands
+// out process-unique span IDs; pooled reuse must re-stamp the ID so a
+// recycled object never aliases a live wire trace reference.
+var (
+	spanPool = sync.Pool{New: func() any { return new(Span) }}
+	spanID   atomic.Uint64
+)
+
 func newSpan(tr *Tracer, parent *Span, kind, node, image string) *Span {
-	return &Span{tr: tr, parent: parent, kind: kind, node: node, image: image, start: time.Now()}
+	s := spanPool.Get().(*Span)
+	s.tr, s.parent, s.seq = tr, parent, 0
+	s.id = spanID.Add(1)
+	s.exposed.Store(false)
+	s.rtrace, s.rparent = 0, 0
+	s.kind, s.start = kind, time.Now()
+	s.node, s.image = node, image
+	s.end = time.Time{}
+	s.bytes, s.simSec, s.err = 0, 0, ""
+	clear(s.annots)
+	s.children = s.children[:0]
+	s.finished = false
+	return s
+}
+
+// recycleTree returns an evicted, unexposed span tree to the pool. Only
+// finished spans recycle; an unfinished straggler (a child whose parent
+// finished first) is left to the garbage collector.
+func recycleTree(s *Span) {
+	s.mu.Lock()
+	done := s.finished
+	kids := s.children
+	s.children = nil // detach before pooling so no pooled span aliases another's slice
+	s.mu.Unlock()
+	for _, c := range kids {
+		recycleTree(c)
+	}
+	if !done {
+		return
+	}
+	s.tr, s.parent = nil, nil
+	s.children = kids[:0] // keep the allocation for the next tree
+	spanPool.Put(s)
+}
+
+// SpanID returns the span's process-unique ID — the value the wire
+// trace context carries. 0 for a nil span.
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// RemoteTrace returns the (traceID, parentSpanID) pair a wire request
+// stamped on this span, or zeros for locally rooted operations.
+func (s *Span) RemoteTrace() (traceID, parentID uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.rtrace, s.rparent
 }
 
 // Child starts a sub-operation span under s. Nil-safe: a nil span hands
@@ -53,6 +126,33 @@ func (s *Span) Child(kind, node, image string) *Span {
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// NewDetached starts a child span that is NOT yet linked into s's child
+// list — the batch-attachment half of Adopt. The detached span still
+// aggregates normally when finished; Adopt links a whole batch under
+// one parent lock acquisition instead of one per child.
+func (s *Span) NewDetached(kind, node, image string) *Span {
+	if s == nil {
+		return nil
+	}
+	return newSpan(s.tr, s, kind, node, image)
+}
+
+// Adopt links a batch of NewDetached children into s's child list with
+// a single lock acquisition. Nil children (from a nil parent's
+// NewDetached) are skipped.
+func (s *Span) Adopt(children ...*Span) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for _, c := range children {
+		if c != nil {
+			s.children = append(s.children, c)
+		}
+	}
+	s.mu.Unlock()
 }
 
 // SetNode records (or revises) the node the span concerns — peer
@@ -134,7 +234,7 @@ func (s *Span) Finish() {
 	if s.tr == nil {
 		return
 	}
-	s.tr.reg.record(kind, node, bytes, simSec, wall, failed)
+	s.tr.reg.record(s.id, kind, node, bytes, simSec, wall, failed)
 	if s.parent == nil {
 		s.tr.ring.add(s)
 	}
@@ -245,6 +345,37 @@ func (s *Span) ChildrenOf(kind string) []*Span {
 	return out
 }
 
+// walk visits s and its descendants depth-first in creation order until
+// visit returns false.
+func (s *Span) walk(visit func(*Span) bool) bool {
+	if s == nil {
+		return true
+	}
+	if !visit(s) {
+		return false
+	}
+	for _, c := range s.Children() {
+		if !c.walk(visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// FindSpan returns the first span of the given kind in s's tree
+// (depth-first, creation order), or nil.
+func (s *Span) FindSpan(kind string) *Span {
+	var found *Span
+	s.walk(func(sp *Span) bool {
+		if sp.Kind() == kind {
+			found = sp
+			return false
+		}
+		return true
+	})
+	return found
+}
+
 // Wall returns the wall-clock duration (0 for an unfinished span).
 func (s *Span) Wall() time.Duration {
 	if s == nil {
@@ -270,21 +401,29 @@ func renderInto(b *strings.Builder, s *Span, depth int) {
 	if s == nil {
 		return
 	}
-	fmt.Fprintf(b, "%s%s", strings.Repeat("  ", depth), s.Kind())
-	if n := s.Node(); n != "" {
-		fmt.Fprintf(b, " node=%s", n)
+	renderLine(b, depth, s.Kind(), s.Node(), s.Image(), s.Wall(), s.SimSec(), s.Bytes(), s.Annotations(), s.Err())
+	for _, c := range s.Children() {
+		renderInto(b, c, depth+1)
 	}
-	if im := s.Image(); im != "" {
-		fmt.Fprintf(b, " image=%s", im)
+}
+
+// renderLine is the shared one-span line format used by RenderTree and
+// RenderDump, so local and wire-merged trace dumps are line-compatible.
+func renderLine(b *strings.Builder, depth int, kind, node, image string, wall time.Duration, sim float64, bytes int64, annots map[string]int64, errText string) {
+	fmt.Fprintf(b, "%s%s", strings.Repeat("  ", depth), kind)
+	if node != "" {
+		fmt.Fprintf(b, " node=%s", node)
 	}
-	fmt.Fprintf(b, " wall=%s", s.Wall().Round(time.Microsecond))
-	if sim := s.SimSec(); sim > 0 {
+	if image != "" {
+		fmt.Fprintf(b, " image=%s", image)
+	}
+	fmt.Fprintf(b, " wall=%s", wall.Round(time.Microsecond))
+	if sim > 0 {
 		fmt.Fprintf(b, " sim=%.4fs", sim)
 	}
-	if n := s.Bytes(); n > 0 {
-		fmt.Fprintf(b, " bytes=%d", n)
+	if bytes > 0 {
+		fmt.Fprintf(b, " bytes=%d", bytes)
 	}
-	annots := s.Annotations()
 	keys := make([]string, 0, len(annots))
 	for k := range annots {
 		keys = append(keys, k)
@@ -293,11 +432,8 @@ func renderInto(b *strings.Builder, s *Span, depth int) {
 	for _, k := range keys {
 		fmt.Fprintf(b, " %s=%d", k, annots[k])
 	}
-	if e := s.Err(); e != "" {
-		fmt.Fprintf(b, " ERR=%q", e)
+	if errText != "" {
+		fmt.Fprintf(b, " ERR=%q", errText)
 	}
 	b.WriteString("\n")
-	for _, c := range s.Children() {
-		renderInto(b, c, depth+1)
-	}
 }

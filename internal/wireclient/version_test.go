@@ -1,0 +1,97 @@
+package wireclient_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ctlplane"
+	"repro/internal/obs"
+	"repro/internal/wireclient"
+	"repro/internal/wireproto"
+)
+
+// fakeOldServer speaks only protocol serverVer: any newer offer is
+// rejected with HelloVersionMismatch naming serverVer, an exact offer
+// is accepted and the connection then just sits (the tests below never
+// exchange frames). Returns the address and a per-handshake counter.
+func fakeOldServer(t *testing.T, serverVer uint16) (string, *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var hellos atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				ver, err := wireproto.ReadHello(conn)
+				if err != nil {
+					return
+				}
+				hellos.Add(1)
+				if ver != serverVer {
+					_ = wireproto.WriteHelloReplyVersion(conn, serverVer, wireproto.HelloVersionMismatch, "")
+					return
+				}
+				if err := wireproto.WriteHelloReplyVersion(conn, serverVer, wireproto.HelloOK, ""); err != nil {
+					return
+				}
+				// Hold the connection open; the client read loop parks on it.
+				_, _ = io.Copy(io.Discard, conn)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), &hellos
+}
+
+// TestDialDowngradesToV1 pins the compatibility contract: against a
+// daemon that only speaks protocol v1, Dial redials at the version the
+// server named and succeeds — while the v2-only surfaces (watch
+// streams, merged traces) refuse with errors naming the negotiated
+// version instead of sending frames the server cannot parse.
+func TestDialDowngradesToV1(t *testing.T) {
+	addr, hellos := fakeOldServer(t, wireproto.MinVersion)
+	c, err := wireclient.Dial(wireclient.Options{Addr: addr, Obs: obs.New(0)})
+	if err != nil {
+		t.Fatalf("dial against v1 server: %v", err)
+	}
+	defer c.Close()
+	if got := c.Version(); got != wireproto.MinVersion {
+		t.Fatalf("negotiated v%d, want v%d", got, wireproto.MinVersion)
+	}
+	if got := hellos.Load(); got != 2 {
+		t.Fatalf("downgrade took %d handshakes, want 2 (offer v2, accept v1)", got)
+	}
+
+	err = c.Watch(context.Background(), ctlplane.WatchArgs{Count: 1}, func(ctlplane.WatchUpdate) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "protocol v2") {
+		t.Fatalf("watch on v1 connection returned %v, want protocol-v2 refusal", err)
+	}
+	if _, err := c.TraceMerged(obs.OpBoot); err == nil || !strings.Contains(err.Error(), "protocol v2") {
+		t.Fatalf("TraceMerged on v1 connection returned %v, want protocol-v2 refusal", err)
+	}
+}
+
+// TestDialRejectsUnbridgeableVersion: a server older than anything this
+// build still speaks fails the handshake immediately — no retry spin.
+func TestDialRejectsUnbridgeableVersion(t *testing.T) {
+	addr, hellos := fakeOldServer(t, wireproto.MinVersion-1)
+	_, err := wireclient.Dial(wireclient.Options{Addr: addr})
+	if !errors.Is(err, wireclient.ErrHandshake) {
+		t.Fatalf("dial against v0 server returned %v, want ErrHandshake", err)
+	}
+	if got := hellos.Load(); got != 1 {
+		t.Fatalf("unbridgeable version consumed %d handshakes, want 1 (no retries)", got)
+	}
+}

@@ -6,9 +6,22 @@
 // to the shared connection, and parked until the matching response
 // frame arrives, so concurrent callers share one connection without
 // head-of-line blocking on the daemon side (the daemon handles each
-// request in its own goroutine). Dial retries refused connections with
-// exponential backoff — the daemon may still be starting — but a
-// protocol version mismatch fails immediately: retrying cannot fix it.
+// request in its own goroutine). Streaming replies (the watch op) ride
+// the same connection: the read loop keeps routing FlagStream frames
+// to their parked consumer until the final non-stream frame closes the
+// exchange. Dial retries refused connections with exponential backoff
+// — the daemon may still be starting — and downgrades once to an older
+// protocol version if the server names one; only an unbridgeable
+// version gap (or a peer that is not a squirreld) fails immediately.
+//
+// When Options.Obs is set the client records its own span tree: one
+// ctl.session root per connection, ctl.dial children for every TCP
+// attempt, and an rpc.call child per request. On connections that
+// negotiated protocol version ≥ 2 each request frame carries the trace
+// context (session trace ID + rpc span ID), which the daemon stamps on
+// its dispatch spans — TraceMerged later fetches those dispatch trees
+// and grafts them back under the rpc.call spans that issued them,
+// rendering one tree that spans both processes.
 package wireclient
 
 import (
@@ -24,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctlplane"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/wireproto"
 	"repro/internal/zvol"
 )
@@ -56,8 +70,13 @@ type Options struct {
 	// (default 100ms).
 	Backoff time.Duration
 	// CallTimeout bounds each request that arrives without its own
-	// context deadline. 0 means no per-call deadline.
+	// context deadline. 0 means no per-call deadline. Watch streams are
+	// exempt: they run on the caller's context alone.
 	CallTimeout time.Duration
+	// Obs, when set, receives the client-side span tree: a ctl.session
+	// root for the connection, ctl.dial attempts and rpc.call exchanges
+	// as its children. Required for TraceMerged.
+	Obs *obs.Telemetry
 }
 
 func (o Options) withDefaults() Options {
@@ -77,6 +96,10 @@ func (o Options) withDefaults() Options {
 type Client struct {
 	opts Options
 	conn net.Conn
+	ver  uint16 // negotiated protocol version
+
+	tel     *obs.Telemetry
+	session *obs.Span // ctl.session root; finished by Close
 
 	wmu sync.Mutex // serializes frame writes
 	bw  *bufio.Writer
@@ -89,75 +112,128 @@ type Client struct {
 
 var _ ctlplane.Session = (*Client)(nil)
 
-// Dial connects and handshakes with the daemon at opts.Addr.
+// Dial connects and handshakes with the daemon at opts.Addr, offering
+// the newest protocol version and downgrading if the server names an
+// older one this build still speaks.
 func Dial(opts Options) (*Client, error) {
 	opts = opts.withDefaults()
+	session := opts.Obs.Tracer().StartOp(obs.OpSession, "", "")
 	var lastErr error
 	backoff := opts.Backoff
+	offer := wireproto.Version
 	for attempt := 0; attempt < opts.Attempts; attempt++ {
 		if attempt > 0 {
 			time.Sleep(backoff)
 			backoff *= 2
 		}
+		dsp := session.Child(obs.OpDial, "", "")
+		dsp.Annotate("attempt", int64(attempt)+1)
+		dsp.Annotate("proto", int64(offer))
 		conn, err := net.DialTimeout("tcp", opts.Addr, opts.DialTimeout)
 		if err != nil {
+			dsp.Fail(err)
+			dsp.Finish()
 			lastErr = err
 			continue
 		}
-		c, err := handshake(conn, opts)
+		c, srvVer, err := handshake(conn, opts, offer)
 		if err == nil {
+			dsp.Finish()
+			c.tel = opts.Obs
+			c.session = session
 			return c, nil
 		}
 		_ = conn.Close()
+		dsp.Fail(err)
+		dsp.Finish()
+		if errors.Is(err, errVersion) {
+			if srvVer >= wireproto.MinVersion && srvVer < offer {
+				// The server speaks an older version this build still
+				// supports: redial immediately offering it (without
+				// consuming the retry budget). The offer only ever
+				// decreases, so the downgrade loop terminates.
+				offer = srvVer
+				lastErr = err
+				attempt--
+				continue
+			}
+			session.Fail(err)
+			session.Finish()
+			return nil, err
+		}
 		if errors.Is(err, ErrHandshake) && !errors.Is(err, errBusy) {
-			// A version mismatch (or a non-squirreld peer) will not heal
-			// on retry.
+			// A non-squirreld peer will not heal on retry.
+			session.Fail(err)
+			session.Finish()
 			return nil, err
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("%w at %s after %d attempts: %v", ErrConnect, opts.Addr, opts.Attempts, lastErr)
+	err := fmt.Errorf("%w at %s after %d attempts: %v", ErrConnect, opts.Addr, opts.Attempts, lastErr)
+	session.Fail(err)
+	session.Finish()
+	return nil, err
 }
 
 // errBusy marks a HelloBusy rejection — transient, retried by Dial.
-var errBusy = errors.New("wireclient: daemon busy")
+// errVersion marks a HelloVersionMismatch — retried only as a downgrade
+// to the version the server named.
+var (
+	errBusy    = errors.New("wireclient: daemon busy")
+	errVersion = errors.New("wireclient: protocol version mismatch")
+)
 
-// handshake runs the hello exchange and brings up the read loop.
-func handshake(conn net.Conn, opts Options) (*Client, error) {
+// handshake runs the hello exchange (offering the given version) and
+// brings up the read loop. On a version mismatch the server's version
+// is returned alongside the error so Dial can downgrade.
+func handshake(conn net.Conn, opts Options, offer uint16) (*Client, uint16, error) {
 	deadline := time.Now().Add(opts.DialTimeout)
 	_ = conn.SetDeadline(deadline)
-	if err := wireproto.WriteHello(conn); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	if err := wireproto.WriteHelloVersion(conn, offer); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrHandshake, err)
 	}
 	ver, status, msg, err := wireproto.ReadHelloReply(conn)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		return nil, 0, fmt.Errorf("%w: %v", ErrHandshake, err)
 	}
 	switch status {
 	case wireproto.HelloOK:
 	case wireproto.HelloVersionMismatch:
 		if msg == "" {
-			msg = fmt.Sprintf("protocol version mismatch: server v%d, client v%d", ver, wireproto.Version)
+			msg = fmt.Sprintf("protocol version mismatch: server v%d, client v%d", ver, offer)
 		}
-		return nil, fmt.Errorf("%w: %s", ErrHandshake, msg)
+		return nil, ver, fmt.Errorf("%w: %w: %s", ErrHandshake, errVersion, msg)
 	case wireproto.HelloBusy:
-		return nil, fmt.Errorf("%w: %w: %s", ErrHandshake, errBusy, msg)
+		return nil, 0, fmt.Errorf("%w: %w: %s", ErrHandshake, errBusy, msg)
 	default:
-		return nil, fmt.Errorf("%w: unknown handshake status %d", ErrHandshake, status)
+		return nil, 0, fmt.Errorf("%w: unknown handshake status %d", ErrHandshake, status)
+	}
+	if ver > offer {
+		// A well-behaved server echoes the agreed (≤ offered) version;
+		// clamp so a misbehaving one cannot talk the client into
+		// features it never offered.
+		ver = offer
 	}
 	_ = conn.SetDeadline(time.Time{})
 	c := &Client{
 		opts:    opts,
 		conn:    conn,
+		ver:     ver,
 		bw:      bufio.NewWriter(conn),
 		pending: make(map[uint64]chan wireproto.Frame),
 	}
 	go c.readLoop()
-	return c, nil
+	return c, ver, nil
 }
 
+// Version is the protocol version negotiated with the daemon.
+func (c *Client) Version() uint16 { return c.ver }
+
 // readLoop routes response frames to their parked callers until the
-// connection dies, then fails every pending call.
+// connection dies, then fails every pending call. A FlagStream frame
+// leaves its pending entry registered — more elements follow — and the
+// exchange is unregistered by its final non-stream frame. Frames with
+// no pending entry (responses whose caller gave up) are discarded.
 func (c *Client) readLoop() {
 	br := bufio.NewReader(c.conn)
 	for {
@@ -168,7 +244,7 @@ func (c *Client) readLoop() {
 		}
 		c.mu.Lock()
 		ch, ok := c.pending[f.ReqID]
-		if ok {
+		if ok && !f.IsStream() {
 			delete(c.pending, f.ReqID)
 		}
 		c.mu.Unlock()
@@ -192,17 +268,86 @@ func (c *Client) fail(err error) {
 	}
 }
 
-// Close implements Session.
+// Close implements Session. It also finishes the ctl.session span, which
+// lands the client-side trace tree in Options.Obs's ring.
 func (c *Client) Close() error {
 	err := c.conn.Close()
 	c.fail(ErrClosed)
+	c.session.Finish()
 	return err
+}
+
+// register parks a fresh request ID. bufcap sizes the response channel:
+// 1 for unary calls, larger for streams so the read loop rarely blocks
+// on a briefly busy consumer.
+func (c *Client) register(bufcap int) (uint64, chan wireproto.Frame, error) {
+	ch := make(chan wireproto.Frame, bufcap)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.err; err != nil {
+		return 0, nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	return id, ch, nil
+}
+
+// writeRequest serializes and flushes one request frame; a write error
+// kills the connection and unregisters the request.
+func (c *Client) writeRequest(f wireproto.Frame) error {
+	c.wmu.Lock()
+	err := wireproto.WriteFrame(c.bw, f)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, f.ReqID)
+		c.mu.Unlock()
+		c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+		return fmt.Errorf("wireclient: write: %w", err)
+	}
+	return nil
+}
+
+// rpcSpan opens the client-side span for one exchange. Nil (free) when
+// tracing is off, when the session root was head-sampled out, or for
+// the trace-fetch op itself — TTraceTree dispatches must not appear
+// inside the very trace they retrieve.
+func (c *Client) rpcSpan(typ uint8) *obs.Span {
+	if c.tel == nil || typ == wireproto.TTraceTree {
+		return nil
+	}
+	sp := c.session.Child(obs.OpRPC, "", "")
+	sp.Annotate("op."+wireproto.TypeName(typ), 1)
+	return sp
+}
+
+// stamp attaches the wire trace context to a request frame when the
+// negotiated protocol version carries it and the exchange is traced.
+func (c *Client) stamp(f *wireproto.Frame, sp *obs.Span) {
+	if sp == nil || c.ver < 2 {
+		return
+	}
+	f.Flags |= wireproto.FlagTrace
+	f.TraceID = c.session.SpanID()
+	f.SpanID = sp.SpanID()
 }
 
 // call runs one request/response exchange: marshal args, write the
 // frame, park until the matching response or ctx expiry. A nil out
 // discards the response body.
 func (c *Client) call(ctx context.Context, typ uint8, args any, out any) error {
+	sp := c.rpcSpan(typ)
+	err := c.exchange(ctx, sp, typ, args, out)
+	sp.Fail(err)
+	sp.Finish()
+	return err
+}
+
+func (c *Client) exchange(ctx context.Context, sp *obs.Span, typ uint8, args any, out any) error {
 	if c.opts.CallTimeout > 0 {
 		if _, has := ctx.Deadline(); !has {
 			var cancel context.CancelFunc
@@ -217,29 +362,14 @@ func (c *Client) call(ctx context.Context, typ uint8, args any, out any) error {
 			return fmt.Errorf("wireclient: encode request: %w", err)
 		}
 	}
-	ch := make(chan wireproto.Frame, 1)
-	c.mu.Lock()
-	if err := c.err; err != nil {
-		c.mu.Unlock()
+	id, ch, err := c.register(1)
+	if err != nil {
 		return err
 	}
-	c.nextID++
-	id := c.nextID
-	c.pending[id] = ch
-	c.mu.Unlock()
-
-	c.wmu.Lock()
-	err := wireproto.WriteFrame(c.bw, wireproto.Frame{Type: typ, ReqID: id, Payload: payload})
-	if err == nil {
-		err = c.bw.Flush()
-	}
-	c.wmu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
-		return fmt.Errorf("wireclient: write: %w", err)
+	f := wireproto.Frame{Type: typ, ReqID: id, Payload: payload}
+	c.stamp(&f, sp)
+	if err := c.writeRequest(f); err != nil {
+		return err
 	}
 
 	select {
@@ -406,4 +536,146 @@ func (c *Client) ComputeRx() (int64, error) {
 	var out ctlplane.BytesReply
 	err := c.call(bg(), wireproto.TNetRx, nil, &out)
 	return out.Bytes, err
+}
+
+// Watch implements Session: it opens a TWatch stream and invokes fn for
+// every WatchUpdate element until the daemon's final frame, fn errors,
+// or ctx is cancelled. On early exit the remaining stream frames are
+// drained in the background so the shared read loop never stalls.
+func (c *Client) Watch(ctx context.Context, args ctlplane.WatchArgs, fn func(ctlplane.WatchUpdate) error) error {
+	if args.Count < 1 {
+		return fmt.Errorf("wireclient: watch needs Count >= 1")
+	}
+	if c.ver < 2 {
+		return fmt.Errorf("wireclient: watch needs protocol v2; this connection negotiated v%d", c.ver)
+	}
+	sp := c.rpcSpan(wireproto.TWatch)
+	err := c.watchStream(ctx, sp, args, fn)
+	sp.Fail(err)
+	sp.Finish()
+	return err
+}
+
+func (c *Client) watchStream(ctx context.Context, sp *obs.Span, args ctlplane.WatchArgs, fn func(ctlplane.WatchUpdate) error) error {
+	payload, err := json.Marshal(args)
+	if err != nil {
+		return fmt.Errorf("wireclient: encode request: %w", err)
+	}
+	id, ch, err := c.register(16)
+	if err != nil {
+		return err
+	}
+	f := wireproto.Frame{Type: wireproto.TWatch, ReqID: id, Payload: payload}
+	c.stamp(&f, sp)
+	if err := c.writeRequest(f); err != nil {
+		return err
+	}
+	// abandon hands the rest of the stream to a background drainer: the
+	// pending entry stays registered (the read loop still needs a live
+	// consumer) until the final non-stream frame — or connection death —
+	// unregisters it.
+	abandon := func() {
+		go func() {
+			for f := range ch {
+				if !f.IsStream() {
+					return
+				}
+			}
+		}()
+	}
+	for {
+		select {
+		case f, ok := <-ch:
+			if !ok {
+				c.mu.Lock()
+				err := c.err
+				c.mu.Unlock()
+				if err == nil {
+					err = ErrClosed
+				}
+				return err
+			}
+			if f.IsError() {
+				code, msg, derr := wireproto.DecodeError(f.Payload)
+				if derr != nil {
+					return fmt.Errorf("wireclient: undecodable error frame: %w", derr)
+				}
+				return ctlplane.ErrFromCode(code, msg)
+			}
+			if !f.IsStream() {
+				// Final frame: the stream completed.
+				return nil
+			}
+			var u ctlplane.WatchUpdate
+			if err := json.Unmarshal(f.Payload, &u); err != nil {
+				abandon()
+				return fmt.Errorf("wireclient: decode watch update: %w", err)
+			}
+			sp.Annotate("updates", 1)
+			if err := fn(u); err != nil {
+				abandon()
+				return err
+			}
+		case <-ctx.Done():
+			abandon()
+			return ctx.Err()
+		}
+	}
+}
+
+// TraceMerged renders one trace tree spanning both processes for the
+// slowest (or first failed) operation of the given kind in this
+// session: the client-side ctl.session root with its dial attempts, the
+// rpc.call span that issued the operation, and — grafted under it by
+// span ID — the daemon's rpc.dispatch tree with the core operation's
+// own span lanes. Needs Options.Obs and a protocol ≥ 2 connection.
+func (c *Client) TraceMerged(kind string) (string, error) {
+	if c.tel == nil || c.session == nil {
+		return "", fmt.Errorf("wireclient: client-side tracing disabled (set Options.Obs)")
+	}
+	if c.ver < 2 {
+		return "", fmt.Errorf("wireclient: trace propagation needs protocol v2; this connection negotiated v%d", c.ver)
+	}
+	var reply ctlplane.TraceTreeReply
+	err := c.call(bg(), wireproto.TTraceTree, ctlplane.TraceTreeArgs{TraceID: c.session.SpanID()}, &reply)
+	if err != nil {
+		return "", err
+	}
+	dump := obs.DumpTree(c.session)
+	for _, t := range reply.Trees {
+		dump.Graft(t)
+	}
+	// Prune to the interesting branch: the rpc.call whose grafted
+	// dispatch tree contains a failed `kind` span, else the one whose
+	// `kind` span has the longest wall time. Dial attempts stay — retry
+	// history is part of the session's story.
+	var bestRPC, bestOp *obs.TreeDump
+	for _, ch := range dump.Children {
+		if ch.Kind != obs.OpRPC {
+			continue
+		}
+		op := ch.FindKind(kind)
+		if op == nil {
+			continue
+		}
+		if op.Err != "" {
+			bestRPC, bestOp = ch, op
+			break
+		}
+		if bestOp == nil || op.Wall() > bestOp.Wall() {
+			bestRPC, bestOp = ch, op
+		}
+	}
+	if bestRPC == nil {
+		return "", fmt.Errorf("wireclient: no completed %q operation in this session's trace", kind)
+	}
+	pruned := *dump
+	pruned.Children = nil
+	for _, ch := range dump.Children {
+		if ch.Kind == obs.OpDial {
+			pruned.Children = append(pruned.Children, ch)
+		}
+	}
+	pruned.Children = append(pruned.Children, bestRPC)
+	return obs.RenderDump(&pruned), nil
 }

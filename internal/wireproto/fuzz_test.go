@@ -30,6 +30,16 @@ func FuzzReadFrame(f *testing.F) {
 	// Hostile length prefix: claims a 4 GB-ish payload.
 	f.Add([]byte{TStats, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{})
+	// Version-2 features: trace-context extension and stream frames.
+	f.Add(AppendFrame(nil, Frame{Type: TBoot, Flags: FlagTrace, ReqID: 7,
+		TraceID: 0xDEADBEEF, SpanID: 0xFEEDFACE, Payload: []byte(`{"image":"im0","node":"node00"}`)}))
+	f.Add(AppendFrame(nil, Frame{Type: TWatch, Flags: FlagResponse | FlagStream, ReqID: 8,
+		Payload: []byte(`{"seq":1}`)}))
+	traced := AppendFrame(nil, Frame{Type: TTraceTree, Flags: FlagTrace, ReqID: 11, TraceID: 1, SpanID: 2})
+	f.Add(traced[:headerLen+3]) // truncated mid-extension
+	tbad := append([]byte(nil), traced...)
+	tbad[headerLen+1] ^= 0x10 // corrupt the extension under the CRC
+	f.Add(tbad)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)

@@ -1,0 +1,110 @@
+package wireproto
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestTraceExtensionRoundTrip pins the version-2 frame layout: FlagTrace
+// inserts exactly 16 extension bytes between header and payload, both
+// IDs survive the round trip, and frames without the flag stay at the
+// version-1 length.
+func TestTraceExtensionRoundTrip(t *testing.T) {
+	in := Frame{Type: TBoot, Flags: FlagTrace, ReqID: 99, TraceID: 1 << 40, SpanID: 7, Payload: []byte("hello")}
+	enc := AppendFrame(nil, in)
+	plain := AppendFrame(nil, Frame{Type: TBoot, ReqID: 99, Payload: []byte("hello")})
+	if len(enc) != len(plain)+traceLen {
+		t.Fatalf("trace extension adds %d bytes, want %d", len(enc)-len(plain), traceLen)
+	}
+	out, err := ReadFrame(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != in.TraceID || out.SpanID != in.SpanID || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+	if !out.IsStream() && out.Flags&FlagTrace == 0 {
+		t.Fatal("FlagTrace lost in round trip")
+	}
+	// Without the flag the IDs stay off the wire entirely.
+	dropped, err := ReadFrame(bytes.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped.TraceID != 0 || dropped.SpanID != 0 {
+		t.Fatalf("untraced frame decoded trace context: %+v", dropped)
+	}
+}
+
+// TestTraceExtensionCoveredByCRC flips one extension byte and expects a
+// checksum failure — the trace context is inside the integrity envelope.
+func TestTraceExtensionCoveredByCRC(t *testing.T) {
+	enc := AppendFrame(nil, Frame{Type: TBoot, Flags: FlagTrace, ReqID: 1, TraceID: 5, SpanID: 6})
+	enc[headerLen+2] ^= 0xFF
+	if _, err := ReadFrame(bytes.NewReader(enc)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted trace extension: got %v, want ErrChecksum", err)
+	}
+}
+
+// TestNegotiate pins the server-side version window.
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		client uint16
+		agreed uint16
+		ok     bool
+	}{
+		{MinVersion, MinVersion, true},
+		{Version, Version, true},
+		{MinVersion - 1, 0, false},
+		{Version + 1, 0, false},
+		{Version + 40, 0, false},
+	}
+	for _, c := range cases {
+		agreed, ok := Negotiate(c.client)
+		if agreed != c.agreed || ok != c.ok {
+			t.Fatalf("Negotiate(%d) = (%d,%v), want (%d,%v)", c.client, agreed, ok, c.agreed, c.ok)
+		}
+	}
+}
+
+// TestHelloVersionNegotiationWire walks both handshake directions with
+// explicit versions: the client's offer survives the wire, and the
+// server's reply names the agreed version.
+func TestHelloVersionNegotiationWire(t *testing.T) {
+	var hello bytes.Buffer
+	if err := WriteHelloVersion(&hello, MinVersion); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := ReadHello(&hello)
+	if err != nil || ver != MinVersion {
+		t.Fatalf("ReadHello = (%d,%v), want (%d,nil)", ver, err, MinVersion)
+	}
+	agreed, ok := Negotiate(ver)
+	if !ok {
+		t.Fatalf("Negotiate(%d) rejected", ver)
+	}
+	var reply bytes.Buffer
+	if err := WriteHelloReplyVersion(&reply, agreed, HelloOK, ""); err != nil {
+		t.Fatal(err)
+	}
+	rver, status, _, err := ReadHelloReply(&reply)
+	if err != nil || status != HelloOK || rver != MinVersion {
+		t.Fatalf("reply = (v%d,%d,%v), want (v%d,HelloOK,nil)", rver, status, err, MinVersion)
+	}
+}
+
+// TestTypeName spot-checks the annotation names and the unknown-type
+// fallback.
+func TestTypeName(t *testing.T) {
+	if got := TypeName(TBoot); got != "boot" {
+		t.Fatalf("TypeName(TBoot) = %q", got)
+	}
+	if got := TypeName(TWatch); got != "watch" {
+		t.Fatalf("TypeName(TWatch) = %q", got)
+	}
+	if got := TypeName(200); !strings.HasPrefix(got, "type") {
+		t.Fatalf("TypeName(200) = %q", got)
+	}
+}

@@ -14,10 +14,20 @@
 //	                         u32 msgLen | msg
 //	then both sides exchange frames until either closes the connection.
 //
+// The hello is version-negotiated: a server accepts any client version
+// in [MinVersion, Version] and echoes the agreed (client's) version in
+// its reply, so an old client keeps working against a new daemon. A
+// client offering a NEWER version than the server is rejected with
+// HelloVersionMismatch naming the server's version; the client may then
+// redial offering that version (wireclient does). Version-gated frame
+// features (the trace extension, stream frames) are only used on
+// connections that negotiated a version that has them.
+//
 // Frame layout (everything little-endian):
 //
 //	u8 type | u8 flags | u64 reqID | u32 payloadLen |
-//	payload [payloadLen] | u32 crc32c over header+payload
+//	[u64 traceID | u64 spanID — iff FlagTrace, version ≥ 2] |
+//	payload [payloadLen] | u32 crc32c over header+extension+payload
 //
 // Request IDs are assigned by the client and echoed by the server, so
 // responses may arrive out of order and clients can pipeline requests
@@ -26,6 +36,15 @@
 // place of the result, carrying a numeric code from the sentinel family
 // so errors.Is identity — and squirrelctl's exit codes 2–5 — survive
 // the wire.
+//
+// FlagTrace (version ≥ 2) marks a request carrying a 16-byte trace
+// context between the header and the payload: the caller's trace ID and
+// the caller-side span the request was issued under. The daemon stamps
+// both on its dispatch span, which is how one operation renders as a
+// single tree across the socket. FlagStream (version ≥ 2) marks a
+// response frame that is one element of a streaming reply (the watch
+// op): stream frames share the request's ID, and the stream ends with a
+// final response frame without FlagStream.
 //
 // This package is framing only: payload semantics (which Go structs
 // ride inside which frame type) belong to internal/ctlplane, and it
@@ -45,10 +64,15 @@ import (
 // protocol versions so a mismatched peer still gets a readable reply.
 const Magic = "SQCP"
 
-// Version is the protocol version this build speaks. The handshake
-// requires an exact match: frames carry no per-frame version, so there
-// is no cross-version framing to negotiate.
-const Version uint16 = 1
+// Version is the newest protocol version this build speaks; MinVersion
+// is the oldest it still accepts. Version 2 added the per-frame trace
+// extension (FlagTrace), streaming responses (FlagStream), and the
+// watch/trace-tree ops; version-1 peers negotiate down to the version-1
+// feature set and keep working.
+const (
+	Version    uint16 = 2
+	MinVersion uint16 = 1
+)
 
 // Size bounds. A control-plane payload is a few KB of JSON (telemetry
 // snapshots are the largest); MaxPayload leaves generous headroom while
@@ -63,6 +87,7 @@ const (
 	maxHelloMsg = 4 << 10
 
 	headerLen = 1 + 1 + 8 + 4 // type | flags | reqID | payloadLen
+	traceLen  = 8 + 8         // traceID | spanID (present iff FlagTrace)
 	helloLen  = 4 + 2 + 2     // magic | version | reserved
 )
 
@@ -89,7 +114,44 @@ const (
 	TTrace
 	TNetReset
 	TNetRx
+	TWatch     // version ≥ 2: streaming telemetry watch
+	TTraceTree // version ≥ 2: fetch dispatch trees for a client trace ID
 )
+
+// typeNames backs TypeName; indexed by frame type.
+var typeNames = [...]string{
+	TInfo:        "info",
+	TRegister:    "register",
+	TBoot:        "boot",
+	TSync:        "sync",
+	THealth:      "health",
+	TTelemetry:   "telemetry",
+	TPeers:       "peers",
+	TStats:       "stats",
+	TSetOnline:   "setOnline",
+	TDropReplica: "dropReplica",
+	TCrash:       "crash",
+	TRestart:     "restart",
+	TRot:         "rot",
+	TSetFaults:   "setFaults",
+	TScrubAll:    "scrubAll",
+	TResilverAll: "resilverAll",
+	TGC:          "gc",
+	TTrace:       "trace",
+	TNetReset:    "netReset",
+	TNetRx:       "netRx",
+	TWatch:       "watch",
+	TTraceTree:   "traceTree",
+}
+
+// TypeName returns a short name for a frame type ("boot", "watch", …)
+// for span annotations and log lines; unknown types render numerically.
+func TypeName(t uint8) string {
+	if int(t) < len(typeNames) && typeNames[t] != "" {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type%d", t)
+}
 
 // Frame flags.
 const (
@@ -97,6 +159,12 @@ const (
 	FlagResponse uint8 = 1 << 0
 	// FlagError marks a response whose payload is an error body.
 	FlagError uint8 = 1 << 1
+	// FlagTrace (version ≥ 2) marks a frame carrying the 16-byte trace
+	// extension (TraceID, SpanID) between header and payload.
+	FlagTrace uint8 = 1 << 2
+	// FlagStream (version ≥ 2) marks a response frame that is one
+	// element of a streaming reply; the stream's final frame clears it.
+	FlagStream uint8 = 1 << 3
 )
 
 // Handshake reply statuses.
@@ -146,16 +214,24 @@ var (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// Frame is one protocol message in either direction.
+// Frame is one protocol message in either direction. TraceID and
+// SpanID ride the wire only when Flags has FlagTrace set; encoders
+// ignore them otherwise, and decoders leave them zero.
 type Frame struct {
 	Type    uint8
 	Flags   uint8
 	ReqID   uint64
+	TraceID uint64
+	SpanID  uint64
 	Payload []byte
 }
 
 // IsError reports whether the frame carries an error body.
 func (f Frame) IsError() bool { return f.Flags&FlagError != 0 }
+
+// IsStream reports whether the frame is an element of a streaming reply
+// (more frames with the same request ID follow).
+func (f Frame) IsStream() bool { return f.Flags&FlagStream != 0 }
 
 // AppendFrame appends f's wire encoding to dst and returns the extended
 // slice. WriteFrame is the io.Writer form.
@@ -164,6 +240,10 @@ func AppendFrame(dst []byte, f Frame) []byte {
 	dst = append(dst, f.Type, f.Flags)
 	dst = binary.LittleEndian.AppendUint64(dst, f.ReqID)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Payload)))
+	if f.Flags&FlagTrace != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, f.TraceID)
+		dst = binary.LittleEndian.AppendUint64(dst, f.SpanID)
+	}
 	dst = append(dst, f.Payload...)
 	crc := crc32.Checksum(dst[start:], crcTable)
 	return binary.LittleEndian.AppendUint32(dst, crc)
@@ -176,7 +256,7 @@ func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxPayload {
 		return fmt.Errorf("%w: payload %d > %d", ErrTooLarge, len(f.Payload), MaxPayload)
 	}
-	buf := AppendFrame(make([]byte, 0, headerLen+len(f.Payload)+4), f)
+	buf := AppendFrame(make([]byte, 0, headerLen+traceLen+len(f.Payload)+4), f)
 	_, err := w.Write(buf)
 	return err
 }
@@ -202,6 +282,15 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: frame type 0", ErrBadFrame)
 	}
 	crc := crc32.Update(0, crcTable, hdr[:])
+	if f.Flags&FlagTrace != 0 {
+		var ext [traceLen]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return Frame{}, fmt.Errorf("wireproto: trace extension: %w", err)
+		}
+		f.TraceID = binary.LittleEndian.Uint64(ext[0:8])
+		f.SpanID = binary.LittleEndian.Uint64(ext[8:16])
+		crc = crc32.Update(crc, crcTable, ext[:])
+	}
 	if n > 0 {
 		f.Payload = make([]byte, n)
 		if _, err := io.ReadFull(r, f.Payload); err != nil {
@@ -219,13 +308,30 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	return f, nil
 }
 
-// WriteHello sends the client side of the handshake.
+// WriteHello sends the client side of the handshake, offering this
+// build's newest version. WriteHelloVersion offers a specific one (the
+// downgrade path after a HelloVersionMismatch names an older server).
 func WriteHello(w io.Writer) error {
+	return WriteHelloVersion(w, Version)
+}
+
+// WriteHelloVersion sends a client hello offering the given version.
+func WriteHelloVersion(w io.Writer, version uint16) error {
 	var buf [helloLen]byte
 	copy(buf[:4], Magic)
-	binary.LittleEndian.PutUint16(buf[4:6], Version)
+	binary.LittleEndian.PutUint16(buf[4:6], version)
 	_, err := w.Write(buf[:])
 	return err
+}
+
+// Negotiate applies the server-side version rule to a client hello:
+// any version in [MinVersion, Version] is accepted and echoed back as
+// the connection's agreed version; anything else reports false.
+func Negotiate(clientVersion uint16) (agreed uint16, ok bool) {
+	if clientVersion < MinVersion || clientVersion > Version {
+		return 0, false
+	}
+	return clientVersion, true
 }
 
 // ReadHello reads a client hello and returns the version the peer
@@ -242,14 +348,22 @@ func ReadHello(r io.Reader) (version uint16, err error) {
 	return binary.LittleEndian.Uint16(buf[4:6]), nil
 }
 
-// WriteHelloReply sends the server side of the handshake.
+// WriteHelloReply sends the server side of the handshake, naming this
+// build's newest version. WriteHelloReplyVersion names a specific one
+// (the agreed version on acceptance, the server's newest on rejection
+// so the client knows what to downgrade to).
 func WriteHelloReply(w io.Writer, status uint8, msg string) error {
+	return WriteHelloReplyVersion(w, Version, status, msg)
+}
+
+// WriteHelloReplyVersion sends a handshake reply naming version.
+func WriteHelloReplyVersion(w io.Writer, version uint16, status uint8, msg string) error {
 	if len(msg) > maxHelloMsg {
 		msg = msg[:maxHelloMsg]
 	}
 	buf := make([]byte, 0, 4+2+1+4+len(msg))
 	buf = append(buf, Magic...)
-	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	buf = binary.LittleEndian.AppendUint16(buf, version)
 	buf = append(buf, status)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(msg)))
 	buf = append(buf, msg...)
