@@ -29,6 +29,18 @@
 // carrying its "converge-rounds" metric (rounds for the decentralized
 // index to converge after an owner crash) and steady-state churn ns/op
 // — the CI churn gate checks the round bound against it.
+//
+// BenchmarkWorkloadTail/<arrivals>-<index> sub-benchmarks fold into one
+// workload_tail result keyed "<arrivals>-<index>-<metric>" (p99-ms,
+// p999-ms, shed-%, peerhit-%) — the macro boot-latency tail per arrival
+// process and index mode that the CI workload gate and later read-path
+// PRs target.
+//
+// BenchmarkGossipScale/nodes=<n> sub-benchmarks fold into one
+// gossip_scaling result carrying each scale's per-round cost and
+// converge bound plus "per-node-cost-x", the 10k-node per-node round
+// cost over the 1k-node one (≈1 means rounds scale linearly with the
+// membership).
 package main
 
 import (
@@ -66,6 +78,8 @@ func main() {
 	results = append(results, stormScaling(results)...)
 	results = append(results, hedgeGain(results)...)
 	results = append(results, gossipConvergence(results)...)
+	results = append(results, workloadTail(results)...)
+	results = append(results, gossipScaling(results)...)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
@@ -220,6 +234,95 @@ func gossipConvergence(results []result) []result {
 		Name:       "gossip_convergence",
 		Procs:      1,
 		Iterations: int64(len(rounds)),
+		Metrics:    m,
+	}}
+}
+
+// workloadTail folds the BenchmarkWorkloadTail/<arrivals>-<index>
+// sub-benchmarks into one workload_tail result: every scenario's tail
+// quantiles and rates keyed "<arrivals>-<index>-<metric>". The driver
+// runs under the deterministic logical clock, so repeated samples of a
+// scenario report identical values and the last sample stands.
+func workloadTail(results []result) []result {
+	m := make(map[string]float64)
+	samples := 0
+	for _, r := range results {
+		scen, ok := strings.CutPrefix(r.Name, "BenchmarkWorkloadTail/")
+		if !ok {
+			continue
+		}
+		samples++
+		for _, key := range []string{"p99-ms", "p999-ms", "shed-%", "peerhit-%"} {
+			if v, ok := r.Metrics[key]; ok {
+				m[scen+"-"+key] = v
+			}
+		}
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	return []result{{
+		Name:       "workload_tail",
+		Procs:      1,
+		Iterations: int64(samples),
+		Metrics:    m,
+	}}
+}
+
+// gossipScaling folds BenchmarkGossipScale/nodes=<n> into one
+// gossip_scaling result: per-scale round cost (ms) and owner-crash
+// converge bound, plus per-node-cost-x — the 10k-node per-node round
+// cost over the 1k-node one. ≈1 means a gossip round scales linearly
+// with the membership; samples are averaged as in overheadPairs.
+func gossipScaling(results []result) []result {
+	mean := make(map[string]map[string][]float64) // scale → metric → samples
+	for _, r := range results {
+		scale, ok := strings.CutPrefix(r.Name, "BenchmarkGossipScale/nodes=")
+		if !ok {
+			continue
+		}
+		if mean[scale] == nil {
+			mean[scale] = make(map[string][]float64)
+		}
+		for _, key := range []string{"ns/op", "converge-rounds"} {
+			if v, ok := r.Metrics[key]; ok {
+				mean[scale][key] = append(mean[scale][key], v)
+			}
+		}
+	}
+	if len(mean) == 0 {
+		return nil
+	}
+	avg := func(vs []float64) float64 {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		return s / float64(len(vs))
+	}
+	m := make(map[string]float64)
+	samples := 0
+	for scale, metrics := range mean {
+		samples += len(metrics["ns/op"])
+		if vs := metrics["ns/op"]; len(vs) > 0 {
+			m["round-ms-"+scale] = avg(vs) / 1e6
+		}
+		if vs := metrics["converge-rounds"]; len(vs) > 0 {
+			m["converge-rounds-"+scale] = avg(vs)
+		}
+	}
+	if small, okS := mean["1000"]; okS {
+		if big, okB := mean["10000"]; okB && len(small["ns/op"]) > 0 && len(big["ns/op"]) > 0 {
+			perSmall := avg(small["ns/op"]) / 1000
+			if perSmall > 0 {
+				m["per-node-cost-x"] = (avg(big["ns/op"]) / 10000) / perSmall
+			}
+		}
+	}
+	return []result{{
+		Name:       "gossip_scaling",
+		Procs:      1,
+		Iterations: int64(samples),
 		Metrics:    m,
 	}}
 }

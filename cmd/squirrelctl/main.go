@@ -1,7 +1,7 @@
-// Command squirrelctl drives a Squirrel deployment end to end: it
-// registers images (with propagation), boots VMs on compute nodes,
-// exercises deregistration, garbage collection and offline catch-up,
-// and prints the resulting cVolume and network statistics.
+// Command squirrelctl drives a Squirrel deployment end to end through a
+// subcommand CLI: it registers images (with propagation), boots VMs on
+// compute nodes, runs failure drama, streams telemetry, and drives the
+// workload engine's million-boot scenarios.
 //
 // By default the deployment is built in-process (the simulator). With
 // -addr the same script runs against a live squirreld over the
@@ -10,34 +10,36 @@
 //
 // Usage:
 //
-//	squirrelctl                          # demo run with defaults
-//	squirrelctl -images 32 -nodes 8 -vms 4
-//	squirrelctl -offline node03          # take one node offline mid-run
-//	squirrelctl -peers                   # peer exchange on; dumps the index
-//	squirrelctl -index gossip -health    # decentralized peer index; health shows per-node views
-//	squirrelctl -health                  # crash/rot/scrub/resilver drama + health dump
-//	squirrelctl -telemetry               # traced run; dumps the telemetry snapshot (JSON + Prometheus)
-//	squirrelctl -trace boot              # traced run; renders the slowest boot's span tree
-//	squirrelctl -addr 127.0.0.1:7677 -telemetry   # same, against a live squirreld
-//	squirrelctl -addr 127.0.0.1:7677 -trace boot  # ONE tree spanning client dial → daemon dispatch → core boot
-//	squirrelctl -watch 3 -watch-interval 500ms    # stream live telemetry deltas during the run
-//	squirrelctl -version
+//	squirrelctl run                           # demo run with defaults
+//	squirrelctl run -images 32 -nodes 8 -vms 4
+//	squirrelctl run -offline node03           # take one node offline mid-run
+//	squirrelctl peers                         # peer exchange on; dumps the index
+//	squirrelctl peers -index gossip           # decentralized peer index
+//	squirrelctl health                        # crash/rot/scrub/resilver drama + health dump
+//	squirrelctl telemetry                     # traced run; dumps the telemetry snapshot
+//	squirrelctl trace boot                    # traced run; renders the slowest boot's span tree
+//	squirrelctl watch -n 3 -interval 500ms    # stream live telemetry deltas during the run
+//	squirrelctl workload -arrivals flash -nodes 10000 -boots 1000000
+//	squirrelctl workload -arrivals flash -index gossip
+//	squirrelctl run -addr 127.0.0.1:7677      # any subcommand, against a live squirreld
+//	squirrelctl version
+//
+// The pre-subcommand flag spellings (squirrelctl -peers, -health,
+// -telemetry, -trace boot, -watch 3, …) keep working as deprecated
+// aliases and produce byte-identical output.
 package main
 
 import (
 	"context"
 	"errors"
-	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/ctlplane"
-	"repro/internal/fault"
 	"repro/internal/obs"
-	"repro/internal/version"
 	"repro/internal/wireclient"
 )
 
@@ -52,6 +54,8 @@ const (
 	exitNodeOffline  = 4
 	exitOverloaded   = 5 // boot shed by admission control; retry after load drains
 	exitConnect      = 6 // cannot reach squirreld, or protocol handshake failed
+
+	exitUsage = 2 // flag-parse failures (matches flag.ExitOnError's code)
 )
 
 // exitCode maps an error chain onto the ctl's exit codes.
@@ -73,54 +77,77 @@ func exitCode(err error) int {
 }
 
 func main() {
-	var (
-		nImages   = flag.Int("images", 16, "images to register (in-process mode; the daemon's corpus governs with -addr)")
-		nNodes    = flag.Int("nodes", 8, "compute nodes (in-process mode; the daemon's cluster governs with -addr)")
-		vms       = flag.Int("vms", 2, "VMs booted per node")
-		offline   = flag.String("offline", "", "node to take offline during registrations")
-		verify    = flag.Bool("verify", true, "verify boot data against image content")
-		peers     = flag.Bool("peers", false, "enable the peer block exchange, drop one replica to force a peer-served cold boot, and dump the content index")
-		index     = flag.String("index", "", "content-index implementation: central (default) or gossip (decentralized TTL-lease directory; implies -peers)")
-		health    = flag.Bool("health", false, "after the boot wave: crash a node, rot another, scrub, resilver, restart, and dump per-node health at each step")
-		telemetry = flag.Bool("telemetry", false, "trace the whole run (implies -peers -health) and dump the unified telemetry snapshot as JSON and Prometheus text")
-		trace     = flag.String("trace", "", "trace the whole run and render the span tree of the slowest operation of this kind (register, boot, scrub, resilver, sync, gc, restart)")
-		watchN    = flag.Int("watch", 0, "stream this many live telemetry updates during the run (in-process: implies tracing; with -addr: the daemon must run -traced)")
-		watchIvl  = flag.Duration("watch-interval", time.Second, "interval between -watch updates")
-		addr      = flag.String("addr", "", "drive a live squirreld at this TCP address instead of an in-process deployment")
-		showVer   = flag.Bool("version", false, "print version and exit")
-	)
-	flag.Parse()
-	if *showVer {
-		fmt.Println(version.String())
-		return
-	}
-	if *telemetry || *trace != "" {
+	os.Exit(Main(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// options is the one resolved form every invocation reduces to: both the
+// subcommand parsers and the deprecated flag-soup parser fill this
+// struct and hand it to execute, which is what makes a legacy spelling
+// and its subcommand byte-identical — they are the same code path.
+type options struct {
+	// Deployment shape (in-process mode; the daemon's corpus and cluster
+	// govern when addr is set).
+	images int
+	nodes  int
+	addr   string
+	index  string
+
+	// Scenario script knobs.
+	vms       int
+	offline   string
+	verify    bool
+	peers     bool
+	health    bool
+	telemetry bool
+	trace     string
+	watchN    int
+	watchIvl  time.Duration
+
+	// Workload engine (the workload subcommand only).
+	workload bool
+	wl       ctlplane.WorkloadArgs
+
+	showVersion bool
+}
+
+// execute resolves flag implications, opens the session, and runs the
+// selected surface. All user-visible output goes to stdout; errors and
+// usage go to stderr.
+func execute(o options, stdout, stderr io.Writer) int {
+	if o.telemetry || o.trace != "" {
 		// The snapshot (and the trace ring) is most interesting when
 		// every op kind fires.
-		*peers, *health = true, true
+		o.peers, o.health = true, true
 	}
-	if *index == "gossip" {
+	if o.index == "gossip" {
 		// A decentralized index without the peer exchange has nothing to
 		// resolve.
-		*peers = true
+		o.peers = true
 	}
-	traced := *telemetry || *trace != "" || *watchN > 0
-	sess, err := newSession(*addr, *nImages, *nNodes, *peers, traced, *index)
+	traced := o.telemetry || o.trace != "" || o.watchN > 0
+	sess, err := newSession(o.addr, o.images, o.nodes, o.peers, traced, o.index)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(exitCode(err))
+		fmt.Fprintln(stderr, err)
+		return exitCode(err)
 	}
 	defer sess.Close()
-	if err := run(context.Background(), sess, *vms, *offline, *verify, *peers, *health, *telemetry, *trace, *watchN, *watchIvl); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(exitCode(err))
+	ctx := context.Background()
+	if o.workload {
+		err = runWorkload(ctx, sess, o.wl, stdout)
+	} else {
+		err = run(ctx, sess, o, stdout)
 	}
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitCode(err)
+	}
+	return 0
 }
 
 // newSession picks the deployment: a live daemon when addr is set, an
 // in-process simulator otherwise. Both satisfy ctlplane.Session, so
 // run never knows the difference. A traced daemon session gets its own
-// client-side telemetry, which is what lets -trace render one tree
+// client-side telemetry, which is what lets trace render one tree
 // spanning both processes.
 func newSession(addr string, nImages, nNodes int, peers, traced bool, index string) (ctlplane.Session, error) {
 	if addr != "" {
@@ -138,306 +165,3 @@ func newSession(addr string, nImages, nNodes int, peers, traced bool, index stri
 		Index:  index,
 	})
 }
-
-func run(ctx context.Context, sess ctlplane.Session, vms int, offline string, verify, peers, health, telemetry bool, trace string, watchN int, watchIvl time.Duration) error {
-	info, err := sess.Info()
-	if err != nil {
-		return err
-	}
-	images, nodes := info.Images, info.ComputeNodes
-
-	// The watch stream runs concurrently with the script, so its deltas
-	// show live operation counts moving; run waits for the stream to
-	// finish before dumping the final snapshot.
-	var watchDone chan error
-	if watchN > 0 {
-		watchDone = make(chan error, 1)
-		go func() {
-			watchDone <- sess.Watch(ctx, ctlplane.WatchArgs{Every: watchIvl, Count: watchN}, printWatch)
-		}()
-	}
-
-	t0 := time.Date(2014, 6, 23, 9, 0, 0, 0, time.UTC)
-	fmt.Printf("registering %d images on a %d-node cluster...\n", len(images), len(nodes))
-	var diffTotal int64
-	for i, id := range images {
-		if offline != "" && i == len(images)/2 {
-			if err := sess.SetOnline(offline, false); err != nil {
-				return err
-			}
-			fmt.Printf("  %s goes OFFLINE\n", offline)
-		}
-		rep, err := sess.Register(ctx, id, t0.Add(time.Duration(i)*time.Minute))
-		if err != nil {
-			return err
-		}
-		diffTotal += rep.DiffBytes
-		fmt.Printf("  %-24s cache %7d B  diff %7d B  → %d nodes in %.3fs\n",
-			rep.ImageID, rep.CacheBytes, rep.DiffBytes, rep.Nodes, rep.XferSec)
-	}
-	fmt.Printf("total diff traffic: %.2f MB for %.2f MB of caches (dedup across caches)\n\n",
-		float64(diffTotal)/(1<<20), float64(info.CacheBytes)/(1<<20))
-
-	if offline != "" {
-		if err := sess.SetOnline(offline, true); err != nil {
-			return err
-		}
-		rep, err := sess.SyncNode(ctx, offline)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%s back online: %s sync, %d bytes\n\n", offline, rep.Mode, rep.Bytes)
-	}
-
-	if peers {
-		// Manufacture one cold miss so the boot wave exercises the peer
-		// path: the first compute node loses its replica of the first
-		// image and must fetch it from a neighbor.
-		node, im := nodes[0], images[0]
-		if err := sess.DropReplica(node, im); err != nil {
-			return err
-		}
-		fmt.Printf("peer exchange on; dropped %s's replica of %s\n\n", node, im)
-	}
-
-	fmt.Printf("booting %d VMs per node, all from warm replicas...\n", vms)
-	if err := sess.ResetNetCounters(); err != nil {
-		return err
-	}
-	img := 0
-	for _, n := range nodes {
-		for v := 0; v < vms; v++ {
-			im := images[img%len(images)]
-			img++
-			rep, err := sess.Boot(ctx, core.BootRequest{Image: im, Node: n, Verify: verify})
-			if err != nil {
-				return err
-			}
-			if !rep.Warm {
-				src := rep.PeerNode
-				if src == "" {
-					src = "-"
-				}
-				fmt.Printf("  %s on %s: COLD (%d PFS bytes, %d peer bytes from %s)\n",
-					im, n, rep.NetworkBytes, rep.PeerBytes, src)
-			}
-		}
-	}
-	rx, err := sess.ComputeRx()
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  %d boots done; compute-node network traffic: %d bytes\n\n", img, rx)
-
-	ds, err := sess.Stats()
-	if err != nil {
-		return err
-	}
-	st := ds.SCVolume
-	fmt.Println("deployment stats:")
-	fmt.Printf("  %d images registered on %d/%d online nodes (%d stale replicas)\n",
-		ds.RegisteredImages, ds.OnlineNodes, ds.ComputeNodes, ds.StaleReplicas)
-	fmt.Printf("  scVolume: objects %d, logical %.2f MB, disk %.2f MB (data %.2f + DDT %.2f + meta %.2f)\n",
-		st.Objects, mb(st.LogicalBytes), mb(st.DiskBytes), mb(st.DataBytes), mb(st.DDTDiskBytes), mb(st.MetaBytes))
-	fmt.Printf("  per-node replica cost: %.2f MB disk, %.2f MB DDT memory, dedup ratio %.2f\n",
-		mb(ds.ReplicaDiskBytes), mb(ds.ReplicaMemBytes), st.DedupRatio)
-	if peers {
-		fmt.Printf("\npeer content index: %d objects, %d announcements\n",
-			ds.PeerIndexObjects, ds.PeerIndexEntries)
-		if ds.IndexSource == "gossip" {
-			fmt.Printf("  index source: %s (round %d, %d stale leases in live views)\n",
-				ds.IndexSource, ds.GossipRound, ds.GossipStale)
-		} else {
-			fmt.Printf("  index source: %s\n", ds.IndexSource)
-		}
-		fmt.Printf("  %-8s  %-6s  %-12s  %s\n", "node", "active", "served reads", "served bytes")
-		for _, l := range ds.PeerLoads {
-			fmt.Printf("  %-8s  %-6d  %-12d  %d\n", l.NodeID, l.Active, l.ServedReads, l.ServedBytes)
-		}
-		ctr, err := sess.PeerCounters()
-		if err != nil {
-			return err
-		}
-		if ctr != "" {
-			fmt.Printf("  counters:\n")
-			for _, line := range strings.Split(strings.TrimRight(ctr, "\n"), "\n") {
-				fmt.Printf("    %s\n", line)
-			}
-		}
-	}
-
-	if health {
-		if err := healthDrama(ctx, sess, nodes, t0); err != nil {
-			return err
-		}
-	}
-
-	n, err := sess.GarbageCollect(t0.Add(30 * 24 * time.Hour))
-	if err != nil {
-		return err
-	}
-	fmt.Printf("\ngarbage collection destroyed %d old snapshots\n", n)
-
-	if watchDone != nil {
-		if err := <-watchDone; err != nil {
-			return err
-		}
-	}
-	if telemetry {
-		dump, err := sess.Telemetry()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("\n--- telemetry snapshot (JSON) ---\n%s\n", dump.JSON)
-		fmt.Printf("\n--- telemetry snapshot (Prometheus text) ---\n%s", dump.Prometheus)
-	}
-	if trace != "" {
-		var tree string
-		var err error
-		if mc, ok := sess.(interface{ TraceMerged(string) (string, error) }); ok {
-			// Daemon session with client-side tracing: render the merged
-			// tree spanning dial → rpc → daemon dispatch → core operation.
-			tree, err = mc.TraceMerged(trace)
-		} else {
-			tree, err = sess.TraceSlowest(trace)
-		}
-		if err != nil {
-			return err
-		}
-		fmt.Printf("\n--- slowest %q operation ---\n%s", trace, tree)
-	}
-	return nil
-}
-
-// printWatch renders one live telemetry delta from the -watch stream.
-func printWatch(u ctlplane.WatchUpdate) error {
-	fmt.Printf("watch #%d: spans=%d gossip round=%d stale=%d\n",
-		u.Seq, u.SpansRecorded, u.GossipRound, u.GossipStale)
-	for _, op := range u.Ops {
-		fmt.Printf("  watch %-14s count=%-6d delta=%-5d errs=%-4d p50=%.2fms p99=%.2fms\n",
-			op.Kind, op.Count, op.Delta, op.Errors, op.P50Ms, op.P99Ms)
-	}
-	if len(u.Counters) > 0 {
-		fmt.Printf("  watch %d counters changed\n", len(u.Counters))
-	}
-	return nil
-}
-
-// healthDrama walks the crash/rot/scrub/resilver lifecycle on a live
-// deployment and dumps the per-node health table after each act — the
-// operator's view of §3.5 robustness plus the at-rest integrity layer.
-func healthDrama(ctx context.Context, sess ctlplane.Session, nodes []string, t0 time.Time) error {
-	if len(nodes) < 2 {
-		return fmt.Errorf("-health needs at least 2 compute nodes")
-	}
-	crashed, rotten := nodes[0], nodes[1]
-
-	// A rot-only plan: nothing in the registration path fires, but
-	// InjectRot has deterministic at-rest damage to plant.
-	if err := sess.SetFaults(fault.Plan{Seed: 99, Rot: 0.4}); err != nil {
-		return err
-	}
-
-	fmt.Printf("\n--- health drama: crash %s, rot %s ---\n", crashed, rotten)
-	if err := sess.CrashNode(crashed, t0.Add(time.Hour)); err != nil {
-		return err
-	}
-	rotted, err := sess.InjectRot(rotten)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s crashed; %d blocks silently rotted on %s (latent — still undetected)\n",
-		crashed, rotted, rotten)
-	if err := printHealth(sess); err != nil {
-		return err
-	}
-
-	fmt.Printf("\nscrubbing all replicas...\n")
-	scrubs, err := sess.ScrubAll(ctx, t0.Add(2*time.Hour))
-	if err != nil {
-		return err
-	}
-	for id, rep := range scrubs {
-		if rep.CorruptBlocks+rep.MissingBlocks > 0 {
-			fmt.Printf("  %s: %d/%d blocks failed verification — quarantined and withdrawn\n",
-				id, rep.CorruptBlocks+rep.MissingBlocks, rep.Blocks)
-		}
-	}
-	if err := printHealth(sess); err != nil {
-		return err
-	}
-
-	fmt.Printf("\nresilvering damaged replicas...\n")
-	rres, err := sess.ResilverAll(ctx, t0.Add(3*time.Hour))
-	if err != nil {
-		return err
-	}
-	for _, r := range rres {
-		fmt.Printf("  %s: repaired %d/%d (peer %d blocks/%d B, pfs %d blocks/%d B) in %.3fs\n",
-			r.NodeID, r.Repaired, r.Blocks, r.PeerBlocks, r.PeerBytes, r.PFSBlocks, r.PFSBytes, r.XferSec)
-	}
-	rec, err := sess.RestartNode(crashed, t0.Add(4*time.Hour))
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  %s restarted after %s down: rolled back=%v, scrub %d blocks clean=%v\n",
-		rec.NodeID, rec.Downtime, rec.RolledBack, rec.Scrub.Blocks, rec.Damaged == 0)
-	ds, err := sess.Stats()
-	if err != nil {
-		return err
-	}
-	if ds.LaggingNodes > 0 {
-		if _, err := sess.SyncNode(ctx, crashed); err != nil {
-			return err
-		}
-		fmt.Printf("  %s healed via SyncNode\n", crashed)
-	}
-	return printHealth(sess)
-}
-
-// printHealth dumps the per-node health table.
-func printHealth(sess ctlplane.Session) error {
-	sts, err := sess.Health()
-	if err != nil {
-		return err
-	}
-	ds, err := sess.Stats()
-	if err != nil {
-		return err
-	}
-	gossiping := ds.IndexSource == "gossip"
-	// The view/stale columns are the gossip directory's per-node lease
-	// view (dashes under the central index, which has no per-node views).
-	fmt.Printf("\n  %-8s  %-11s  %-7s  %-9s  %-9s  %-5s  %-5s  %-10s  %s\n",
-		"node", "state", "corrupt", "withdrawn", "breaker", "view", "stale", "last scrub", "snapshot")
-	for _, st := range sts {
-		scrub, down := "never", ""
-		if !st.LastScrub.IsZero() {
-			scrub = st.LastScrub.Format("15:04:05")
-		}
-		if !st.DownSince.IsZero() {
-			down = "  down since " + st.DownSince.Format("15:04:05")
-		}
-		if st.Unreachable {
-			down += "  UNREACHABLE (partitioned)"
-		}
-		snap := st.Snapshot
-		if snap == "" {
-			snap = "-"
-		}
-		breaker := st.Breaker
-		if breaker == "" {
-			breaker = "-"
-		}
-		view, stale := "-", "-"
-		if gossiping {
-			view = fmt.Sprintf("%d", st.ViewLeases)
-			stale = fmt.Sprintf("%d", st.ViewStale)
-		}
-		fmt.Printf("  %-8s  %-11s  %-7d  %-9v  %-9s  %-5s  %-5s  %-10s  %s%s\n",
-			st.NodeID, st.State, st.CorruptBlocks, st.Withdrawn, breaker, view, stale, scrub, snap, down)
-	}
-	return nil
-}
-
-func mb(b int64) float64 { return float64(b) / (1 << 20) }

@@ -1,0 +1,361 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctlplane"
+	"repro/internal/daemon"
+	"repro/internal/wireclient"
+)
+
+// runMain invokes the CLI entry point in-process and captures both
+// streams plus the exit code — the whole observable surface of one
+// squirrelctl invocation.
+func runMain(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = Main(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+// startDaemon brings up a fresh squirreld over a fresh deployment and
+// returns its address. Every invocation that registers images needs its
+// own daemon: Register is not idempotent, so a second run against the
+// same deployment would fail with ErrRegistered.
+func startDaemon(t *testing.T, opts ctlplane.Options) string {
+	t.Helper()
+	local, err := ctlplane.NewLocal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := daemon.New(local, daemon.Config{Addr: "127.0.0.1:0", Tel: local.Squirrel().Telemetry()})
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		if err := <-served; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv.Addr().String()
+}
+
+var (
+	// Wall-clock measurements are the only nondeterministic bytes in
+	// traced/timed output; scrubbing every number lets the golden diff
+	// assert identical *structure* where identical bytes are impossible.
+	numRE = regexp.MustCompile(`-?\d+(\.\d+)?`)
+	// The workload summary isolates wall cost on one line by contract.
+	wallRE = regexp.MustCompile(`(?m)^  wall .*$`)
+)
+
+func scrubNums(s string) string { return numRE.ReplaceAllString(s, "N") }
+
+// splitWatch separates the interleaved watch-stream lines from the
+// scenario report: the stream races the script, so its lines land at
+// nondeterministic positions and must be compared separately.
+func splitWatch(s string) (script string, watch []string) {
+	var rest []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "watch #") || strings.HasPrefix(line, "  watch ") {
+			watch = append(watch, line)
+		} else {
+			rest = append(rest, line)
+		}
+	}
+	return strings.Join(rest, "\n"), watch
+}
+
+// TestGoldenLegacyVsSubcommand pins the deprecation contract: every
+// pre-subcommand flag spelling and its subcommand produce byte-identical
+// stdout and the same exit code, because both reduce to one options
+// struct. The deterministic scenarios compare raw bytes; traced ones
+// compare after scrubbing wall-clock numbers.
+func TestGoldenLegacyVsSubcommand(t *testing.T) {
+	cases := []struct {
+		name   string
+		legacy []string
+		sub    []string
+		scrub  bool
+	}{
+		{"run", []string{"-images", "6", "-nodes", "4"}, []string{"run", "-images", "6", "-nodes", "4"}, false},
+		{"offline", []string{"-images", "6", "-nodes", "4", "-offline", "node02"},
+			[]string{"run", "-images", "6", "-nodes", "4", "-offline", "node02"}, false},
+		{"vms-noverify", []string{"-images", "6", "-nodes", "4", "-vms", "3", "-verify=false"},
+			[]string{"run", "-images", "6", "-nodes", "4", "-vms", "3", "-verify=false"}, false},
+		{"peers", []string{"-images", "6", "-nodes", "4", "-peers"},
+			[]string{"peers", "-images", "6", "-nodes", "4"}, false},
+		{"gossip", []string{"-images", "6", "-nodes", "4", "-index", "gossip"},
+			[]string{"run", "-images", "6", "-nodes", "4", "-index", "gossip"}, false},
+		{"health", []string{"-images", "6", "-nodes", "4", "-health"},
+			[]string{"health", "-images", "6", "-nodes", "4"}, false},
+		{"health-peers", []string{"-images", "6", "-nodes", "4", "-health", "-peers"},
+			[]string{"health", "-images", "6", "-nodes", "4", "-peers"}, false},
+		{"telemetry", []string{"-images", "6", "-nodes", "4", "-telemetry"},
+			[]string{"telemetry", "-images", "6", "-nodes", "4"}, true},
+		{"trace", []string{"-images", "6", "-nodes", "4", "-trace", "boot"},
+			[]string{"trace", "-images", "6", "-nodes", "4", "boot"}, true},
+		{"version", []string{"-version"}, []string{"version"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legOut, legErr, legCode := runMain(t, tc.legacy...)
+			subOut, _, subCode := runMain(t, tc.sub...)
+			if legCode != subCode {
+				t.Fatalf("exit codes differ: legacy %d, subcommand %d", legCode, subCode)
+			}
+			if legCode != 0 {
+				t.Fatalf("legacy spelling failed (%d): %s", legCode, legErr)
+			}
+			a, b := legOut, subOut
+			if tc.scrub {
+				a, b = scrubNums(a), scrubNums(b)
+			}
+			if a != b {
+				t.Fatalf("stdout differs between %v and %v:\n--- legacy ---\n%s\n--- subcommand ---\n%s",
+					tc.legacy, tc.sub, legOut, subOut)
+			}
+		})
+	}
+}
+
+// TestGoldenWatchEquivalence: the watch stream interleaves with the
+// script at nondeterministic positions, so the golden compares the
+// script lines byte-for-byte and the stream shape (update count, row
+// format) separately.
+func TestGoldenWatchEquivalence(t *testing.T) {
+	legOut, legErr, legCode := runMain(t, "-images", "6", "-nodes", "4", "-watch", "2", "-watch-interval", "10ms")
+	subOut, _, subCode := runMain(t, "watch", "-images", "6", "-nodes", "4", "-n", "2", "-interval", "10ms")
+	if legCode != 0 || subCode != 0 {
+		t.Fatalf("exit codes: legacy %d (%s), subcommand %d", legCode, legErr, subCode)
+	}
+	legScript, legWatch := splitWatch(legOut)
+	subScript, subWatch := splitWatch(subOut)
+	if legScript != subScript {
+		t.Fatalf("script lines differ:\n--- legacy ---\n%s\n--- subcommand ---\n%s", legScript, subScript)
+	}
+	for name, watch := range map[string][]string{"legacy": legWatch, "subcommand": subWatch} {
+		headers := 0
+		for _, l := range watch {
+			if strings.HasPrefix(l, "watch #") {
+				headers++
+			}
+		}
+		if headers != 2 {
+			t.Fatalf("%s spelling streamed %d watch updates, want 2:\n%s", name, headers, strings.Join(watch, "\n"))
+		}
+	}
+}
+
+// TestGoldenDaemonMode repeats the equivalence over the wire: each
+// invocation gets its own fresh squirreld (Register is not idempotent
+// across runs) and the two spellings must still match byte-for-byte.
+func TestGoldenDaemonMode(t *testing.T) {
+	opts := ctlplane.Options{Images: 6, Nodes: 4, Peers: true, Traced: true}
+	cases := []struct {
+		name   string
+		legacy []string
+		sub    []string
+		scrub  bool
+	}{
+		{"peers", []string{"-peers", "-addr", "{addr}"}, []string{"peers", "-addr", "{addr}"}, false},
+		{"health", []string{"-health", "-peers", "-addr", "{addr}"}, []string{"health", "-peers", "-addr", "{addr}"}, false},
+		{"trace", []string{"-trace", "boot", "-addr", "{addr}"}, []string{"trace", "-addr", "{addr}", "boot"}, true},
+	}
+	withAddr := func(args []string, addr string) []string {
+		out := append([]string(nil), args...)
+		for i, a := range out {
+			if a == "{addr}" {
+				out[i] = addr
+			}
+		}
+		return out
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legAddr := startDaemon(t, opts)
+			subAddr := startDaemon(t, opts)
+			legOut, legErr, legCode := runMain(t, withAddr(tc.legacy, legAddr)...)
+			subOut, _, subCode := runMain(t, withAddr(tc.sub, subAddr)...)
+			if legCode != subCode {
+				t.Fatalf("exit codes differ: legacy %d, subcommand %d", legCode, subCode)
+			}
+			if legCode != 0 {
+				t.Fatalf("legacy spelling failed (%d): %s", legCode, legErr)
+			}
+			a, b := legOut, subOut
+			if tc.scrub {
+				a, b = scrubNums(a), scrubNums(b)
+			}
+			if a != b {
+				t.Fatalf("daemon-mode stdout differs:\n--- legacy ---\n%s\n--- subcommand ---\n%s", legOut, subOut)
+			}
+		})
+	}
+}
+
+// TestWorkloadCLIDeterminism: same seed, two invocations over fresh
+// deployments — identical stdout once the wall-cost line (the one
+// nondeterministic line, by the summary's contract) is stripped.
+func TestWorkloadCLIDeterminism(t *testing.T) {
+	args := []string{"workload", "-images", "8", "-nodes", "32", "-boots", "3200", "-arrivals", "flash", "-seed", "42"}
+	out1, err1, code1 := runMain(t, args...)
+	out2, _, code2 := runMain(t, args...)
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("exit codes %d/%d (stderr: %s)", code1, code2, err1)
+	}
+	a := wallRE.ReplaceAllString(out1, "  wall <scrubbed>")
+	b := wallRE.ReplaceAllString(out2, "  wall <scrubbed>")
+	if a != b {
+		t.Fatalf("same seed produced different summaries:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out1, out2)
+	}
+	if !wallRE.MatchString(out1) {
+		t.Fatalf("summary is missing the wall-cost line:\n%s", out1)
+	}
+	for _, want := range []string{"flash arrivals", "32 nodes, 8 images", "3200 scheduled", "p99.9"} {
+		if !strings.Contains(out1, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out1)
+		}
+	}
+}
+
+// TestWorkloadCLIDefaultBoots: -boots 0 resolves to 100 per node.
+func TestWorkloadCLIDefaultBoots(t *testing.T) {
+	out, errOut, code := runMain(t, "workload", "-images", "4", "-nodes", "8")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "800 boots across 8 nodes") || !strings.Contains(out, "800 scheduled") {
+		t.Fatalf("default boots should be 100×nodes:\n%s", out)
+	}
+}
+
+// TestWorkloadCLIOverWire drives the workload subcommand against a live
+// squirreld: the scenario runs on the daemon, only the summary comes
+// back, and the output matches the in-process spelling apart from wall
+// cost.
+func TestWorkloadCLIOverWire(t *testing.T) {
+	addr := startDaemon(t, ctlplane.Options{Images: 8, Nodes: 32, Peers: true})
+	wireOut, wireErr, wireCode := runMain(t,
+		"workload", "-addr", addr, "-boots", "3200", "-arrivals", "flash", "-seed", "42")
+	if wireCode != 0 {
+		t.Fatalf("exit %d: %s", wireCode, wireErr)
+	}
+	localOut, _, localCode := runMain(t,
+		"workload", "-images", "8", "-nodes", "32", "-boots", "3200", "-arrivals", "flash", "-seed", "42")
+	if localCode != 0 {
+		t.Fatalf("local exit %d", localCode)
+	}
+	a := wallRE.ReplaceAllString(wireOut, "")
+	b := wallRE.ReplaceAllString(localOut, "")
+	if a != b {
+		t.Fatalf("wire and in-process workload summaries differ:\n--- wire ---\n%s\n--- local ---\n%s", wireOut, localOut)
+	}
+}
+
+// TestExitCodes walks the documented exit-code table end to end through
+// Main — the contract scripts depend on.
+func TestExitCodes(t *testing.T) {
+	t.Run("unknown-node-legacy", func(t *testing.T) {
+		if _, _, code := runMain(t, "-images", "4", "-nodes", "4", "-offline", "nope"); code != exitUnknownNode {
+			t.Fatalf("exit %d, want %d", code, exitUnknownNode)
+		}
+	})
+	t.Run("unknown-node-subcommand", func(t *testing.T) {
+		if _, _, code := runMain(t, "run", "-images", "4", "-nodes", "4", "-offline", "nope"); code != exitUnknownNode {
+			t.Fatalf("exit %d, want %d", code, exitUnknownNode)
+		}
+	})
+	t.Run("unreachable-daemon", func(t *testing.T) {
+		if _, _, code := runMain(t, "run", "-addr", "127.0.0.1:1"); code != exitConnect {
+			t.Fatalf("exit %d, want %d", code, exitConnect)
+		}
+	})
+	t.Run("unknown-subcommand", func(t *testing.T) {
+		_, errOut, code := runMain(t, "frobnicate")
+		if code != exitUsage {
+			t.Fatalf("exit %d, want %d", code, exitUsage)
+		}
+		if !strings.Contains(errOut, "unknown command") || !strings.Contains(errOut, "usage: squirrelctl <command>") {
+			t.Fatalf("unknown command should print the root usage:\n%s", errOut)
+		}
+	})
+	t.Run("bad-flag", func(t *testing.T) {
+		if _, _, code := runMain(t, "run", "-no-such-flag"); code != exitUsage {
+			t.Fatalf("exit %d, want %d", code, exitUsage)
+		}
+		if _, _, code := runMain(t, "-no-such-flag"); code != exitUsage {
+			t.Fatalf("legacy exit %d, want %d", code, exitUsage)
+		}
+	})
+	t.Run("trace-needs-kind", func(t *testing.T) {
+		if _, _, code := runMain(t, "trace"); code != exitUsage {
+			t.Fatalf("exit %d, want %d", code, exitUsage)
+		}
+	})
+	t.Run("watch-needs-positive-n", func(t *testing.T) {
+		if _, _, code := runMain(t, "watch", "-n", "0"); code != exitUsage {
+			t.Fatalf("exit %d, want %d", code, exitUsage)
+		}
+	})
+	t.Run("help", func(t *testing.T) {
+		out, _, code := runMain(t, "help")
+		if code != 0 || !strings.Contains(out, "workload") {
+			t.Fatalf("help: exit %d, out:\n%s", code, out)
+		}
+	})
+}
+
+// TestExitCodeMapping covers the sentinel→code table directly,
+// including the families a CLI invocation cannot easily trigger.
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{core.ErrUnknownImage, exitUnknownImage},
+		{core.ErrUnknownNode, exitUnknownNode},
+		{core.ErrNodeOffline, exitNodeOffline},
+		{core.ErrOverloaded, exitOverloaded},
+		{wireclient.ErrConnect, exitConnect},
+		{wireclient.ErrHandshake, exitConnect},
+		{fmt.Errorf("wrapped: %w", core.ErrOverloaded), exitOverloaded},
+		{fmt.Errorf("plain failure"), exitFailure},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestRootUsageListsEveryCommand keeps the usage text in sync with the
+// command table.
+func TestRootUsageListsEveryCommand(t *testing.T) {
+	out, _, _ := runMain(t, "help")
+	var names []string
+	for _, c := range commands {
+		names = append(names, c.name)
+		if !strings.Contains(out, "  "+c.name) {
+			t.Errorf("root usage is missing command %q", c.name)
+		}
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	if len(names) != 8 {
+		t.Errorf("command table has %d entries, want 8: %v", len(names), names)
+	}
+}

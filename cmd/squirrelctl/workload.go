@@ -1,0 +1,50 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/ctlplane"
+)
+
+// runWorkload drives one workload-engine scenario through the session
+// and prints the summary. The scenario executes where the deployment
+// lives — in-process, or on the daemon when -addr is set — so only the
+// args and the fixed-size summary ever cross the wire.
+func runWorkload(ctx context.Context, sess ctlplane.Session, args ctlplane.WorkloadArgs, w io.Writer) error {
+	info, err := sess.Info()
+	if err != nil {
+		return err
+	}
+	if args.Boots == 0 {
+		args.Boots = 100 * len(info.ComputeNodes)
+	}
+	arrivals := args.Arrivals
+	if arrivals == "" {
+		arrivals = "poisson"
+	}
+	fmt.Fprintf(w, "workload: %s arrivals, %d boots across %d nodes / %d images (seed %d)...\n",
+		arrivals, args.Boots, len(info.ComputeNodes), len(info.Images), args.Seed)
+
+	sum, err := sess.Workload(ctx, args)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\nworkload summary: %s arrivals, %s clock, %s index\n", sum.Arrivals, sum.Mode, sum.Index)
+	fmt.Fprintf(w, "  cluster     %d nodes, %d images\n", sum.Nodes, sum.Images)
+	fmt.Fprintf(w, "  boots       %d scheduled: %d admitted, %d shed (%.2f%%), %d executed against the deployment\n",
+		sum.Boots, sum.Admitted, sum.Shed, 100*sum.ShedRate, sum.Executed)
+	fmt.Fprintf(w, "  replicas    %d warm, %d cold; peer hits %d (%.2f%% of cold)\n",
+		sum.Warm, sum.Cold, sum.PeerHits, 100*sum.PeerHitRate)
+	fmt.Fprintf(w, "  latency ms  p50 %.2f  p95 %.2f  p99 %.2f  p99.9 %.2f  max %.2f  mean %.2f\n",
+		sum.P50Ms, sum.P95Ms, sum.P99Ms, sum.P999Ms, sum.MaxMs, sum.MeanMs)
+	fmt.Fprintf(w, "  queueing    admission wait p99 %.2f ms\n", sum.WaitP99Ms)
+	fmt.Fprintf(w, "  network     %.2f MB total, %.2f MB peer-served\n",
+		float64(sum.NetworkBytes)/(1<<20), float64(sum.PeerBytes)/(1<<20))
+	// Wall-clock cost on its own final line: the only nondeterministic
+	// output, so determinism checks can strip it and compare the rest.
+	fmt.Fprintf(w, "  wall        %.2fs elapsed, %.1f MB driver heap\n", sum.ElapsedSec, sum.HeapMB)
+	return nil
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -43,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sq.RegisterImage(im, time.Now()); err != nil {
+	if _, err := sq.Register(context.Background(), core.RegisterRequest{Image: im, At: time.Now()}); err != nil {
 		log.Fatal(err)
 	}
 
@@ -53,7 +54,7 @@ func main() {
 		// With Squirrel: warm replicas everywhere.
 		cl.ResetCounters()
 		for i := 0; i < nodes; i++ {
-			if _, err := sq.BootImage(im.ID, cl.Compute[i].ID, false); err != nil {
+			if _, err := sq.Boot(context.Background(), core.BootRequest{Image: im.ID, Node: cl.Compute[i].ID, Verify: false}); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -62,7 +63,7 @@ func main() {
 		// Without caches: every node streams the working set via the PFS.
 		cl.ResetCounters()
 		for i := 0; i < nodes; i++ {
-			if _, err := sq.BootWithoutCache(im.ID, cl.Compute[i].ID); err != nil {
+			if _, err := sq.Boot(context.Background(), core.BootRequest{Image: im.ID, Node: cl.Compute[i].ID, SkipCache: true}); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -106,7 +106,7 @@ func main() {
 			fmt.Println()
 		}
 		im := repo.Images[i]
-		rep, err := sq.RegisterImage(im, t0.Add(time.Duration(i)*time.Hour))
+		rep, err := sq.Register(context.Background(), core.RegisterRequest{Image: im, At: t0.Add(time.Duration(i) * time.Hour)})
 		if err != nil {
 			log.Fatalf("registration %s: %v", im.ID, err)
 		}
@@ -139,7 +139,7 @@ func main() {
 	want := sq.SCVolume().LatestSnapshot().Name
 	latest := repo.Images[regs-1]
 	for _, n := range cl.Compute {
-		br, err := sq.BootImage(latest.ID, n.ID, true)
+		br, err := sq.Boot(context.Background(), core.BootRequest{Image: latest.ID, Node: n.ID, Verify: true})
 		if err != nil {
 			log.Fatalf("boot on %s: %v", n.ID, err)
 		}
@@ -165,7 +165,7 @@ func main() {
 	warm := 0
 	for _, n := range cl.Compute {
 		for _, id := range sq.Registered() {
-			br, err := sq.BootImage(id, n.ID, true)
+			br, err := sq.Boot(context.Background(), core.BootRequest{Image: id, Node: n.ID, Verify: true})
 			if err != nil {
 				log.Fatalf("verify boot %s on %s: %v", id, n.ID, err)
 			}

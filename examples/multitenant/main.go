@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -47,7 +48,7 @@ func main() {
 	t0 := time.Now()
 	var diffTotal int64
 	for i, im := range repo.Images {
-		rep, err := sq.RegisterImage(im, t0.Add(time.Duration(i)*time.Minute))
+		rep, err := sq.Register(context.Background(), core.RegisterRequest{Image: im, At: t0.Add(time.Duration(i) * time.Minute)})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -72,9 +73,9 @@ func main() {
 				img++
 				var err error
 				if uncached {
-					_, err = sq.BootWithoutCache(im.ID, n.ID)
+					_, err = sq.Boot(context.Background(), core.BootRequest{Image: im.ID, Node: n.ID, SkipCache: true})
 				} else {
-					_, err = sq.BootImage(im.ID, n.ID, false)
+					_, err = sq.Boot(context.Background(), core.BootRequest{Image: im.ID, Node: n.ID, Verify: false})
 				}
 				if err != nil {
 					log.Fatal(err)

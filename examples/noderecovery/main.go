@@ -50,7 +50,7 @@ func main() {
 
 	// Day 0: first registrations reach all three nodes.
 	for _, im := range repo.Images[:3] {
-		if _, err := sq.RegisterImage(im, day(0)); err != nil {
+		if _, err := sq.Register(context.Background(), core.RegisterRequest{Image: im, At: day(0)}); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -59,7 +59,7 @@ func main() {
 	// node01 goes down briefly; node02 goes down for a month.
 	sq.SetOnline("node01", false)
 	sq.SetOnline("node02", false)
-	if _, err := sq.RegisterImage(repo.Images[3], day(2)); err != nil {
+	if _, err := sq.Register(context.Background(), core.RegisterRequest{Image: repo.Images[3], At: day(2)}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("day 2: registered 1 image while node01 and node02 were down")
@@ -74,7 +74,7 @@ func main() {
 
 	// More registrations and a month of daily GC pass.
 	for i, im := range repo.Images[4:8] {
-		if _, err := sq.RegisterImage(im, day(4+i)); err != nil {
+		if _, err := sq.Register(context.Background(), core.RegisterRequest{Image: im, At: day(4 + i)}); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -96,7 +96,7 @@ func main() {
 	for _, nodeID := range []string{"node01", "node02"} {
 		warm := 0
 		for _, id := range sq.Registered() {
-			br, err := sq.BootImage(id, nodeID, true)
+			br, err := sq.Boot(context.Background(), core.BootRequest{Image: id, Node: nodeID, Verify: true})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -52,7 +53,7 @@ func main() {
 
 	t0 := time.Date(2014, 6, 23, 0, 0, 0, 0, time.UTC)
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, t0); err != nil {
+	if _, err := sq.Register(context.Background(), core.RegisterRequest{Image: im, At: t0}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("registered %s on 4 nodes; index holds %d announcements\n",
@@ -64,7 +65,7 @@ func main() {
 		log.Fatal(err)
 	}
 	cl.ResetCounters()
-	rep, err := sq.BootImage(im.ID, "node03", true)
+	rep, err := sq.Boot(context.Background(), core.BootRequest{Image: im.ID, Node: "node03", Verify: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func main() {
 		log.Fatal(err)
 	}
 	sq.SetFaults(inj)
-	rep, err = sq.BootImage(im.ID, "node03", true)
+	rep, err = sq.Boot(context.Background(), core.BootRequest{Image: im.ID, Node: "node03", Verify: true})
 	if err != nil {
 		log.Fatal(err)
 	}

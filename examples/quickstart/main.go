@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -51,7 +52,7 @@ func main() {
 	// set on a storage node and multicasts the snapshot diff.
 	now := time.Now()
 	for i, im := range repo.Images[:3] {
-		rep, err := sq.RegisterImage(im, now.Add(time.Duration(i)*time.Minute))
+		rep, err := sq.Register(context.Background(), core.RegisterRequest{Image: im, At: now.Add(time.Duration(i) * time.Minute)})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func main() {
 	cl.ResetCounters()
 	for i, n := range cl.Compute {
 		im := repo.Images[i%3]
-		rep, err := sq.BootImage(im.ID, n.ID, true)
+		rep, err := sq.Boot(context.Background(), core.BootRequest{Image: im.ID, Node: n.ID, Verify: true})
 		if err != nil {
 			log.Fatal(err)
 		}

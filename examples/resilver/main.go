@@ -61,7 +61,7 @@ func main() {
 	day := func(n int) time.Time { return t0.Add(time.Duration(n) * 24 * time.Hour) }
 
 	for _, im := range repo.Images[:3] {
-		if _, err := sq.RegisterImage(im, day(0)); err != nil {
+		if _, err := sq.Register(context.Background(), core.RegisterRequest{Image: im, At: day(0)}); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -83,7 +83,7 @@ func main() {
 	if len(refs) == 0 {
 		log.Fatal("rot plan injected nothing")
 	}
-	br, err := sq.BootImage(repo.Images[0].ID, "node01", true)
+	br, err := sq.Boot(context.Background(), core.BootRequest{Image: repo.Images[0].ID, Node: "node01", Verify: true})
 	if err != nil {
 		log.Fatalf("boot on rotten node must still verify: %v", err)
 	}
@@ -134,7 +134,7 @@ func main() {
 		log.Fatal(err)
 	}
 	sq.SetFaults(inj)
-	reg, err := sq.RegisterImage(repo.Images[3], day(3))
+	reg, err := sq.Register(context.Background(), core.RegisterRequest{Image: repo.Images[3], At: day(3)})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func main() {
 	warm := 0
 	for _, id := range sq.Registered() {
 		for _, n := range cl.Compute {
-			b, err := sq.BootImage(id, n.ID, true)
+			b, err := sq.Boot(context.Background(), core.BootRequest{Image: id, Node: n.ID, Verify: true})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -47,7 +47,7 @@ func TestFullLifecycle(t *testing.T) {
 
 	// Register the whole repository.
 	for i, im := range repo.Images {
-		if _, err := sq.RegisterImage(im, t0.Add(time.Duration(i)*time.Hour)); err != nil {
+		if _, err := sq.Register(context.Background(), core.RegisterRequest{Image: im, At: t0.Add(time.Duration(i) * time.Hour)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -60,7 +60,7 @@ func TestFullLifecycle(t *testing.T) {
 	cl.ResetCounters()
 	for _, im := range repo.Images {
 		for _, n := range cl.Compute {
-			rep, err := sq.BootImage(im.ID, n.ID, true)
+			rep, err := sq.Boot(context.Background(), core.BootRequest{Image: im.ID, Node: n.ID, Verify: true})
 			if err != nil {
 				t.Fatalf("boot %s on %s: %v", im.ID, n.ID, err)
 			}
@@ -99,7 +99,7 @@ func TestFullLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sq.RegisterImage(repo2.Images[0], t0.Add(1000*time.Hour)); err != nil {
+	if _, err := sq.Register(context.Background(), core.RegisterRequest{Image: repo2.Images[0], At: t0.Add(1000 * time.Hour)}); err != nil {
 		t.Fatal(err)
 	}
 	ccv, _ := sq.CCVolume("node00")
@@ -113,7 +113,7 @@ func TestFullLifecycle(t *testing.T) {
 	// the volumes still serve warm boots.
 	sq.GarbageCollect(t0.Add(5000 * time.Hour))
 	for _, im := range repo.Images[len(repo.Images)/2:] {
-		rep, err := sq.BootImage(im.ID, "node00", true)
+		rep, err := sq.Boot(context.Background(), core.BootRequest{Image: im.ID, Node: "node00", Verify: true})
 		if err != nil || !rep.Warm {
 			t.Fatalf("post-GC boot %s: warm=%v err=%v", im.ID, rep.Warm, err)
 		}
@@ -171,7 +171,7 @@ func TestCrashedNodeRecoversAndConverges(t *testing.T) {
 				}
 			}
 		}
-		if _, err := sq.RegisterImage(im, t0.Add(time.Duration(i)*time.Hour)); err != nil {
+		if _, err := sq.Register(context.Background(), core.RegisterRequest{Image: im, At: t0.Add(time.Duration(i) * time.Hour)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -182,7 +182,7 @@ func TestCrashedNodeRecoversAndConverges(t *testing.T) {
 	// After the final sync, node02 boots everything warm.
 	cl.ResetCounters()
 	for _, im := range repo.Images[:8] {
-		rep, err := sq.BootImage(im.ID, "node02", true)
+		rep, err := sq.Boot(context.Background(), core.BootRequest{Image: im.ID, Node: "node02", Verify: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +198,7 @@ func TestCrashedNodeRecoversAndConverges(t *testing.T) {
 // sqOnline is a test helper peeking at online state via SyncNode-free
 // means: SetOnline errors only for unknown nodes, so track via boot.
 func sqOnline(sq *core.Squirrel, node string) bool {
-	_, err := sq.BootImage("definitely-missing-image", node, false)
+	_, err := sq.Boot(context.Background(), core.BootRequest{Image: "definitely-missing-image", Node: node, Verify: false})
 	// ErrNotRegistered means the node path was reachable → online.
 	return err != nil && err.Error() == "core: image not registered: definitely-missing-image"
 }

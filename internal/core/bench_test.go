@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fault"
@@ -15,7 +16,7 @@ func benchBootWave(b *testing.B, traced bool) {
 	sq, cl, repo := obsScriptDeployment(b, 8, fault.Plan{Seed: 7}, traced)
 	const images = 4
 	for i := 0; i < images; i++ {
-		if _, err := sq.RegisterImage(repo.Images[i], day(i)); err != nil {
+		if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[i], At: day(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -24,7 +25,7 @@ func benchBootWave(b *testing.B, traced bool) {
 	for i := 0; i < b.N; i++ {
 		for img := 0; img < images; img++ {
 			for _, n := range cl.Compute {
-				if _, err := sq.BootImage(repo.Images[img].ID, n.ID, false); err != nil {
+				if _, err := sq.Boot(context.Background(), BootRequest{Image: repo.Images[img].ID, Node: n.ID, Verify: false}); err != nil {
 					b.Fatal(err)
 				}
 				boots++

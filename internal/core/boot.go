@@ -216,21 +216,6 @@ func (s *Squirrel) Boot(ctx context.Context, req BootRequest) (BootReport, error
 	return rep, nil
 }
 
-// BootImage is the pre-redesign Boot signature.
-//
-// Deprecated: use Boot with a context and a BootRequest.
-func (s *Squirrel) BootImage(id, nodeID string, verify bool) (BootReport, error) {
-	return s.Boot(context.Background(), BootRequest{Image: id, Node: nodeID, Verify: verify})
-}
-
-// BootWithoutCache starts a VM with the caching layer bypassed — the
-// paper's "without caches" baseline in Fig 18.
-//
-// Deprecated: use Boot with BootRequest.SkipCache.
-func (s *Squirrel) BootWithoutCache(id, nodeID string) (BootReport, error) {
-	return s.Boot(context.Background(), BootRequest{Image: id, Node: nodeID, SkipCache: true})
-}
-
 // recordBootLanes summarizes one boot's byte provenance as per-lane
 // child spans (peerFetch children are recorded per-transfer by the
 // fetcher itself): cacheRead for locally served bytes with a DAS-4 disk

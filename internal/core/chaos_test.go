@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -58,7 +59,7 @@ func TestChaosSoakConvergence(t *testing.T) {
 	var faults, retries int
 	var repairBytes int64
 	for i := 0; i < regs; i++ {
-		rep, err := sq.RegisterImage(repo.Images[i], day(i))
+		rep, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[i], At: day(i)})
 		if err != nil {
 			t.Fatalf("registration %d must tolerate replica faults: %v", i, err)
 		}
@@ -95,7 +96,7 @@ func TestChaosSoakConvergence(t *testing.T) {
 	want := sq.SCVolume().LatestSnapshot().Name
 	latest := repo.Images[regs-1]
 	for _, n := range cl.Compute {
-		br, err := sq.BootImage(latest.ID, n.ID, true)
+		br, err := sq.Boot(context.Background(), BootRequest{Image: latest.ID, Node: n.ID, Verify: true})
 		if err != nil {
 			t.Fatalf("boot on %s after chaos: %v", n.ID, err)
 		}
@@ -124,7 +125,7 @@ func TestChaosSoakConvergence(t *testing.T) {
 // lagging node heals it via full re-replication.
 func TestRegisterDegradesToLagging(t *testing.T) {
 	sq, _, repo, _ := chaosDeployment(t, 4, fault.Plan{Seed: 2, Drop: 1})
-	rep, err := sq.RegisterImage(repo.Images[0], day(0))
+	rep, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[0], At: day(0)})
 	if err != nil {
 		t.Fatalf("total loss must not fail the registration: %v", err)
 	}
@@ -141,7 +142,7 @@ func TestRegisterDegradesToLagging(t *testing.T) {
 		t.Fatalf("stats lagging %d", ds.LaggingNodes)
 	}
 	// A lagging node is skipped by the next registration's propagation.
-	rep2, err := sq.RegisterImage(repo.Images[1], day(1))
+	rep2, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[1], At: day(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestRegisterDegradesToLagging(t *testing.T) {
 	}
 	// Boot on a lagging node heals it first (full resync: it has no
 	// snapshot at all), then boots warm.
-	br, err := sq.BootImage(repo.Images[0].ID, "node01", true)
+	br, err := sq.Boot(context.Background(), BootRequest{Image: repo.Images[0].ID, Node: "node01", Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestRegisterDegradesToLagging(t *testing.T) {
 // node down; after restart its first boot heals it.
 func TestCrashMarksNodeOfflineAndLagging(t *testing.T) {
 	sq, _, repo, inj := chaosDeployment(t, 3, fault.Plan{Seed: 3, Crash: 1, MaxCrashes: 1})
-	rep, err := sq.RegisterImage(repo.Images[0], day(0))
+	rep, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[0], At: day(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,13 +178,13 @@ func TestCrashMarksNodeOfflineAndLagging(t *testing.T) {
 		t.Fatalf("crash budget misaccounted: %d", inj.Crashes())
 	}
 	crashed := rep.Crashed[0]
-	if _, err := sq.BootImage(repo.Images[0].ID, crashed, false); !errors.Is(err, ErrNodeOffline) {
+	if _, err := sq.Boot(context.Background(), BootRequest{Image: repo.Images[0].ID, Node: crashed, Verify: false}); !errors.Is(err, ErrNodeOffline) {
 		t.Fatalf("crashed node must be offline: %v", err)
 	}
 	if err := sq.SetOnline(crashed, true); err != nil {
 		t.Fatal(err)
 	}
-	br, err := sq.BootImage(repo.Images[0].ID, crashed, true)
+	br, err := sq.Boot(context.Background(), BootRequest{Image: repo.Images[0].ID, Node: crashed, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestRegisterRollbackOnStorageFailure(t *testing.T) {
 	if _, err := sq.SCVolume().Snapshot(colliding, day(0)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sq.RegisterImage(im, day(0)); err == nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err == nil {
 		t.Fatal("registration should fail on snapshot collision")
 	}
 	if sq.SCVolume().HasObject(im.ID) {
@@ -216,7 +217,7 @@ func TestRegisterRollbackOnStorageFailure(t *testing.T) {
 	if err := sq.SCVolume().DeleteSnapshot(colliding); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sq.RegisterImage(im, day(0))
+	rep, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)})
 	if err != nil {
 		t.Fatalf("retry after rollback: %v", err)
 	}
@@ -233,7 +234,7 @@ func TestRegisterClearsLeftoverObject(t *testing.T) {
 	if _, err := sq.SCVolume().WriteObject(im.ID, im.CacheReader()); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sq.RegisterImage(im, day(0))
+	rep, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)})
 	if err != nil {
 		t.Fatalf("retry over leftover object: %v", err)
 	}
@@ -248,10 +249,10 @@ func TestSyncNewbornNode(t *testing.T) {
 	sq, _, repo := deployment(t, 3)
 	sq.SetOnline("node02", false) // offline from birth
 	a, b := repo.Images[0], repo.Images[1]
-	if _, err := sq.RegisterImage(a, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: a, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sq.RegisterImage(b, day(1)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: b, At: day(1)}); err != nil {
 		t.Fatal(err)
 	}
 	sq.SetOnline("node02", true)
@@ -268,7 +269,7 @@ func TestSyncNewbornNode(t *testing.T) {
 			t.Fatalf("newborn sync missing %s", id)
 		}
 	}
-	br, err := sq.BootImage(b.ID, "node02", true)
+	br, err := sq.Boot(context.Background(), BootRequest{Image: b.ID, Node: "node02", Verify: true})
 	if err != nil || !br.Warm {
 		t.Fatalf("post-sync boot: warm=%v err=%v", br.Warm, err)
 	}
@@ -278,7 +279,7 @@ func TestSyncNewbornNode(t *testing.T) {
 // registrations must stay race-free (run under -race) and converge.
 func TestSyncRacesConcurrentRegister(t *testing.T) {
 	sq, _, repo := deployment(t, 3)
-	if _, err := sq.RegisterImage(repo.Images[0], day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[0], At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	stop := make(chan struct{})
@@ -299,7 +300,7 @@ func TestSyncRacesConcurrentRegister(t *testing.T) {
 		}
 	}()
 	for i := 1; i <= 5; i++ {
-		if _, err := sq.RegisterImage(repo.Images[i], day(i)); err != nil {
+		if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[i], At: day(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -319,7 +320,7 @@ func TestSyncRacesConcurrentRegister(t *testing.T) {
 // Stats from many goroutines at once; the race detector is the oracle.
 func TestConcurrentOperations(t *testing.T) {
 	sq, cl, repo := deployment(t, 4)
-	if _, err := sq.RegisterImage(repo.Images[0], day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[0], At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -327,7 +328,7 @@ func TestConcurrentOperations(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := sq.RegisterImage(repo.Images[i], day(i)); err != nil {
+			if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[i], At: day(i)}); err != nil {
 				t.Errorf("register %d: %v", i, err)
 			}
 		}(i)
@@ -337,7 +338,7 @@ func TestConcurrentOperations(t *testing.T) {
 		go func(id string) {
 			defer wg.Done()
 			for j := 0; j < 5; j++ {
-				if _, err := sq.BootImage(repo.Images[0].ID, id, true); err != nil {
+				if _, err := sq.Boot(context.Background(), BootRequest{Image: repo.Images[0].ID, Node: id, Verify: true}); err != nil {
 					t.Errorf("boot on %s: %v", id, err)
 					return
 				}

@@ -140,7 +140,7 @@ func TestGossipChurnSoak(t *testing.T) {
 			}
 
 			for i := 0; i < 3; i++ {
-				if _, err := sq.RegisterImage(repo.Images[i], day(i)); err != nil {
+				if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[i], At: day(i)}); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -180,7 +180,7 @@ func TestGossipChurnSoak(t *testing.T) {
 			if err := sq.PartitionNodes(minority...); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := sq.RegisterImage(repo.Images[3], day(4)); err != nil {
+			if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[3], At: day(4)}); err != nil {
 				t.Fatal(err)
 			}
 			// Event 3: a majority replica is dropped mid-cut (capacity
@@ -265,7 +265,7 @@ func TestGossipIndexBootParity(t *testing.T) {
 			cfg.Gossip = gossip.Config{Seed: 7, TTL: time.Hour, Clock: clk.Now}
 		})
 		im := repo.Images[0]
-		if _, err := sq.RegisterImage(im, day(0)); err != nil {
+		if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 			t.Fatal(err)
 		}
 		if err := sq.DropReplica("node03", im.ID); err != nil {

@@ -567,13 +567,6 @@ func (s *Squirrel) Register(ctx context.Context, req RegisterRequest) (RegisterR
 	return rep, err
 }
 
-// RegisterImage is the pre-redesign Register signature.
-//
-// Deprecated: use Register with a context and a RegisterRequest.
-func (s *Squirrel) RegisterImage(im *corpus.Image, at time.Time) (RegisterReport, error) {
-	return s.Register(context.Background(), RegisterRequest{Image: im, At: at})
-}
-
 // register is the Register body. Caller holds the image lock.
 func (s *Squirrel) register(ctx context.Context, sp *obs.Span, im *corpus.Image, at time.Time) (RegisterReport, error) {
 	inj := s.injector()
@@ -651,6 +644,12 @@ func (s *Squirrel) register(ctx context.Context, sp *obs.Span, im *corpus.Image,
 		return RegisterReport{}, fmt.Errorf("core: register %s: %w", im.ID, err)
 	}
 	wire := wireBuf.Bytes()
+	// Prepare the stream once: per-payload hashing and compression are
+	// paid here instead of once per replica, and every clean leg's
+	// receive collapses to map updates that alias these stored bytes
+	// (zvol/prepared.go). Faulted legs re-decode their mutated wire bytes
+	// and take the full verifying Receive path as before.
+	prep := s.sc.Prepare(stream)
 	rep := RegisterReport{
 		ImageID:    im.ID,
 		Snapshot:   snapName,
@@ -752,7 +751,7 @@ func (s *Squirrel) register(ctx context.Context, sp *obs.Span, im *corpus.Image,
 			// A concurrent SyncNode already delivered this snapshot
 			// wholesale; the leg's work is done.
 			leg.synced = true
-		case s.applyDelivery(dsp, dv, stream):
+		case s.applyDelivery(dsp, dv, stream, prep):
 			dsp.AddBytes(int64(len(wire)))
 			leg.synced = true
 		default:
@@ -778,7 +777,7 @@ func (s *Squirrel) register(ctx context.Context, sp *obs.Span, im *corpus.Image,
 		nl := s.nodeLocks.lock(leg.node.ID)
 		if s.replicaCaughtUp(leg.node.ID, snapName) {
 			leg.synced = true
-		} else if s.repairReplica(dsp, op, leg.node, stream, wire, at, inj, leg) {
+		} else if s.repairReplica(dsp, op, leg.node, stream, prep, wire, at, inj, leg) {
 			leg.synced = true
 		} else if s.isOnline(leg.node.ID) {
 			s.markLagging(leg.node.ID)
@@ -891,11 +890,12 @@ func (s *Squirrel) markLagging(nodeID string) {
 }
 
 // applyDelivery tries to apply one delivery to its replica: an intact
-// delivery applies the already-decoded stream; a damaged one is decoded
-// from its wire bytes, which the stream CRC and Receive's per-block
-// checksums almost always reject. Caller holds the node lock.
-func (s *Squirrel) applyDelivery(parent *obs.Span, dv cluster.Delivery, st *zvol.Stream) bool {
-	rst := st
+// delivery applies the prepared stream (hashing and compression already
+// done, stored payloads aliased); a damaged one is decoded from its wire
+// bytes, which the stream CRC and Receive's per-block checksums almost
+// always reject. Caller holds the node lock.
+func (s *Squirrel) applyDelivery(parent *obs.Span, dv cluster.Delivery, st *zvol.Stream, prep *zvol.PreparedStream) bool {
+	rst, rprep := st, prep
 	if dv.Fault != fault.None {
 		if len(dv.Wire) == 0 {
 			return false
@@ -904,10 +904,15 @@ func (s *Squirrel) applyDelivery(parent *obs.Span, dv cluster.Delivery, st *zvol
 		if err != nil {
 			return false
 		}
-		rst = decoded
+		rst, rprep = decoded, nil
 	}
 	rsp := parent.Child(obs.OpReceive, dv.Node.ID, "")
-	ok := s.ccVolume(dv.Node.ID).Receive(rst) == nil
+	var ok bool
+	if rprep != nil {
+		ok = s.ccVolume(dv.Node.ID).ReceivePrepared(rprep) == nil
+	} else {
+		ok = s.ccVolume(dv.Node.ID).Receive(rst) == nil
+	}
 	if ok {
 		rsp.AddBytes(rst.SizeBytes())
 	} else {
@@ -955,7 +960,7 @@ func (s *Squirrel) tornReplica(op, nodeID string, st *zvol.Stream, at time.Time,
 // holds the snapshot; false when the node crashed or the budget ran out.
 // Caller holds the node lock; accounting goes into leg, not the shared
 // report.
-func (s *Squirrel) repairReplica(parent *obs.Span, op string, node *cluster.Node, st *zvol.Stream, wire []byte, at time.Time, inj *fault.Injector, leg *legResult) bool {
+func (s *Squirrel) repairReplica(parent *obs.Span, op string, node *cluster.Node, st *zvol.Stream, prep *zvol.PreparedStream, wire []byte, at time.Time, inj *fault.Injector, leg *legResult) bool {
 	rsp := parent.Child(obs.OpRepair, node.ID, "")
 	defer rsp.Finish()
 	ccv := s.ccVolume(node.ID)
@@ -1008,15 +1013,19 @@ func (s *Squirrel) repairReplica(parent *obs.Span, op string, node *cluster.Node
 		rsp.AddBytes(int64(len(got)))
 		rsp.AddSim(s.cl.Fabric.TransferSec(int64(len(got))))
 		inj.Counters().Add("repair.bytes", int64(len(got)))
-		rst := st
-		if kind != fault.None {
+		var rerr error
+		if kind == fault.None && prep != nil {
+			// Clean retransmission: reuse the prepared stream, same as an
+			// intact multicast leg.
+			rerr = ccv.ReceivePrepared(prep)
+		} else {
 			decoded, err := zvol.DecodeStream(bytes.NewReader(got))
 			if err != nil {
 				continue // truncation/corruption caught by the stream CRC
 			}
-			rst = decoded
+			rerr = ccv.Receive(decoded)
 		}
-		if err := ccv.Receive(rst); err != nil {
+		if rerr != nil {
 			continue
 		}
 		return true

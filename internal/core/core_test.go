@@ -50,7 +50,7 @@ func deployment(t testing.TB, computeNodes int) (*Squirrel, *cluster.Cluster, *c
 func TestRegisterPropagatesToAllNodes(t *testing.T) {
 	sq, cl, repo := deployment(t, 4)
 	im := repo.Images[0]
-	rep, err := sq.RegisterImage(im, day(0))
+	rep, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestRegisterPropagatesToAllNodes(t *testing.T) {
 			t.Fatalf("%s rx %d, want diff %d", n.ID, n.RxBytes(), rep.DiffBytes)
 		}
 	}
-	if _, err := sq.RegisterImage(im, day(0)); !errors.Is(err, ErrRegistered) {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); !errors.Is(err, ErrRegistered) {
 		t.Fatalf("duplicate registration: %v", err)
 	}
 }
@@ -99,11 +99,11 @@ func TestSecondRegistrationDiffIsSmall(t *testing.T) {
 	if a == nil {
 		t.Skip("no same-release pair")
 	}
-	r1, err := sq.RegisterImage(a, day(0))
+	r1, err := sq.Register(context.Background(), RegisterRequest{Image: a, At: day(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := sq.RegisterImage(b, day(0))
+	r2, err := sq.Register(context.Background(), RegisterRequest{Image: b, At: day(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,11 +115,11 @@ func TestSecondRegistrationDiffIsSmall(t *testing.T) {
 func TestWarmBootZeroNetwork(t *testing.T) {
 	sq, cl, repo := deployment(t, 2)
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	cl.ResetCounters() // discard registration traffic; Fig 18 counts boots
-	rep, err := sq.BootImage(im.ID, "node01", true)
+	rep, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: "node01", Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,12 +143,12 @@ func TestColdBootUsesNetwork(t *testing.T) {
 	sq, cl, repo := deployment(t, 2)
 	im := repo.Images[0]
 	sq.SetOnline("node01", false)
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	sq.SetOnline("node01", true)
 	cl.ResetCounters()
-	rep, err := sq.BootImage(im.ID, "node01", true)
+	rep, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: "node01", Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,15 +165,15 @@ func TestColdBootUsesNetwork(t *testing.T) {
 func TestBootErrors(t *testing.T) {
 	sq, _, repo := deployment(t, 2)
 	im := repo.Images[0]
-	if _, err := sq.BootImage(im.ID, "node00", false); !errors.Is(err, ErrNotRegistered) {
+	if _, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: "node00", Verify: false}); !errors.Is(err, ErrNotRegistered) {
 		t.Fatalf("unregistered boot: %v", err)
 	}
-	sq.RegisterImage(im, day(0))
-	if _, err := sq.BootImage(im.ID, "ghost", false); !errors.Is(err, ErrUnknownNode) {
+	sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)})
+	if _, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: "ghost", Verify: false}); !errors.Is(err, ErrUnknownNode) {
 		t.Fatalf("unknown node: %v", err)
 	}
 	sq.SetOnline("node00", false)
-	if _, err := sq.BootImage(im.ID, "node00", false); !errors.Is(err, ErrNodeOffline) {
+	if _, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: "node00", Verify: false}); !errors.Is(err, ErrNodeOffline) {
 		t.Fatalf("offline node: %v", err)
 	}
 	if err := sq.SetOnline("ghost", true); !errors.Is(err, ErrUnknownNode) {
@@ -184,7 +184,7 @@ func TestBootErrors(t *testing.T) {
 func TestDeregisterPropagatesWithNextSnapshot(t *testing.T) {
 	sq, _, repo := deployment(t, 2)
 	a, b := repo.Images[0], repo.Images[1]
-	sq.RegisterImage(a, day(0))
+	sq.Register(context.Background(), RegisterRequest{Image: a, At: day(0)})
 	if err := sq.Deregister(a.ID); err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestDeregisterPropagatesWithNextSnapshot(t *testing.T) {
 	if !ccv.HasObject(a.ID) {
 		t.Fatal("deregistration should not reach replicas before next snapshot")
 	}
-	if _, err := sq.RegisterImage(b, day(1)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: b, At: day(1)}); err != nil {
 		t.Fatal(err)
 	}
 	if ccv.HasObject(a.ID) {
@@ -210,9 +210,9 @@ func TestDeregisterPropagatesWithNextSnapshot(t *testing.T) {
 func TestOfflineNodeIncrementalSync(t *testing.T) {
 	sq, _, repo := deployment(t, 3)
 	a, b := repo.Images[0], repo.Images[1]
-	sq.RegisterImage(a, day(0))
+	sq.Register(context.Background(), RegisterRequest{Image: a, At: day(0)})
 	sq.SetOnline("node02", false)
-	sq.RegisterImage(b, day(1)) // node02 misses this
+	sq.Register(context.Background(), RegisterRequest{Image: b, At: day(1)}) // node02 misses this
 	sq.SetOnline("node02", true)
 	ccv, _ := sq.CCVolume("node02")
 	if ccv.HasObject(b.ID) {
@@ -239,10 +239,10 @@ func TestOfflineNodeIncrementalSync(t *testing.T) {
 func TestLongOfflineNodeFullResync(t *testing.T) {
 	sq, _, repo := deployment(t, 2)
 	a, b, c := repo.Images[0], repo.Images[1], repo.Images[2]
-	sq.RegisterImage(a, day(0))
+	sq.Register(context.Background(), RegisterRequest{Image: a, At: day(0)})
 	sq.SetOnline("node01", false)
-	sq.RegisterImage(b, day(1))
-	sq.RegisterImage(c, day(20))
+	sq.Register(context.Background(), RegisterRequest{Image: b, At: day(1)})
+	sq.Register(context.Background(), RegisterRequest{Image: c, At: day(20)})
 	// GC at day 21 with a 7-day window destroys the day-0 and day-1
 	// snapshots node01 would need for an incremental sync.
 	sq.GarbageCollect(day(21))
@@ -261,7 +261,7 @@ func TestLongOfflineNodeFullResync(t *testing.T) {
 		}
 	}
 	// After the full resync, a warm boot must work with zero network.
-	bootRep, err := sq.BootImage(c.ID, "node01", true)
+	bootRep, err := sq.Boot(context.Background(), BootRequest{Image: c.ID, Node: "node01", Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +273,7 @@ func TestLongOfflineNodeFullResync(t *testing.T) {
 func TestBrandNewNodeSync(t *testing.T) {
 	// A node with an empty replica and no snapshots does a full sync.
 	sq, _, repo := deployment(t, 2)
-	sq.RegisterImage(repo.Images[0], day(0))
+	sq.Register(context.Background(), RegisterRequest{Image: repo.Images[0], At: day(0)})
 	// Simulate a fresh node by wiping node01's replica state via full
 	// sync of a node that never received anything: node01 was online, so
 	// instead test SyncNode on a node that is behind from birth.
@@ -292,8 +292,8 @@ func TestBrandNewNodeSync(t *testing.T) {
 
 func TestGarbageCollectCountsAndRegisteredList(t *testing.T) {
 	sq, _, repo := deployment(t, 2)
-	sq.RegisterImage(repo.Images[0], day(0))
-	sq.RegisterImage(repo.Images[1], day(1))
+	sq.Register(context.Background(), RegisterRequest{Image: repo.Images[0], At: day(0)})
+	sq.Register(context.Background(), RegisterRequest{Image: repo.Images[1], At: day(1)})
 	if got := sq.Registered(); len(got) != 2 {
 		t.Fatalf("registered %v", got)
 	}
@@ -316,7 +316,7 @@ func TestRegistrationUnderPropagationSchemes(t *testing.T) {
 			t.Fatal(err)
 		}
 		repo, _ := corpus.New(corpus.TestSpec())
-		rep, err := sq.RegisterImage(repo.Images[0], day(0))
+		rep, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[0], At: day(0)})
 		if err != nil {
 			t.Fatalf("propagation %v: %v", p, err)
 		}

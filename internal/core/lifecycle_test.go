@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"os"
 	"strconv"
@@ -67,7 +68,7 @@ func nodeStatus(t *testing.T, sq *Squirrel, nodeID string) NodeStatus {
 func TestCrashRestartLifecycle(t *testing.T) {
 	sq, _, repo, _ := lifecycleDeployment(t, 3, fault.Plan{Seed: 1})
 	for i := 0; i < 2; i++ {
-		if _, err := sq.RegisterImage(repo.Images[i], day(i)); err != nil {
+		if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[i], At: day(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -78,11 +79,11 @@ func TestCrashRestartLifecycle(t *testing.T) {
 	if st.State != StateDown || !st.Withdrawn || st.DownSince != day(2) {
 		t.Fatalf("crashed node health: %+v", st)
 	}
-	if _, err := sq.BootImage(repo.Images[0].ID, "node01", false); !errors.Is(err, ErrNodeOffline) {
+	if _, err := sq.Boot(context.Background(), BootRequest{Image: repo.Images[0].ID, Node: "node01", Verify: false}); !errors.Is(err, ErrNodeOffline) {
 		t.Fatalf("crashed node accepted a boot: %v", err)
 	}
 	// A registration while the node is down skips it entirely.
-	rep, err := sq.RegisterImage(repo.Images[2], day(2))
+	rep, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[2], At: day(2)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestCrashRestartLifecycle(t *testing.T) {
 		t.Fatalf("restarted node health: %+v", st)
 	}
 	// First boot heals, as for any lagging node.
-	br, err := sq.BootImage(repo.Images[2].ID, "node01", true)
+	br, err := sq.Boot(context.Background(), BootRequest{Image: repo.Images[2].ID, Node: "node01", Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestTornRegistrationRollsBackOnRestart(t *testing.T) {
 	// Bring the deployment up clean, then make the fabric tear exactly one
 	// apply (Torn shares the crash budget).
 	sq, _, repo, _ := lifecycleDeployment(t, 3, fault.Plan{Seed: 4})
-	if _, err := sq.RegisterImage(repo.Images[0], day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[0], At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	firstSnap := sq.SCVolume().LatestSnapshot().Name
@@ -132,7 +133,7 @@ func TestTornRegistrationRollsBackOnRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	sq.SetFaults(hostile)
-	rep, err := sq.RegisterImage(repo.Images[1], day(1))
+	rep, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[1], At: day(1)})
 	if err != nil {
 		t.Fatalf("torn replicas must not fail the registration: %v", err)
 	}
@@ -168,7 +169,7 @@ func TestTornRegistrationRollsBackOnRestart(t *testing.T) {
 	}
 	// Healing delivers the registration it missed; the boot verifies every
 	// byte end to end.
-	br, err := sq.BootImage(repo.Images[1].ID, torn, true)
+	br, err := sq.Boot(context.Background(), BootRequest{Image: repo.Images[1].ID, Node: torn, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestInjectRotIsDeterministicAndScrubDetectsAll(t *testing.T) {
 	mk := func() (*Squirrel, []zvol.BlockRef) {
 		sq, _, repo, _ := lifecycleDeployment(t, 3, plan)
 		for i := 0; i < 3; i++ {
-			if _, err := sq.RegisterImage(repo.Images[i], day(i)); err != nil {
+			if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[i], At: day(i)}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -241,7 +242,7 @@ func TestInjectRotIsDeterministicAndScrubDetectsAll(t *testing.T) {
 func TestResilverPrefersPeersOverPFS(t *testing.T) {
 	sq, cl, repo, _ := lifecycleDeployment(t, 4, fault.Plan{Seed: 7, Rot: 0.4})
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	refs, err := sq.InjectRot("node02")
@@ -271,7 +272,7 @@ func TestResilverPrefersPeersOverPFS(t *testing.T) {
 	if !sq.PeerIndex().Holds(im.ID, "node02") {
 		t.Fatal("clean node not re-announced")
 	}
-	br, err := sq.BootImage(im.ID, "node02", true)
+	br, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: "node02", Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestResilverFallsBackToPFSWhenNoHealthyPeer(t *testing.T) {
 	// peer again and must prefer it.
 	sq, _, repo, _ := lifecycleDeployment(t, 2, fault.Plan{Seed: 11, Rot: 0.6})
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range []string{"node00", "node01"} {
@@ -326,7 +327,7 @@ func TestRottenPeerNeverServesBadBytes(t *testing.T) {
 	// verified boot proves not one corrupt byte reached the VM.
 	sq, _, repo, _ := lifecycleDeployment(t, 2, fault.Plan{Seed: 13, Rot: 0.5})
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	refs, err := sq.InjectRot("node01")
@@ -342,7 +343,7 @@ func TestRottenPeerNeverServesBadBytes(t *testing.T) {
 	if !sq.PeerIndex().Holds(im.ID, "node01") {
 		t.Fatal("latent rot must not be withdrawn yet (nothing detected it)")
 	}
-	br, err := sq.BootImage(im.ID, "node00", true)
+	br, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: "node00", Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +361,7 @@ func TestRottenPeerNeverServesBadBytes(t *testing.T) {
 func TestBootAutoResilversDamagedNode(t *testing.T) {
 	sq, _, repo, _ := lifecycleDeployment(t, 3, fault.Plan{Seed: 17, Rot: 0.4})
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	refs, err := sq.InjectRot("node01")
@@ -373,7 +374,7 @@ func TestBootAutoResilversDamagedNode(t *testing.T) {
 	if _, err := sq.ScrubNode(bg, "node01", day(1)); err != nil {
 		t.Fatal(err)
 	}
-	br, err := sq.BootImage(im.ID, "node01", true)
+	br, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: "node01", Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +412,7 @@ func TestLifecycleChaosSoak(t *testing.T) {
 
 	const regs = 8
 	for i := 0; i < regs; i++ {
-		if _, err := sq.RegisterImage(repo.Images[i], day(i)); err != nil {
+		if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[i], At: day(i)}); err != nil {
 			t.Fatalf("seed %d: registration %d failed: %v", seed, i, err)
 		}
 	}
@@ -462,7 +463,7 @@ func TestLifecycleChaosSoak(t *testing.T) {
 			}
 		}
 		for _, n := range cl.Compute {
-			if _, err := sq.BootImage(latest.ID, n.ID, true); err != nil {
+			if _, err := sq.Boot(context.Background(), BootRequest{Image: latest.ID, Node: n.ID, Verify: true}); err != nil {
 				t.Fatalf("seed %d: verified boot on %s: %v", seed, n.ID, err)
 			}
 		}

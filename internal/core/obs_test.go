@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -58,14 +59,14 @@ func TestTraceColdBootPeerExchange(t *testing.T) {
 	sq, cl, repo, _ := lifecycleDeployment(t, 6, fault.Plan{Seed: 1})
 	tel := sq.Telemetry()
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	cold := cl.Compute[len(cl.Compute)-1].ID
 	if err := sq.DropReplica(cold, im.ID); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sq.BootImage(im.ID, cold, true)
+	rep, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: cold, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func runLifecycleScript(t *testing.T, sq *Squirrel, cl *cluster.Cluster, repo *c
 	res := scriptResult{Rot: map[string][]zvol.BlockRef{}}
 	const regs = 4
 	for i := 0; i < regs; i++ {
-		rep, err := sq.RegisterImage(repo.Images[i], day(i))
+		rep, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[i], At: day(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -186,7 +187,7 @@ func runLifecycleScript(t *testing.T, sq *Squirrel, cl *cluster.Cluster, repo *c
 		if !st.Online {
 			continue
 		}
-		rep, err := sq.BootImage(latest.ID, st.NodeID, true)
+		rep, err := sq.Boot(context.Background(), BootRequest{Image: latest.ID, Node: st.NodeID, Verify: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,7 +231,7 @@ func TestTelemetrySnapshotRace(t *testing.T) {
 	tel := sq.Telemetry()
 	// Seed a couple of images so boots have something to read.
 	for i := 0; i < 2; i++ {
-		if _, err := sq.RegisterImage(repo.Images[i], day(i)); err != nil {
+		if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[i], At: day(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -259,14 +260,14 @@ func TestTelemetrySnapshotRace(t *testing.T) {
 	go func() {
 		defer work.Done()
 		for i := 2; i < 6; i++ {
-			_, _ = sq.RegisterImage(repo.Images[i], day(i))
+			_, _ = sq.Register(context.Background(), RegisterRequest{Image: repo.Images[i], At: day(i)})
 		}
 	}()
 	go func() {
 		defer work.Done()
 		for round := 0; round < 3; round++ {
 			for _, n := range cl.Compute {
-				_, _ = sq.BootImage(repo.Images[0].ID, n.ID, false)
+				_, _ = sq.Boot(context.Background(), BootRequest{Image: repo.Images[0].ID, Node: n.ID, Verify: false})
 			}
 		}
 	}()

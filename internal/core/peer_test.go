@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -47,7 +48,7 @@ func storageTx(cl *cluster.Cluster) int64 {
 func TestPeerServesColdBootMiss(t *testing.T) {
 	sq, cl, repo := peerDeployment(t, 4)
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	if !sq.PeerIndex().Holds(im.ID, "node03") {
@@ -60,7 +61,7 @@ func TestPeerServesColdBootMiss(t *testing.T) {
 		t.Fatal("DropReplica left the announcement behind")
 	}
 	cl.ResetCounters()
-	rep, err := sq.BootImage(im.ID, "node03", true)
+	rep, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: "node03", Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestPeerOffloadsConcurrentColdBoots(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < images; i++ {
-			if _, err := sq.RegisterImage(repo.Images[i], day(i)); err != nil {
+			if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[i], At: day(i)}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -166,7 +167,7 @@ func TestPeerOffloadsConcurrentColdBoots(t *testing.T) {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					rep, err := sq.BootImage(im.ID, nodeID, true)
+					rep, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: nodeID, Verify: true})
 					mu.Lock()
 					defer mu.Unlock()
 					if err != nil {
@@ -223,7 +224,7 @@ func TestPeerFetchFaultFailoverDeterministic(t *testing.T) {
 	boot := func() (BootReport, map[string]int64, int64) {
 		sq, cl, repo := peerDeployment(t, 4)
 		im := repo.Images[0]
-		if _, err := sq.RegisterImage(im, day(0)); err != nil {
+		if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 			t.Fatal(err)
 		}
 		if err := sq.DropReplica("node03", im.ID); err != nil {
@@ -231,7 +232,7 @@ func TestPeerFetchFaultFailoverDeterministic(t *testing.T) {
 		}
 		setFaults(sq, fault.Plan{Seed: 42, Drop: 0.5, Truncate: 0.2, Corrupt: 0.15}, t)
 		cl.ResetCounters()
-		rep, err := sq.BootImage(im.ID, "node03", true)
+		rep, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: "node03", Verify: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -268,7 +269,7 @@ func TestPeerFetchFaultFailoverDeterministic(t *testing.T) {
 func TestPeerSourceCrashFailsOverToPFS(t *testing.T) {
 	sq, _, repo := peerDeployment(t, 4)
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := sq.DropReplica("node03", im.ID); err != nil {
@@ -278,7 +279,7 @@ func TestPeerSourceCrashFailsOverToPFS(t *testing.T) {
 	// mid-serve, later crashes degrade to drops, the boot finishes off
 	// the PFS.
 	setFaults(sq, fault.Plan{Seed: 7, Crash: 1, MaxCrashes: 1}, t)
-	rep, err := sq.BootImage(im.ID, "node03", true)
+	rep, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: "node03", Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestPeerSourceCrashFailsOverToPFS(t *testing.T) {
 	if err := sq.SetOnline("node00", true); err != nil {
 		t.Fatal(err)
 	}
-	br, err := sq.BootImage(im.ID, "node00", true)
+	br, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: "node00", Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestPeerSourceCrashFailsOverToPFS(t *testing.T) {
 func TestPeerNeverPicksIneligibleSources(t *testing.T) {
 	sq, cl, repo := peerDeployment(t, 4)
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	// Strip all but one replica; take that sole holder offline. The cold
@@ -335,7 +336,7 @@ func TestPeerNeverPicksIneligibleSources(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl.ResetCounters()
-	rep, err := sq.BootImage(im.ID, "node03", true)
+	rep, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: "node03", Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,10 +355,10 @@ func TestPeerIndexMaintenance(t *testing.T) {
 	sq, _, repo := peerDeployment(t, 4)
 	ix := sq.PeerIndex()
 	a, b := repo.Images[0], repo.Images[1]
-	if _, err := sq.RegisterImage(a, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: a, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sq.RegisterImage(b, day(1)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: b, At: day(1)}); err != nil {
 		t.Fatal(err)
 	}
 	if ix.Objects() != 2 || ix.Entries() != 8 {
@@ -386,7 +387,7 @@ func TestPeerIndexMaintenance(t *testing.T) {
 	// A later registration must not resurrect the deregistered object on
 	// replicas that still physically hold it pending snapshot cleanup.
 	c := repo.Images[2]
-	if _, err := sq.RegisterImage(c, day(2)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: c, At: day(2)}); err != nil {
 		t.Fatal(err)
 	}
 	if ix.Holds(a.ID, "node00") {

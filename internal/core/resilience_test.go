@@ -76,7 +76,7 @@ func TestPartitionSoak(t *testing.T) {
 	base := runtime.NumGoroutine()
 	sq, cl, repo := resilienceDeployment(t, 6, fault.Plan{Seed: 31}, nil)
 	im0, im1 := repo.Images[0], repo.Images[1]
-	if _, err := sq.RegisterImage(im0, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im0, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -108,7 +108,7 @@ func TestPartitionSoak(t *testing.T) {
 
 	// A registration during the cut reaches the majority and strands the
 	// minority as lagging partition casualties — it does not fail.
-	rep, err := sq.RegisterImage(im1, day(1))
+	rep, err := sq.Register(context.Background(), RegisterRequest{Image: im1, At: day(1)})
 	if err != nil {
 		t.Fatalf("register during cut: %v", err)
 	}
@@ -222,7 +222,7 @@ func hedgeDeployment(t *testing.T, images int) (*Squirrel, []*corpus.Image, []st
 	for i := 0; i < images; i++ {
 		im := repo.Images[i]
 		ims = append(ims, im)
-		if _, err := sq.RegisterImage(im, day(i)); err != nil {
+		if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(i)}); err != nil {
 			t.Fatal(err)
 		}
 		// Keep replicas only on the triple's two holder nodes.
@@ -310,7 +310,7 @@ func TestBreakerDegradesBootToPFS(t *testing.T) {
 		cfg.Peer.Breaker = peer.DefaultBreakerPolicy()
 	})
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := sq.DropReplica("node03", im.ID); err != nil {
@@ -380,7 +380,7 @@ func TestBootAdmissionShedsOverload(t *testing.T) {
 		cfg.BootLatency = 30 * time.Millisecond
 	})
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	const storm = 4
@@ -435,7 +435,7 @@ func TestBootAdmissionDeadlineWhileQueued(t *testing.T) {
 		cfg.BootLatency = 80 * time.Millisecond
 	})
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	holder := make(chan error, 1)
@@ -486,7 +486,7 @@ func benchColdBootSlowPeer(b *testing.B, hedge bool) {
 		cfg.Peer.Hedge = hedge
 	})
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		b.Fatal(err)
 	}
 	if err := sq.DropReplica("node03", im.ID); err != nil {
@@ -527,7 +527,7 @@ func TestHedgeCutsSlowPeerTail(t *testing.T) {
 			cfg.Peer.Hedge = hedge
 		})
 		im := repo.Images[0]
-		if _, err := sq.RegisterImage(im, day(0)); err != nil {
+		if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 			t.Fatal(err)
 		}
 		if err := sq.DropReplica("node03", im.ID); err != nil {

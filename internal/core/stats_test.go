@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 )
 
@@ -14,11 +15,11 @@ func TestDeploymentStats(t *testing.T) {
 		t.Fatalf("no snapshots yet, nobody stale: %+v", ds)
 	}
 
-	if _, err := sq.RegisterImage(repo.Images[0], day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[0], At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	sq.SetOnline("node02", false)
-	if _, err := sq.RegisterImage(repo.Images[1], day(1)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[1], At: day(1)}); err != nil {
 		t.Fatal(err)
 	}
 	sq.SetOnline("node02", true)

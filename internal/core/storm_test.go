@@ -103,10 +103,10 @@ func TestSentinelErrors(t *testing.T) {
 	if _, err := sq.Boot(bg, BootRequest{Image: im.ID, Node: "node00"}); !errors.Is(err, ErrUnknownImage) {
 		t.Fatalf("boot of unregistered image: want ErrUnknownImage, got %v", err)
 	}
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sq.RegisterImage(im, day(0)); !errors.Is(err, ErrRegistered) {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); !errors.Is(err, ErrRegistered) {
 		t.Fatalf("duplicate register: want ErrRegistered, got %v", err)
 	}
 	if _, err := sq.Boot(bg, BootRequest{Image: im.ID, Node: "ghost"}); !errors.Is(err, ErrUnknownNode) {
@@ -143,8 +143,8 @@ func TestParallelLegsMatchSerial(t *testing.T) {
 	serial, _, repoS := stormDeployment(t, 6, 1, plan)
 	parallel, _, repoP := stormDeployment(t, 6, 8, plan)
 	for i := 0; i < 4; i++ {
-		repS, errS := serial.RegisterImage(repoS.Images[i], day(i))
-		repP, errP := parallel.RegisterImage(repoP.Images[i], day(i))
+		repS, errS := serial.Register(context.Background(), RegisterRequest{Image: repoS.Images[i], At: day(i)})
+		repP, errP := parallel.Register(context.Background(), RegisterRequest{Image: repoP.Images[i], At: day(i)})
 		if (errS == nil) != (errP == nil) {
 			t.Fatalf("register %d: serial err=%v parallel err=%v", i, errS, errP)
 		}
@@ -164,7 +164,7 @@ func TestParallelLegsMatchSerial(t *testing.T) {
 func TestConcurrentSameNodeBoots(t *testing.T) {
 	sq, _, repo := deployment(t, 2)
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -194,7 +194,7 @@ func TestConcurrentRegisterSameImage(t *testing.T) {
 	errs := make(chan error, 2)
 	for i := 0; i < 2; i++ {
 		go func() {
-			_, err := sq.RegisterImage(im, day(0))
+			_, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)})
 			errs <- err
 		}()
 	}
@@ -285,7 +285,7 @@ func TestRegisterCancelledMidPropagation(t *testing.T) {
 func TestBootCancelledMidReplay(t *testing.T) {
 	sq, _, repo := deployment(t, 2)
 	im := repo.Images[0]
-	if _, err := sq.RegisterImage(im, day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	// One Err call at entry, one per trace entry: k=2 cancels at the
@@ -305,7 +305,7 @@ func TestBootCancelledMidReplay(t *testing.T) {
 // context without touching any replica.
 func TestMaintenanceCancellation(t *testing.T) {
 	sq, _, repo := deployment(t, 2)
-	if _, err := sq.RegisterImage(repo.Images[0], day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[0], At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -335,7 +335,7 @@ func TestMaintenanceCancellation(t *testing.T) {
 func TestConcurrentRegisterAndBootInterleaving(t *testing.T) {
 	plan := fault.Plan{Seed: 7, Drop: 0.1, Corrupt: 0.05, MaxCrashes: 1, Crash: 0.02}
 	sq, cl, repo := stormDeployment(t, 4, 0, plan)
-	if _, err := sq.RegisterImage(repo.Images[0], day(0)); err != nil {
+	if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[0], At: day(0)}); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -343,7 +343,7 @@ func TestConcurrentRegisterAndBootInterleaving(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := sq.RegisterImage(repo.Images[i], day(i)); err != nil {
+			if _, err := sq.Register(context.Background(), RegisterRequest{Image: repo.Images[i], At: day(i)}); err != nil {
 				t.Errorf("register %d: %v", i, err)
 			}
 		}(i)
@@ -400,12 +400,12 @@ func BenchmarkBootStorm(b *testing.B) {
 		b.Run(fmt.Sprint(workers), func(b *testing.B) {
 			sq, cl, repo := bootStormDeployment(b, 16, time.Millisecond)
 			im := repo.Images[0]
-			if _, err := sq.RegisterImage(im, day(0)); err != nil {
+			if _, err := sq.Register(context.Background(), RegisterRequest{Image: im, At: day(0)}); err != nil {
 				b.Fatal(err)
 			}
 			// One warm-up boot per node so the storm measures steady state.
 			for _, n := range cl.Compute {
-				if _, err := sq.BootImage(im.ID, n.ID, false); err != nil {
+				if _, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: n.ID, Verify: false}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -422,7 +422,7 @@ func BenchmarkBootStorm(b *testing.B) {
 							return
 						}
 						node := cl.Compute[int(i)%len(cl.Compute)].ID
-						if _, err := sq.BootImage(im.ID, node, false); err != nil {
+						if _, err := sq.Boot(context.Background(), BootRequest{Image: im.ID, Node: node, Verify: false}); err != nil {
 							b.Error(err)
 							return
 						}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/workload"
 	"repro/internal/zvol"
 )
 
@@ -96,6 +97,13 @@ type Session interface {
 	// with ctx's error. Over the wire the updates ride FlagStream
 	// frames on the existing connection.
 	Watch(ctx context.Context, args WatchArgs, fn func(WatchUpdate) error) error
+
+	// Workload drives one workload-engine scenario (arrival process,
+	// popularity skew, clock mode per args) against this deployment and
+	// returns the streaming summary. The scenario runs where the
+	// deployment lives: over the wire only args and the fixed-size
+	// summary travel, never the million boots between them.
+	Workload(ctx context.Context, args WorkloadArgs) (workload.Summary, error)
 
 	// ResetNetCounters zeroes every node's NIC counters.
 	ResetNetCounters() error

@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/peer"
 	"repro/internal/version"
+	"repro/internal/workload"
 	"repro/internal/zvol"
 )
 
@@ -230,6 +231,39 @@ func (l *Local) TraceSlowest(kind string) (string, error) {
 		return "", fmt.Errorf("no completed %q operation in the trace ring (kinds: register, boot, scrub, resilver, sync, gc, restart)", kind)
 	}
 	return obs.RenderTree(sp), nil
+}
+
+// Workload implements Session: it runs the workload driver in-process
+// over this deployment's full catalog and node set, publishing the
+// result into the deployment's telemetry (when tracing is on) and
+// stamping the summary with the serving index implementation.
+func (l *Local) Workload(ctx context.Context, args WorkloadArgs) (workload.Summary, error) {
+	info, err := l.Info()
+	if err != nil {
+		return workload.Summary{}, err
+	}
+	cfg := workload.Config{
+		Arrivals:   args.Arrivals,
+		Seed:       args.Seed,
+		Boots:      args.Boots,
+		Images:     info.Images,
+		Nodes:      info.ComputeNodes,
+		Tenants:    args.Tenants,
+		ZipfS:      args.ZipfS,
+		ColdFrac:   args.ColdFrac,
+		Mode:       args.Mode,
+		Slots:      args.Slots,
+		DeviceMs:   args.DeviceMs,
+		ShedMs:     args.ShedMs,
+		HorizonSec: args.HorizonSec,
+		Workers:    args.Workers,
+	}
+	sum, err := workload.Run(ctx, l, cfg, l.sq.Telemetry())
+	if err != nil {
+		return workload.Summary{}, err
+	}
+	sum.Index = l.sq.Stats().IndexSource
+	return sum, nil
 }
 
 // ResetNetCounters implements Session.

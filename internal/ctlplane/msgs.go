@@ -39,6 +39,7 @@ import (
 //	                                              (FlagStream), then an
 //	                                              empty final response
 //	TTraceTree   — TraceTreeArgs                → TraceTreeReply
+//	TWorkload    — WorkloadArgs                 → workload.Summary
 type (
 	// RegisterArgs asks for one registration by corpus image ID.
 	RegisterArgs struct {
@@ -135,5 +136,24 @@ type (
 	// under.
 	TraceTreeReply struct {
 		Trees []*obs.TreeDump
+	}
+
+	// WorkloadArgs shapes one workload-engine scenario driven against the
+	// session's deployment. The catalog and node set come from the
+	// deployment itself; these are the knobs of workload.Config a remote
+	// caller may turn. Zero values take workload's defaults.
+	WorkloadArgs struct {
+		Arrivals   string // poisson | diurnal | flash ("" = poisson)
+		Seed       int64
+		Boots      int // required: total arrivals to schedule
+		Tenants    int
+		ZipfS      float64
+		ColdFrac   float64
+		Mode       string // logical ("" = default) | wall
+		Slots      int
+		DeviceMs   float64
+		ShedMs     float64
+		HorizonSec float64
+		Workers    int
 	}
 )

@@ -265,7 +265,7 @@ func (s *Server) handleConn(c net.Conn) {
 			out <- errorFrame(f, ctlplane.ErrDraining)
 			continue
 		}
-		if agreed < 2 && (f.Type == wireproto.TWatch || f.Type == wireproto.TTraceTree) {
+		if agreed < 2 && (f.Type == wireproto.TWatch || f.Type == wireproto.TTraceTree || f.Type == wireproto.TWorkload) {
 			out <- errorFrame(f, fmt.Errorf("%w: frame type %d needs protocol v2 (negotiated v%d)",
 				errBadRequest, f.Type, agreed))
 			continue
@@ -546,6 +546,12 @@ func (s *Server) handle(ctx context.Context, t uint8, body []byte) (any, error) 
 			return nil, fmt.Errorf("daemon: telemetry disabled on this deployment (start with tracing)")
 		}
 		return ctlplane.TraceTreeReply{Trees: s.cfg.Tel.RemoteDumps(a.TraceID)}, nil
+	case wireproto.TWorkload:
+		a, err := decode[ctlplane.WorkloadArgs](body)
+		if err != nil {
+			return nil, err
+		}
+		return s.sess.Workload(ctx, a)
 	case wireproto.TNetReset:
 		return nil, s.sess.ResetNetCounters()
 	case wireproto.TNetRx:

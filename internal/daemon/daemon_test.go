@@ -467,3 +467,78 @@ func TestMalformedFrameClosesConn(t *testing.T) {
 		t.Errorf("daemon unusable after malformed frame: %v", err)
 	}
 }
+
+// TestWorkloadOverWire drives the workload op through the daemon and
+// checks the summary equals what the identical in-process deployment
+// produces: the scenario runs server-side, only args and the fixed-size
+// summary cross the wire, and logical-clock determinism makes the two
+// transports byte-comparable.
+func TestWorkloadOverWire(t *testing.T) {
+	opts := ctlplane.Options{Images: 8, Nodes: 16, Peers: true}
+	args := ctlplane.WorkloadArgs{Arrivals: "flash", Boots: 1600, Seed: 7}
+
+	addr, _ := startServer(t, opts, Config{})
+	c := dial(t, addr)
+	wire, err := c.Workload(context.Background(), args)
+	if err != nil {
+		t.Fatalf("workload over wire: %v", err)
+	}
+
+	local, err := ctlplane.NewLocal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	direct, err := local.Workload(context.Background(), args)
+	if err != nil {
+		t.Fatalf("workload in-process: %v", err)
+	}
+
+	wire.ElapsedSec, wire.HeapMB = 0, 0
+	direct.ElapsedSec, direct.HeapMB = 0, 0
+	if !reflect.DeepEqual(wire, direct) {
+		t.Fatalf("wire and in-process workload summaries differ:\n  wire:   %+v\n  direct: %+v", wire, direct)
+	}
+	if wire.Index != "central" || wire.Boots != 1600 || wire.Admitted+wire.Shed != wire.Boots {
+		t.Fatalf("summary sanity: %+v", wire)
+	}
+	if wire.Arrivals != "flash" || wire.Cold == 0 {
+		t.Fatalf("flash scenario did not exercise cold boots: %+v", wire)
+	}
+}
+
+// TestWorkloadNeedsV2 pins the daemon-side version gate: a connection
+// that negotiated protocol v1 gets an error frame, not a scenario run,
+// when it sends a TWorkload frame.
+func TestWorkloadNeedsV2(t *testing.T) {
+	addr, _ := startServer(t, ctlplane.Options{Images: 1, Nodes: 2}, Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wireproto.WriteHelloVersion(conn, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ver, status, _, err := wireproto.ReadHelloReply(conn); err != nil || status != wireproto.HelloOK || ver != 1 {
+		t.Fatalf("v1 handshake: ver %d status %d err %v", ver, status, err)
+	}
+	if err := wireproto.WriteFrame(conn, wireproto.Frame{Type: wireproto.TWorkload, ReqID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := wireproto.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	if !f.IsError() {
+		t.Fatalf("v1 workload frame was served, want version-gate error")
+	}
+	code, msg, err := wireproto.DecodeError(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != wireproto.CodeBadRequest || !strings.Contains(msg, "protocol v2") {
+		t.Fatalf("gate error = code %d %q, want CodeBadRequest naming protocol v2", code, msg)
+	}
+}

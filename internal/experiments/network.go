@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -40,7 +41,7 @@ func fig18Deployment(s Scale, propagation core.Propagation) (*core.Squirrel, *cl
 	}
 	t0 := time.Date(2014, 6, 23, 0, 0, 0, 0, time.UTC)
 	for i, im := range repo.Images {
-		if _, err := sq.RegisterImage(im, t0.Add(time.Duration(i)*time.Minute)); err != nil {
+		if _, err := sq.Register(context.Background(), core.RegisterRequest{Image: im, At: t0.Add(time.Duration(i) * time.Minute)}); err != nil {
 			return nil, nil, nil, err
 		}
 	}
@@ -67,12 +68,12 @@ func Fig18(s Scale) (Table, error) {
 					// "Without caches": bypass the local replica by
 					// booting an image on a node whose replica is
 					// emptied — modelled by reading via PFS directly.
-					if _, err := sq.BootWithoutCache(im.ID, nodeID); err != nil {
+					if _, err := sq.Boot(context.Background(), core.BootRequest{Image: im.ID, Node: nodeID, SkipCache: true}); err != nil {
 						return 0, err
 					}
 					continue
 				}
-				if _, err := sq.BootImage(im.ID, nodeID, false); err != nil {
+				if _, err := sq.Boot(context.Background(), core.BootRequest{Image: im.ID, Node: nodeID, Verify: false}); err != nil {
 					return 0, err
 				}
 			}
@@ -137,7 +138,7 @@ func Fig18Propagation(s Scale) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		rep, err := sq.RegisterImage(repo.Images[0], time.Date(2014, 6, 23, 0, 0, 0, 0, time.UTC))
+		rep, err := sq.Register(context.Background(), core.RegisterRequest{Image: repo.Images[0], At: time.Date(2014, 6, 23, 0, 0, 0, 0, time.UTC)})
 		if err != nil {
 			return Table{}, err
 		}

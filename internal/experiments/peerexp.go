@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -61,7 +62,7 @@ func FigPeer(s Scale) (Table, error) {
 			return 0, 0, 0, err
 		}
 		for i, im := range repo.Images {
-			if _, err := sq.RegisterImage(im, t0.Add(time.Duration(i)*time.Minute)); err != nil {
+			if _, err := sq.Register(context.Background(), core.RegisterRequest{Image: im, At: t0.Add(time.Duration(i) * time.Minute)}); err != nil {
 				return 0, 0, 0, err
 			}
 		}
@@ -83,7 +84,7 @@ func FigPeer(s Scale) (Table, error) {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					rep, berr := sq.BootImage(im.ID, nodeID, false)
+					rep, berr := sq.Boot(context.Background(), core.BootRequest{Image: im.ID, Node: nodeID, Verify: false})
 					mu.Lock()
 					defer mu.Unlock()
 					if berr != nil {

@@ -68,7 +68,7 @@ func FigScrub(s Scale) (Table, error) {
 			return Table{}, err
 		}
 		for j, im := range repo.Images {
-			if _, err := sq.RegisterImage(im, t0.Add(time.Duration(j)*time.Minute)); err != nil {
+			if _, err := sq.Register(context.Background(), core.RegisterRequest{Image: im, At: t0.Add(time.Duration(j) * time.Minute)}); err != nil {
 				return Table{}, err
 			}
 		}

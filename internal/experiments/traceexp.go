@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -50,7 +51,7 @@ func FigTrace(s Scale) (Table, error) {
 		return Table{}, err
 	}
 	for i, im := range repo.Images {
-		if _, err := sq.RegisterImage(im, t0.Add(time.Duration(i)*time.Minute)); err != nil {
+		if _, err := sq.Register(context.Background(), core.RegisterRequest{Image: im, At: t0.Add(time.Duration(i) * time.Minute)}); err != nil {
 			return Table{}, err
 		}
 	}
@@ -66,7 +67,7 @@ func FigTrace(s Scale) (Table, error) {
 	var wantCache, wantPeer, wantPFS int64
 	for _, im := range repo.Images {
 		for n := 0; n < nodes; n++ {
-			rep, err := sq.BootImage(im.ID, cl.Compute[n].ID, false)
+			rep, err := sq.Boot(context.Background(), core.BootRequest{Image: im.ID, Node: cl.Compute[n].ID, Verify: false})
 			if err != nil {
 				return Table{}, err
 			}

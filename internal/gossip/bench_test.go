@@ -2,6 +2,7 @@ package gossip
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -67,4 +68,84 @@ func BenchmarkIndexChurn(b *testing.B) {
 	}
 	// After ResetTimer, or it would be cleared with the timer state.
 	b.ReportMetric(float64(convergeRounds), "converge-rounds")
+}
+
+// BenchmarkGossipScale charts the directory's cost curve from 1k nodes
+// to the paper's 10k-node deployment, the membership range the workload
+// engine drives. The catalog stays fixed (an image-popularity catalog
+// does not grow with the cluster) while holdings density per node is
+// constant, so replication fan-in grows with the membership. ns/op is
+// one full gossip round — advertise + fanout-k exchange + prune across
+// every live node — and converge-rounds is the owner-crash convergence
+// bound measured at that scale before the timer starts.
+func BenchmarkGossipScale(b *testing.B) {
+	const objects = 256
+	for _, nodes := range []int{1000, 4000, 10000} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			clk := newFakeClock()
+			ids := nodeIDs(nodes)
+			objs := make([]string, objects)
+			for i := range objs {
+				objs[i] = fmt.Sprintf("img%03d", i)
+			}
+			build := func(ttl time.Duration) *Directory {
+				d := New(Config{Seed: 1337, TTL: ttl, Fanout: 3, Owners: 2, Clock: clk.Now}, ids, nil)
+				for i, n := range ids {
+					d.SetHoldings(n, []string{objs[i%objects], objs[(i*7+3)%objects]})
+				}
+				return d
+			}
+
+			// Convergence probe at this scale: crash the first object's
+			// primary owner plus one arbitrary member, then count rounds
+			// until a sampled slice of the membership resolves every
+			// object exactly (querying all 10k views per round would
+			// dwarf the rounds being measured).
+			d := build(8 * time.Second)
+			d.MarkDown(d.Owners(objs[0])[0])
+			d.MarkDown(ids[nodes/2])
+			stride := nodes/64 + 1
+			rounds := 0
+			for ; rounds < 96 && !convergedSampled(d, objs, stride); rounds++ {
+				clk.Advance(time.Second)
+				d.Tick()
+			}
+			if !convergedSampled(d, objs, stride) {
+				b.Fatalf("%d-node deployment failed to converge in 96 rounds", nodes)
+			}
+
+			d = build(30 * time.Second)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clk.Advance(time.Second)
+				d.Tick()
+			}
+			b.ReportMetric(float64(rounds), "converge-rounds")
+		})
+	}
+}
+
+// convergedSampled is converged restricted to every stride-th live
+// node's view — the sampled convergence check the scale benchmark can
+// afford to run between rounds.
+func convergedSampled(d *Directory, objs []string, stride int) bool {
+	d.mu.Lock()
+	live := d.aliveSortedLocked()
+	truth := make(map[string][]string)
+	for _, obj := range objs {
+		for _, n := range live {
+			if d.holdings[n][obj] {
+				truth[obj] = append(truth[obj], n)
+			}
+		}
+	}
+	d.mu.Unlock()
+	for _, obj := range objs {
+		for i := 0; i < len(live); i += stride {
+			if !reflect.DeepEqual(d.Lookup(live[i], obj), truth[obj]) {
+				return false
+			}
+		}
+	}
+	return true
 }

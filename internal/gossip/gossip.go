@@ -182,8 +182,10 @@ func New(cfg Config, nodes []string, links Links) *Directory {
 	for _, n := range d.members {
 		d.alive[n] = true
 		d.views[n] = newView()
-		d.ring.Add(n)
 	}
+	// One sorted bulk join: a per-member Add would rebuild the ring
+	// order n times and dominate construction at 10k nodes.
+	d.ring.AddAll(d.members)
 	return d
 }
 
@@ -402,6 +404,9 @@ func (d *Directory) Tick() RoundReport {
 // live, reachable, not n, chosen by a pure hash of (seed, round, n, i)
 // so a soak replays from its seed.
 func (d *Directory) pickPeersLocked(n string, live []string) []string {
+	if _, full := d.links.(fullMesh); full {
+		return d.pickPeersFullMeshLocked(n, live)
+	}
 	cand := make([]string, 0, len(live))
 	for _, p := range live {
 		if p != n && d.links.Reachable(n, p) {
@@ -418,6 +423,57 @@ func (d *Directory) pickPeersLocked(n string, live []string) []string {
 		j := int(h % uint64(len(cand)))
 		out = append(out, cand[j])
 		cand = append(cand[:j], cand[j+1:]...)
+	}
+	return out
+}
+
+// pickPeersFullMeshLocked is pickPeersLocked for the no-partitions
+// Links: every live node except n is a candidate, so instead of
+// materializing an O(live) candidate slice per caller (which makes a
+// gossip round quadratic in the membership — the dominant cost at the
+// workload engine's 10k-node scale) it draws the same seeded indices
+// and maps each into the virtual candidate list by adjusting for the
+// self slot and for earlier removals. The peers returned are
+// byte-identical to the generic path's.
+func (d *Directory) pickPeersFullMeshLocked(n string, live []string) []string {
+	self := sort.SearchStrings(live, n)
+	if self == len(live) || live[self] != n {
+		self = -1 // n itself is down; every live node is a candidate
+	}
+	size := len(live)
+	if self >= 0 {
+		size--
+	}
+	k := d.cfg.Fanout
+	if k > size {
+		k = size
+	}
+	out := make([]string, 0, k)
+	removed := make([]int, 0, k) // candidate indices already drawn, ascending
+	for i := 0; i < k; i++ {
+		h := splitmix(fnv1a(n) ^ splitmix(uint64(d.cfg.Seed)^uint64(d.round)*0x9e3779b97f4a7c15^uint64(i)<<32))
+		j := int(h % uint64(size-i))
+		// Map the draw from the shrunken list back to the original
+		// candidate index: every earlier removal at or below the running
+		// position shifts it up by one.
+		for _, r := range removed {
+			if j >= r {
+				j++
+			}
+		}
+		at := 0
+		for at < len(removed) && removed[at] < j {
+			at++
+		}
+		removed = append(removed, 0)
+		copy(removed[at+1:], removed[at:])
+		removed[at] = j
+		// Candidate index → live index: candidates are live minus n.
+		li := j
+		if self >= 0 && j >= self {
+			li++
+		}
+		out = append(out, live[li])
 	}
 	return out
 }

@@ -383,3 +383,42 @@ func TestRestartRejoinsEmpty(t *testing.T) {
 		t.Fatalf("restart warm-up wrong: Lookup = %v, want %v", got, want)
 	}
 }
+
+// TestPickPeersFullMeshMatchesGeneric pins the full-mesh fast path to
+// the generic candidate-list algorithm: a directory with default links
+// and one whose Links is a custom always-reachable type (forcing the
+// generic path) must draw identical peers for every node, every round,
+// fanout by fanout — the fast path is an optimization, never a behavior
+// change.
+func TestPickPeersFullMeshMatchesGeneric(t *testing.T) {
+	clk := newFakeClock()
+	ids := nodeIDs(61)
+	for _, fanout := range []int{1, 3, 5} {
+		cfg := Config{Seed: 7, Fanout: fanout, Owners: 2, Clock: clk.Now}
+		fast := New(cfg, ids, nil)         // fullMesh → fast path
+		slow := New(cfg, ids, &cutLinks{}) // no cuts, but generic path
+		for _, down := range []string{"cc07", "cc23", "cc61"} {
+			fast.MarkDown(down)
+			slow.MarkDown(down)
+		}
+		for round := 0; round < 8; round++ {
+			fast.Tick()
+			slow.Tick()
+			fast.mu.Lock()
+			live := fast.aliveSortedLocked()
+			fast.mu.Unlock()
+			for _, n := range live {
+				fast.mu.Lock()
+				a := fast.pickPeersLocked(n, live)
+				fast.mu.Unlock()
+				slow.mu.Lock()
+				b := slow.pickPeersLocked(n, live)
+				slow.mu.Unlock()
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("fanout %d round %d node %s: fast path picked %v, generic picked %v",
+						fanout, round, n, a, b)
+				}
+			}
+		}
+	}
+}

@@ -36,23 +36,76 @@ func NewRing(vnodes int) *Ring {
 	return &Ring{vnodes: vnodes, nodes: make(map[string]bool)}
 }
 
-// Add joins a node to the ring (idempotent).
+// Add joins a node to the ring (idempotent). The node's vnodes are
+// sorted on their own and merged into the already-sorted ring, so a
+// join costs O(ring) instead of a full re-sort; the resulting order is
+// identical either way because pointLess is a total order independent
+// of insertion sequence.
 func (r *Ring) Add(node string) {
 	if r.nodes[node] {
 		return
 	}
 	r.nodes[node] = true
+	fresh := make([]ringPoint, 0, r.vnodes)
 	for i := 0; i < r.vnodes; i++ {
-		r.points = append(r.points, ringPoint{hash: vnodeHash(node, i), node: node})
+		fresh = append(fresh, ringPoint{hash: vnodeHash(node, i), node: node})
 	}
-	sort.Slice(r.points, func(i, j int) bool {
-		if r.points[i].hash != r.points[j].hash {
-			return r.points[i].hash < r.points[j].hash
+	sort.Slice(fresh, func(i, j int) bool { return pointLess(fresh[i], fresh[j]) })
+	r.points = mergePoints(r.points, fresh)
+}
+
+// AddAll joins many nodes at once: one sort over the union instead of a
+// merge per member. Bulk construction of a 10k-node ring is what the
+// workload engine's provisioning path hits, and a per-Add merge there
+// would be quadratic in the membership.
+func (r *Ring) AddAll(nodes []string) {
+	added := false
+	for _, node := range nodes {
+		if r.nodes[node] {
+			continue
 		}
-		// Hash ties (astronomically rare) break lexically so the walk
-		// order is deterministic regardless of insertion order.
-		return r.points[i].node < r.points[j].node
-	})
+		r.nodes[node] = true
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(node, i), node: node})
+		}
+		added = true
+	}
+	if added {
+		sort.Slice(r.points, func(i, j int) bool { return pointLess(r.points[i], r.points[j]) })
+	}
+}
+
+// pointLess is the ring's total order: by hash, hash ties
+// (astronomically rare) broken lexically so the walk order is
+// deterministic regardless of insertion order.
+func pointLess(a, b ringPoint) bool {
+	if a.hash != b.hash {
+		return a.hash < b.hash
+	}
+	return a.node < b.node
+}
+
+// mergePoints merges two pointLess-sorted lists.
+func mergePoints(a, b []ringPoint) []ringPoint {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]ringPoint, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if pointLess(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // Remove drops a node from the ring (idempotent).

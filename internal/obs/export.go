@@ -35,11 +35,12 @@ type NodeSummary struct {
 // bookkeeping. Built by Telemetry.Snapshot; rendered by JSON and
 // Prometheus.
 type Snapshot struct {
-	Ops           []OpSummary    `json:"ops"`
-	Nodes         []NodeSummary  `json:"nodes"`
+	Ops           []OpSummary      `json:"ops"`
+	Nodes         []NodeSummary    `json:"nodes"`
 	Counters      map[string]int64 `json:"counters"`
-	SpansRecorded uint64         `json:"spans_recorded"` // root ops ever appended to the ring
-	FailedOps     int            `json:"failed_ops"`     // failed roots still held by the ring
+	SpansRecorded uint64           `json:"spans_recorded"`     // root ops ever appended to the ring
+	FailedOps     int              `json:"failed_ops"`         // failed roots still held by the ring
+	Workload      *WorkloadStats   `json:"workload,omitempty"` // most recent workload drive
 }
 
 // Snapshot assembles the unified telemetry document. Safe to call
@@ -53,6 +54,12 @@ func (t *Telemetry) Snapshot() Snapshot {
 	snap.Counters = t.counters.Snapshot()
 	snap.SpansRecorded = t.tracer.ring.appended()
 	snap.FailedOps = len(t.FailedRoots())
+	t.mu.Lock()
+	if t.workload != nil {
+		ws := *t.workload
+		snap.Workload = &ws
+	}
+	t.mu.Unlock()
 
 	ops, nodes := t.tracer.reg.merge()
 	for node, agg := range nodes {
@@ -131,6 +138,15 @@ func (s Snapshot) Prometheus() string {
 	b.WriteString("# TYPE squirrel_node_bytes_total counter\n")
 	for _, n := range s.Nodes {
 		fmt.Fprintf(&b, "squirrel_node_bytes_total{node=%q} %d\n", n.Node, n.Bytes)
+	}
+	if w := s.Workload; w != nil {
+		b.WriteString("# TYPE squirrel_workload gauge\n")
+		fmt.Fprintf(&b, "squirrel_workload_boots{arrivals=%q,mode=%q} %d\n", w.Arrivals, w.Mode, w.Boots)
+		fmt.Fprintf(&b, "squirrel_workload_shed{arrivals=%q,mode=%q} %d\n", w.Arrivals, w.Mode, w.Shed)
+		fmt.Fprintf(&b, "squirrel_workload_peer_hits{arrivals=%q,mode=%q} %d\n", w.Arrivals, w.Mode, w.PeerHits)
+		fmt.Fprintf(&b, "squirrel_workload_boot_latency_ms{arrivals=%q,mode=%q,quantile=\"0.5\"} %g\n", w.Arrivals, w.Mode, w.P50Ms)
+		fmt.Fprintf(&b, "squirrel_workload_boot_latency_ms{arrivals=%q,mode=%q,quantile=\"0.99\"} %g\n", w.Arrivals, w.Mode, w.P99Ms)
+		fmt.Fprintf(&b, "squirrel_workload_boot_latency_ms{arrivals=%q,mode=%q,quantile=\"0.999\"} %g\n", w.Arrivals, w.Mode, w.P999Ms)
 	}
 	b.WriteString("# TYPE squirrel_counter gauge\n")
 	names := make([]string, 0, len(s.Counters))

@@ -29,6 +29,8 @@
 package obs
 
 import (
+	"sync"
+
 	"repro/internal/metrics"
 )
 
@@ -65,6 +67,15 @@ const (
 	OpRPC      = "rpc.call"     // client side of one request/reply exchange
 	OpDispatch = "rpc.dispatch" // daemon side of one request frame
 	OpWatch    = "ctl.watch"    // streaming telemetry watch session
+)
+
+// Operation kinds used by the workload engine (PR 10): one root span per
+// driven scenario with a child per phase, so a trace of a million-boot
+// drive is three spans, not a million.
+const (
+	OpWorkload          = "workload"           // one full scenario drive
+	OpWorkloadProvision = "workload.provision" // catalog registration + replica seeding
+	OpWorkloadDrive     = "workload.drive"     // the arrival-driven boot loop
 )
 
 // DefaultRingSize bounds the completed-operation ring when the
@@ -106,6 +117,40 @@ type Config struct {
 type Telemetry struct {
 	tracer   *Tracer
 	counters *metrics.CounterSet
+
+	mu       sync.Mutex
+	workload *WorkloadStats // most recent workload drive, nil until one ran
+}
+
+// WorkloadStats is the `workload` snapshot section: the streaming
+// aggregate of the most recent workload-engine drive against this
+// deployment. It is a fixed-size summary — the driver never retains
+// per-boot records — so publishing it costs O(1) regardless of how many
+// boots the scenario scheduled.
+type WorkloadStats struct {
+	Arrivals    string  `json:"arrivals"` // poisson | diurnal | flash
+	Mode        string  `json:"mode"`     // logical | wall
+	Nodes       int     `json:"nodes"`
+	Boots       int64   `json:"boots"`    // scheduled arrivals
+	Executed    int64   `json:"executed"` // real core boots run (memo misses + resamples)
+	Shed        int64   `json:"shed"`
+	PeerHits    int64   `json:"peer_hits"`
+	ShedRate    float64 `json:"shed_rate"`
+	PeerHitRate float64 `json:"peer_hit_rate"` // of cold boots
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	P999Ms      float64 `json:"p999_ms"`
+}
+
+// SetWorkloadStats publishes the summary of a finished workload drive;
+// it appears as the `workload` section of subsequent snapshots. Nil-safe.
+func (t *Telemetry) SetWorkloadStats(ws WorkloadStats) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.workload = &ws
+	t.mu.Unlock()
 }
 
 // New builds a Telemetry whose ring keeps the last ringSize completed

@@ -19,8 +19,9 @@ import (
 type Store struct {
 	mu     sync.RWMutex
 	blocks map[uint64][]byte
-	next   uint64   // bump allocation pointer (bytes)
-	free   []extent // freed extents eligible for reuse, address-ordered
+	shared map[uint64]struct{} // addresses whose payload aliases a slice shared across stores
+	next   uint64              // bump allocation pointer (bytes)
+	free   []extent            // freed extents eligible for reuse, address-ordered
 
 	allocs int64
 	frees  int64
@@ -43,29 +44,68 @@ func New() *Store {
 func (s *Store) Alloc(payload []byte) uint64 {
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
+	return s.place(cp, false)
+}
+
+// AllocShared stores payload WITHOUT copying it: the store aliases the
+// caller's slice. The caller promises never to mutate it afterwards. This
+// is the bulk-provisioning path — when the same prepared stream is
+// received by thousands of node volumes, every replica's store points at
+// one immutable payload instead of holding its own copy. Addresses are
+// assigned by exactly the same placement logic as Alloc, so a volume
+// populated via AllocShared is address-identical to one populated via
+// Alloc. Mutating hooks (Corrupt, Rewrite) copy-on-write a shared payload
+// before touching it, so damage stays local to this store.
+func (s *Store) AllocShared(payload []byte) uint64 {
+	return s.place(payload, true)
+}
+
+func (s *Store) place(payload []byte, shared bool) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.allocs++
-	need := int64(len(cp))
+	need := int64(len(payload))
 	if need == 0 {
 		need = 1 // empty payloads still occupy a unique address
 	}
+	addr, found := uint64(0), false
 	for i, e := range s.free {
 		if e.size >= need {
-			addr := e.addr
+			addr, found = e.addr, true
 			if e.size == need {
 				s.free = append(s.free[:i], s.free[i+1:]...)
 			} else {
 				s.free[i] = extent{addr: e.addr + uint64(need), size: e.size - need}
 			}
-			s.blocks[addr] = cp
-			return addr
+			break
 		}
 	}
-	addr := s.next
-	s.next += uint64(need)
-	s.blocks[addr] = cp
+	if !found {
+		addr = s.next
+		s.next += uint64(need)
+	}
+	s.blocks[addr] = payload
+	if shared {
+		if s.shared == nil {
+			s.shared = make(map[uint64]struct{})
+		}
+		s.shared[addr] = struct{}{}
+	}
 	return addr
+}
+
+// unshareLocked gives addr a private copy of its payload if it currently
+// aliases a shared slice. Callers must hold s.mu and must re-read the
+// payload from s.blocks afterwards.
+func (s *Store) unshareLocked(addr uint64) {
+	if _, ok := s.shared[addr]; !ok {
+		return
+	}
+	b := s.blocks[addr]
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	s.blocks[addr] = cp
+	delete(s.shared, addr)
 }
 
 // Read returns the payload at addr. The returned slice must not be
@@ -96,7 +136,8 @@ func (s *Store) Corrupt(addr uint64, off int64, xor byte) error {
 	if xor == 0 {
 		return fmt.Errorf("store: zero XOR mask would not corrupt")
 	}
-	b[off] ^= xor
+	s.unshareLocked(addr)
+	s.blocks[addr][off] ^= xor
 	return nil
 }
 
@@ -115,7 +156,8 @@ func (s *Store) Rewrite(addr uint64, payload []byte) error {
 	if len(b) != len(payload) {
 		return fmt.Errorf("store: rewrite length %d != stored %d", len(payload), len(b))
 	}
-	copy(b, payload)
+	s.unshareLocked(addr)
+	copy(s.blocks[addr], payload)
 	return nil
 }
 
@@ -128,6 +170,7 @@ func (s *Store) Free(addr uint64) error {
 		return fmt.Errorf("store: free of unallocated address %d", addr)
 	}
 	delete(s.blocks, addr)
+	delete(s.shared, addr)
 	size := int64(len(b))
 	if size == 0 {
 		size = 1
@@ -145,6 +188,7 @@ type Stats struct {
 	Allocs     int64
 	Frees      int64
 	FreeChunks int64 // fragmentation indicator
+	Shared     int64 // payloads aliased to a slice shared across stores
 }
 
 // Stats returns current occupancy numbers. O(blocks).
@@ -157,6 +201,7 @@ func (s *Store) Stats() Stats {
 		Allocs:     s.allocs,
 		Frees:      s.frees,
 		FreeChunks: int64(len(s.free)),
+		Shared:     int64(len(s.shared)),
 	}
 	for _, b := range s.blocks {
 		st.UsedBytes += int64(len(b))

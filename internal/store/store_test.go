@@ -185,3 +185,62 @@ func BenchmarkAlloc4K(b *testing.B) {
 		s.Alloc(p)
 	}
 }
+
+// AllocShared aliases the caller's slice across stores; mutating hooks
+// must copy-on-write so damage stays local, and addresses must follow
+// Alloc's exact placement.
+func TestAllocSharedCopyOnWrite(t *testing.T) {
+	payload := []byte("shared payload bytes")
+	a, b := New(), New()
+	aa := a.AllocShared(payload)
+	ba := b.AllocShared(payload)
+	if aa != ba {
+		t.Fatalf("shared placement diverged: %d vs %d", aa, ba)
+	}
+	plain := New()
+	if pa := plain.Alloc(payload); pa != aa {
+		t.Fatalf("AllocShared address %d != Alloc address %d", aa, pa)
+	}
+	if a.Stats().Shared != 1 {
+		t.Fatalf("shared count = %d, want 1", a.Stats().Shared)
+	}
+
+	if err := a.Corrupt(aa, 3, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.Read(aa)
+	if bytes.Equal(got, payload) {
+		t.Fatal("corrupt did not change a's payload")
+	}
+	bb, _ := b.Read(ba)
+	if !bytes.Equal(bb, payload) {
+		t.Fatal("corrupting a's copy leaked into b (no copy-on-write)")
+	}
+	if a.Stats().Shared != 0 {
+		t.Fatal("corrupted payload still marked shared")
+	}
+	if b.Stats().Shared != 1 {
+		t.Fatal("b lost its shared marking")
+	}
+
+	// Rewrite heals a in place without touching the (shared) original.
+	fixed := make([]byte, len(payload))
+	copy(fixed, payload)
+	if err := b.Rewrite(ba, fixed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, []byte("shared payload bytes")) {
+		t.Fatal("rewrite mutated the shared source slice")
+	}
+	if b.Stats().Shared != 0 {
+		t.Fatal("rewritten payload still marked shared")
+	}
+
+	// Free clears the marking and recycles the extent.
+	if err := a.Free(aa); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().Shared != 0 {
+		t.Fatal("freed payload still counted shared")
+	}
+}

@@ -81,6 +81,10 @@ func TestDialDowngradesToV1(t *testing.T) {
 	if _, err := c.TraceMerged(obs.OpBoot); err == nil || !strings.Contains(err.Error(), "protocol v2") {
 		t.Fatalf("TraceMerged on v1 connection returned %v, want protocol-v2 refusal", err)
 	}
+	if _, err := c.Workload(context.Background(), ctlplane.WorkloadArgs{Boots: 10}); err == nil ||
+		!strings.Contains(err.Error(), "protocol v2") {
+		t.Fatalf("Workload on v1 connection returned %v, want protocol-v2 refusal", err)
+	}
 }
 
 // TestDialRejectsUnbridgeableVersion: a server older than anything this

@@ -39,6 +39,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/wireproto"
+	"repro/internal/workload"
 	"repro/internal/zvol"
 )
 
@@ -524,6 +525,18 @@ func (c *Client) TraceSlowest(kind string) (string, error) {
 	var out ctlplane.TextReply
 	err := c.call(bg(), wireproto.TTrace, ctlplane.TraceArgs{Kind: kind}, &out)
 	return out.Text, err
+}
+
+// Workload implements Session: the scenario runs on the daemon, next to
+// the deployment; only the args and the fixed-size summary cross the
+// wire.
+func (c *Client) Workload(ctx context.Context, args ctlplane.WorkloadArgs) (workload.Summary, error) {
+	if c.ver < 2 {
+		return workload.Summary{}, fmt.Errorf("wireclient: workload needs protocol v2; this connection negotiated v%d", c.ver)
+	}
+	var out workload.Summary
+	err := c.call(ctx, wireproto.TWorkload, args, &out)
+	return out, err
 }
 
 // ResetNetCounters implements Session.

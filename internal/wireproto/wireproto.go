@@ -116,6 +116,7 @@ const (
 	TNetRx
 	TWatch     // version ≥ 2: streaming telemetry watch
 	TTraceTree // version ≥ 2: fetch dispatch trees for a client trace ID
+	TWorkload  // version ≥ 2: drive a workload scenario on the daemon
 )
 
 // typeNames backs TypeName; indexed by frame type.
@@ -142,6 +143,7 @@ var typeNames = [...]string{
 	TNetRx:       "netRx",
 	TWatch:       "watch",
 	TTraceTree:   "traceTree",
+	TWorkload:    "workload",
 }
 
 // TypeName returns a short name for a frame type ("boot", "watch", …)

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// drain pulls n arrivals from a generator built for cfg with the given
+// seed.
+func drain(t *testing.T, cfg Config, seed int64, n int) []arrival {
+	t.Helper()
+	cfg, err := cfg.normalize()
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	gen := newArrivalGen(cfg, rand.New(rand.NewSource(seed)))
+	out := make([]arrival, n)
+	for i := range out {
+		out[i] = gen()
+	}
+	return out
+}
+
+func baseCfg(arrivals string, boots int) Config {
+	return Config{
+		Arrivals: arrivals,
+		Boots:    boots,
+		Images:   []string{"img-0", "img-1"},
+		Nodes:    []string{"n0", "n1"},
+	}
+}
+
+// Every generator must be a pure function of its rng (same seed, same
+// schedule) and must emit strictly non-decreasing times.
+func TestArrivalsDeterministicAndMonotonic(t *testing.T) {
+	const n = 20000
+	for _, proc := range []string{Poisson, Diurnal, Flash} {
+		cfg := baseCfg(proc, n)
+		a := drain(t, cfg, 42, n)
+		b := drain(t, cfg, 42, n)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: arrival %d differs across same-seed runs: %+v vs %+v", proc, i, a[i], b[i])
+			}
+		}
+		for i := 1; i < n; i++ {
+			if a[i].t < a[i-1].t {
+				t.Fatalf("%s: arrival %d goes backwards: %.6f after %.6f", proc, i, a[i].t, a[i-1].t)
+			}
+		}
+		c := drain(t, cfg, 43, n)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced an identical schedule", proc)
+		}
+	}
+}
+
+// Poisson arrivals should land ~Boots events inside the horizon: the
+// mean inter-arrival time is horizon/boots.
+func TestPoissonRate(t *testing.T) {
+	const n = 50000
+	cfg := baseCfg(Poisson, n)
+	ev := drain(t, cfg, 7, n)
+	last := ev[n-1].t
+	if last < 0.9*3600 || last > 1.1*3600 {
+		t.Fatalf("poisson: %d arrivals span %.0fs, want ~3600s", n, last)
+	}
+}
+
+// The diurnal curve troughs at t=0 and peaks mid-horizon (0.4x vs 1.6x
+// the mean rate), so a mid-horizon slice must hold several times the
+// arrivals of an equally wide opening slice.
+func TestDiurnalShape(t *testing.T) {
+	const n = 60000
+	cfg := baseCfg(Diurnal, n)
+	ev := drain(t, cfg, 11, n)
+	const horizon = 3600.0
+	var early, mid int
+	for _, e := range ev {
+		switch {
+		case e.t < horizon/10:
+			early++
+		case e.t >= 0.45*horizon && e.t < 0.55*horizon:
+			mid++
+		}
+	}
+	if early == 0 || mid == 0 {
+		t.Fatalf("diurnal: empty slices (early=%d mid=%d)", early, mid)
+	}
+	if ratio := float64(mid) / float64(early); ratio < 2 {
+		t.Fatalf("diurnal: mid/early arrival ratio %.2f, want >= 2 (trough 0.4x vs peak 1.6x)", ratio)
+	}
+}
+
+// Flash: ~stormFrac of the first Boots arrivals are storm arrivals, all
+// of them inside the storm window starting a third of the way in.
+func TestFlashBurst(t *testing.T) {
+	const n = 50000
+	cfg := baseCfg(Flash, n)
+	ev := drain(t, cfg, 13, n)
+	const horizon = 3600.0
+	start := stormStartFrac * horizon
+	window := horizon / stormWindowDiv
+	var storm int
+	for _, e := range ev {
+		if !e.storm {
+			continue
+		}
+		storm++
+		if e.t < start || e.t > start+window {
+			t.Fatalf("flash: storm arrival at %.1fs outside window [%.1f, %.1f]", e.t, start, start+window)
+		}
+	}
+	frac := float64(storm) / float64(n)
+	if frac < 0.6 || frac > 0.8 {
+		t.Fatalf("flash: storm fraction %.2f of %d arrivals, want ~%.1f", frac, n, stormFrac)
+	}
+}

@@ -1,0 +1,43 @@
+package workload_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkWorkloadTail is the ISSUE's workload_tail surface: boot
+// latency tail (p99 / p99.9) per arrival process x index mode, driven
+// through a real deployment under the logical clock. cmd/benchjson
+// turns the reported metrics into the workload_tail BENCH.json table.
+func BenchmarkWorkloadTail(b *testing.B) {
+	cases := []struct {
+		arrivals, index string
+	}{
+		{workload.Poisson, "central"},
+		{workload.Diurnal, "central"},
+		{workload.Flash, "central"},
+		{workload.Flash, "gossip"},
+	}
+	for _, tc := range cases {
+		b.Run(tc.arrivals+"-"+tc.index, func(b *testing.B) {
+			sess, cfg := newDeployment(b, tc.index, 16, 128)
+			cfg.Arrivals = tc.arrivals
+			cfg.Boots = 100000
+			b.ResetTimer()
+			var sum workload.Summary
+			for i := 0; i < b.N; i++ {
+				var err error
+				sum, err = workload.Run(context.Background(), sess, cfg, nil)
+				if err != nil {
+					b.Fatalf("run: %v", err)
+				}
+			}
+			b.ReportMetric(sum.P99Ms, "p99-ms")
+			b.ReportMetric(sum.P999Ms, "p999-ms")
+			b.ReportMetric(100*sum.ShedRate, "shed-%")
+			b.ReportMetric(100*sum.PeerHitRate, "peerhit-%")
+		})
+	}
+}

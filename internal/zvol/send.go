@@ -154,7 +154,13 @@ func (v *Volume) Send(fromSnap, toSnap string) (*Stream, error) {
 // the journal open; Recover rolls the volume back to its exact
 // pre-receive state. A volume with an open journal refuses further
 // receives until recovered.
-func (v *Volume) Receive(st *Stream) error {
+func (v *Volume) Receive(st *Stream) error { return v.receive(st, nil) }
+
+// receive is the shared apply path behind Receive and ReceivePrepared.
+// With ps == nil every shipped payload is hashed and compressed locally;
+// with a prepared stream those results are reused and stored payloads are
+// aliased into the block store (see prepared.go).
+func (v *Volume) receive(st *Stream, ps *PreparedStream) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	// Consume the one-shot crash point whether or not verification
@@ -164,7 +170,7 @@ func (v *Volume) Receive(st *Stream) error {
 	if v.journal != nil {
 		return ErrNeedsRecovery
 	}
-	if err := v.verifyStreamLocked(st); err != nil {
+	if err := v.verifyStreamLocked(st, ps); err != nil {
 		return err
 	}
 	// Intent record: from here until commit, a crash leaves the journal
@@ -190,7 +196,11 @@ func (v *Volume) Receive(st *Stream) error {
 				v.zeroBytes += int64(sp.LogLen)
 				rec.zeros += int64(sp.LogLen)
 			case sp.Payload >= 0:
-				obj.ptrs = append(obj.ptrs, v.writeBlock(st.Blocks[sp.Payload]))
+				if ps != nil {
+					obj.ptrs = append(obj.ptrs, v.writeBlockPrepared(&ps.Blocks[sp.Payload]))
+				} else {
+					obj.ptrs = append(obj.ptrs, v.writeBlock(st.Blocks[sp.Payload]))
+				}
 			default:
 				e := v.ddt.Lookup(sp.Hash)
 				v.ddt.AddRef(sp.Hash)
@@ -241,6 +251,9 @@ func (v *Volume) Receive(st *Stream) error {
 	v.journal = nil
 	v.counters.Add("zvol.recv.streams", 1)
 	v.counters.Add("zvol.recv.bytes", st.SizeBytes())
+	if ps != nil {
+		v.counters.Add("zvol.recv.prepared", 1)
+	}
 	return nil
 }
 
@@ -253,8 +266,9 @@ func (st *Stream) ApplySteps() int { return len(st.Upserts) + len(st.Deletes) }
 // ancestry and snapshot-name freshness, payload indexes in range, shipped
 // payloads matching their declared length and content hash, object sizes
 // consistent with their pointers, and every hash-only reference present
-// in the local DDT.
-func (v *Volume) verifyStreamLocked(st *Stream) error {
+// in the local DDT. With a prepared stream the per-payload checksums were
+// computed once by Prepare and are reused instead of re-hashed here.
+func (v *Volume) verifyStreamLocked(st *Stream, ps *PreparedStream) error {
 	if st.FromSnap != "" && v.findSnapLocked(st.FromSnap) == nil {
 		return fmt.Errorf("%w: %s", ErrNotAncestor, st.FromSnap)
 	}
@@ -264,10 +278,23 @@ func (v *Volume) verifyStreamLocked(st *Stream) error {
 	if !v.cfg.Dedup {
 		return fmt.Errorf("zvol: receive requires a dedup volume")
 	}
-	// Checksum every shipped payload once up front.
-	hashes := make([]block.Hash, len(st.Blocks))
-	for i, b := range st.Blocks {
-		hashes[i] = block.HashOf(b)
+	// Checksum every shipped payload once up front (or reuse the hashes
+	// Prepare computed when receiving a prepared stream).
+	var hashes []block.Hash
+	if ps != nil {
+		if len(ps.Blocks) != len(st.Blocks) {
+			return fmt.Errorf("%w: prepared stream carries %d blocks, stream %d",
+				ErrBadStream, len(ps.Blocks), len(st.Blocks))
+		}
+		hashes = make([]block.Hash, len(ps.Blocks))
+		for i := range ps.Blocks {
+			hashes[i] = ps.Blocks[i].Hash
+		}
+	} else {
+		hashes = make([]block.Hash, len(st.Blocks))
+		for i, b := range st.Blocks {
+			hashes[i] = block.HashOf(b)
+		}
 	}
 	for _, so := range st.Upserts {
 		var size int64

@@ -1,6 +1,9 @@
 package zvol
 
-import "repro/internal/dedup"
+import (
+	"repro/internal/dedup"
+	"repro/internal/store"
+)
 
 // Stats summarizes a volume's resource consumption — the quantities the
 // paper charts in Figs 8, 9, 10, and 13.
@@ -68,6 +71,10 @@ func (v *Volume) Stats() Stats {
 	st.DiskBytes = st.DataBytes + st.DDTDiskBytes + st.MetaBytes
 	return st
 }
+
+// StoreStats exposes the underlying block store's occupancy, including
+// how many stored payloads are aliased to shared prepared-stream slices.
+func (v *Volume) StoreStats() store.Stats { return v.store.Stats() }
 
 // DDTStats exposes the raw dedup-table statistics (nil-safe: volumes
 // without dedup return zero stats).
